@@ -1,0 +1,307 @@
+(* sasos command-line interface.
+
+   sasos list                      -- experiments and workloads
+   sasos run <experiment-id>...    -- run experiments (default: all)
+   sasos workload <name> [-m MACHINE] -- run one workload, dump metrics
+   sasos info                      -- geometry / cost-model defaults *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List available experiments and workloads." in
+  let run () =
+    print_endline "Experiments (paper artifacts):";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-14s %-22s %s\n" e.Sasos.Experiments.Experiment.id
+          ("[" ^ e.Sasos.Experiments.Experiment.paper_ref ^ "]")
+          e.Sasos.Experiments.Experiment.title)
+      Sasos.Experiments.Registry.all;
+    print_endline "\nWorkloads:";
+    List.iter
+      (fun w ->
+        Printf.printf "  %-14s %s%s\n" w.Sasos.Workloads.Registry.name
+          w.Sasos.Workloads.Registry.description
+          (match w.Sasos.Workloads.Registry.table1_row with
+          | Some r -> "  (Table 1: " ^ r ^ ")"
+          | None -> ""))
+      Sasos.Workloads.Registry.all;
+    print_endline "\nMachines:";
+    List.iter
+      (fun (n, _) -> Printf.printf "  %s\n" n)
+      Sasos.Machines.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments by id (all when none given)." in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
+  in
+  let run ids =
+    match ids with
+    | [] ->
+        print_string (Sasos.Experiments.Registry.run_all ());
+        `Ok ()
+    | ids ->
+        let rec go = function
+          | [] -> `Ok ()
+          | id :: rest -> begin
+              match Sasos.Experiments.Registry.find id with
+              | None ->
+                  `Error
+                    ( false,
+                      Printf.sprintf "unknown experiment %S (try 'sasos list')"
+                        id )
+              | Some e ->
+                  print_string
+                    (Sasos.Experiments.Experiment.header e
+                    ^ e.Sasos.Experiments.Experiment.run ());
+                  print_newline ();
+                  go rest
+            end
+        in
+        go ids
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ ids))
+
+let machine_conv =
+  let parse s =
+    match Sasos.Machines.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown machine %S" s))
+  in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Sasos.Machines.to_string v))
+
+(* configuration flags shared by the workload command *)
+let config_term =
+  let cpus =
+    Arg.(value & opt int 1 & info [ "cpus" ] ~docv:"N"
+           ~doc:"Simulated processors (shootdowns above 1).")
+  in
+  let plb_entries =
+    Arg.(value & opt int 64 & info [ "plb-entries" ] ~docv:"N")
+  in
+  let tlb_entries =
+    Arg.(value & opt int 64 & info [ "tlb-entries" ] ~docv:"N")
+  in
+  let pg_entries =
+    Arg.(value & opt int 16 & info [ "pg-entries" ] ~docv:"N"
+           ~doc:"Page-group cache size (4 = stock PA-RISC).")
+  in
+  let l2_kb =
+    Arg.(value & opt int 0 & info [ "l2-kb" ] ~docv:"KB"
+           ~doc:"Unified second-level cache size; 0 disables.")
+  in
+  let prot_shift =
+    Arg.(value & opt int 12 & info [ "prot-shift" ] ~docv:"LOG2"
+           ~doc:"Protection page size as log2 bytes (12 = 4 KB).")
+  in
+  let eager =
+    Arg.(value & opt int 0 & info [ "pg-eager" ] ~docv:"N"
+           ~doc:"Page-groups eagerly reloaded on a domain switch.")
+  in
+  let build cpus plb_entries tlb_entries pg_entries l2_kb prot_shift eager =
+    Sasos.Config.v
+      ~geom:(Sasos.Geometry.v ~prot_shift ())
+      ~cpus ~plb_sets:1 ~plb_ways:plb_entries ~tlb_sets:1
+      ~tlb_ways:tlb_entries ~pg_entries ~pg_eager_reload:eager
+      ~l2_bytes:(l2_kb * 1024) ()
+  in
+  Term.(
+    const build $ cpus $ plb_entries $ tlb_entries $ pg_entries $ l2_kb
+    $ prot_shift $ eager)
+
+let workload_cmd =
+  let doc = "Run one workload on one machine and print its metrics." in
+  let wname =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let machine =
+    Arg.(
+      value
+      & opt machine_conv Sasos.Machines.Plb
+      & info [ "m"; "machine" ] ~docv:"MACHINE"
+          ~doc:"Machine model: plb, page-group, conv-asid, conv-flush.")
+  in
+  let run wname machine config =
+    match Sasos.Workloads.Registry.find wname with
+    | None ->
+        `Error
+          (false, Printf.sprintf "unknown workload %S (try 'sasos list')" wname)
+    | Some w ->
+        let sys = Sasos.Machines.make machine config in
+        w.Sasos.Workloads.Registry.run sys;
+        let m = Sasos.System_ops.metrics sys in
+        Printf.printf "workload=%s machine=%s\n" wname
+          (Sasos.Machines.to_string machine);
+        List.iter
+          (fun (k, v) -> if v <> 0 then Printf.printf "  %-22s %d\n" k v)
+          (Sasos.Metrics.fields m);
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(ret (const run $ wname $ machine $ config_term))
+
+let trace_record_cmd =
+  let doc =
+    "Run a workload through the trace recorder and save the trace."
+  in
+  let wname =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace output file.")
+  in
+  let machine =
+    Arg.(
+      value
+      & opt machine_conv Sasos.Machines.Plb
+      & info [ "m"; "machine" ] ~docv:"MACHINE"
+          ~doc:"Machine the workload runs on while recording.")
+  in
+  let run wname out machine =
+    match Sasos.Workloads.Registry.find wname with
+    | None -> `Error (false, Printf.sprintf "unknown workload %S" wname)
+    | Some w ->
+        let inner = Sasos.Machines.make machine Sasos.Config.default in
+        let r = Sasos.Trace.Recorder.wrap inner in
+        let sys =
+          Sasos.Os.System_intf.Packed
+            ( (module Sasos.Trace.Recorder : Sasos.Os.System_intf.SYSTEM
+                with type t = Sasos.Trace.Recorder.t),
+              r )
+        in
+        w.Sasos.Workloads.Registry.run sys;
+        let events = Sasos.Trace.Recorder.events r in
+        Sasos.Trace.Store.save out
+          ~header:
+            (Printf.sprintf "sasos trace: workload=%s machine=%s" wname
+               (Sasos.Machines.to_string machine))
+          events;
+        Format.printf "%a@.-> %s@." Sasos.Trace.Stats.pp
+          (Sasos.Trace.Stats.of_events events)
+          out;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc)
+    Term.(ret (const run $ wname $ out $ machine))
+
+let trace_replay_cmd =
+  let doc = "Replay a saved trace on a machine and print its metrics." in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let machine =
+    Arg.(
+      value
+      & opt machine_conv Sasos.Machines.Plb
+      & info [ "m"; "machine" ] ~docv:"MACHINE")
+  in
+  let run file machine =
+    match Sasos.Trace.Store.load file with
+    | Error msg -> `Error (false, msg)
+    | Ok events -> begin
+        let sys = Sasos.Machines.make machine Sasos.Config.default in
+        match Sasos.Trace.Player.replay events sys with
+        | Error { at; event; reason } ->
+            `Error
+              ( false,
+                Printf.sprintf "event %d (%s): %s" at
+                  (Sasos.Trace.Event.to_line event)
+                  reason )
+        | Ok outcomes ->
+            let faults =
+              List.length
+                (List.filter
+                   (( = ) Sasos.Addr.Access.Protection_fault)
+                   outcomes)
+            in
+            Printf.printf "replayed %d events on %s: %d accesses, %d faults\n"
+              (List.length events)
+              (Sasos.Machines.to_string machine)
+              (List.length outcomes) faults;
+            List.iter
+              (fun (k, v) -> if v <> 0 then Printf.printf "  %-22s %d\n" k v)
+              (Sasos.Metrics.fields (Sasos.System_ops.metrics sys));
+            `Ok ()
+      end
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(ret (const run $ file $ machine))
+
+let trace_stats_cmd =
+  let doc = "Print summary statistics of a saved trace." in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    match Sasos.Trace.Store.load file with
+    | Error msg -> `Error (false, msg)
+    | Ok events ->
+        Format.printf "%a@." Sasos.Trace.Stats.pp
+          (Sasos.Trace.Stats.of_events events);
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ file))
+
+let trace_cmd =
+  let doc = "Record, replay and inspect operation traces." in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [ trace_record_cmd; trace_replay_cmd; trace_stats_cmd ]
+
+let report_cmd =
+  let doc =
+    "Run every experiment and write the full reproduction report to a file."
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "report.txt"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Report output file.")
+  in
+  let run out =
+    let report = Sasos.Experiments.Registry.run_all () in
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc report);
+    Printf.printf "wrote %d experiments (%d bytes) to %s\n"
+      (List.length Sasos.Experiments.Registry.all)
+      (String.length report) out
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ out)
+
+let info_cmd =
+  let doc = "Print the default geometry and cost model." in
+  let run () =
+    let g = Sasos.Geometry.default in
+    Format.printf "%a@." Sasos.Geometry.pp g;
+    Printf.printf "PLB entry bits: %d, page-group TLB entry bits: %d, \
+                   conventional TLB entry bits: %d\n"
+      (Sasos.Geometry.plb_entry_bits g)
+      (Sasos.Geometry.pg_tlb_entry_bits g)
+      (Sasos.Geometry.conv_tlb_entry_bits g);
+    let c = Sasos.Hw.Cost_model.default in
+    Printf.printf
+      "cost model (cycles): cache hit %d, cache miss %d, tlb refill %d, plb \
+       refill %d, pg refill %d, kernel trap %d, page in/out %d/%d, domain \
+       switch %d\n"
+      c.Sasos.Hw.Cost_model.cache_hit c.Sasos.Hw.Cost_model.cache_miss
+      c.Sasos.Hw.Cost_model.tlb_refill c.Sasos.Hw.Cost_model.plb_refill
+      c.Sasos.Hw.Cost_model.pg_refill c.Sasos.Hw.Cost_model.kernel_trap
+      c.Sasos.Hw.Cost_model.page_in c.Sasos.Hw.Cost_model.page_out
+      c.Sasos.Hw.Cost_model.domain_switch
+  in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc =
+    "simulator for single-address-space protection architectures \
+     (Koldinger, Chase & Eggers, ASPLOS 1992)"
+  in
+  let info = Cmd.info "sasos" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; workload_cmd; trace_cmd; report_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/compare_models.ml: Config Format List Machines Metrics Printf Sasos System_ops Util Workloads

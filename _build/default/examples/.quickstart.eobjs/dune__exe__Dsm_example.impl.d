@@ -1,0 +1,1 @@
+examples/dsm_example.ml: Config Format List Machines Metrics Printf Sasos System_ops Util Workloads

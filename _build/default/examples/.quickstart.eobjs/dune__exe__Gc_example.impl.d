@@ -1,0 +1,1 @@
+examples/gc_example.ml: Config Format List Machines Metrics Sasos System_ops Util Workloads

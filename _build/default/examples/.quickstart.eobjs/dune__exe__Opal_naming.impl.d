@@ -1,0 +1,1 @@
+examples/opal_naming.ml: Access Cap_registry Capability Config Format Machines Rights Sasos Segment System_ops Va

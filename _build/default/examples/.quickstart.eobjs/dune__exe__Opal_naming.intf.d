@@ -1,0 +1,1 @@
+examples/opal_naming.mli:

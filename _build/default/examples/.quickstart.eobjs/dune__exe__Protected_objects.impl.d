@@ -1,0 +1,1 @@
+examples/protected_objects.ml: Access Config Format Machines Metrics Rights Sasos Segment System_intf System_ops Va

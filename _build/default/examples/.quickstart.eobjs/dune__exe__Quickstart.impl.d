@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access Config Format List Machines Metrics Rights Sasos Segment System_ops Va

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Access Config Format List Machines Metrics Player Recorder Sasos Stats System_intf System_ops Util Workloads

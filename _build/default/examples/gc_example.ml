@@ -1,0 +1,57 @@
+(* Concurrent garbage collection (Appel-Ellis-Li) on both single-address-
+   space protection models, side by side — the first application row of
+   the paper's Table 1.
+
+   The mutator and the collector live in separate protection domains; the
+   flip makes from-space inaccessible to the mutator and the collector
+   opens to-space pages one at a time as it scans them. Mutator accesses
+   to unscanned pages trap, and the handler scans that page first.
+
+   Run with:  dune exec examples/gc_example.exe *)
+
+open Sasos
+
+let run variant =
+  let sys = Machines.make variant Config.default in
+  let params =
+    { Workloads.Gc.default with heap_pages = 64; collections = 4;
+      mutator_refs = 10_000 }
+  in
+  let result = Workloads.Gc.run ~params sys in
+  (result, Metrics.copy (System_ops.metrics sys))
+
+let () =
+  Format.printf "Concurrent GC: 64-page heap, 4 collections, 10k mutator \
+                 references each@.@.";
+  let t =
+    Util.Tablefmt.create
+      [
+        ("model", Util.Tablefmt.Left);
+        ("gc traps", Util.Tablefmt.Right);
+        ("pages scanned", Util.Tablefmt.Right);
+        ("kernel entries", Util.Tablefmt.Right);
+        ("sweep slots", Util.Tablefmt.Right);
+        ("regroups", Util.Tablefmt.Right);
+        ("cycles", Util.Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun (label, variant) ->
+      let r, m = run variant in
+      Util.Tablefmt.add_row t
+        [
+          label;
+          string_of_int r.Workloads.Gc.faults_taken;
+          string_of_int r.Workloads.Gc.pages_scanned;
+          Util.Tablefmt.cell_int m.Metrics.kernel_entries;
+          Util.Tablefmt.cell_int m.Metrics.entries_inspected;
+          Util.Tablefmt.cell_int m.Metrics.regroups;
+          Util.Tablefmt.cell_int m.Metrics.cycles;
+        ])
+    [ ("plb", Machines.Plb); ("page-group", Machines.Page_group) ];
+  Util.Tablefmt.print t;
+  Format.printf
+    "@.Flip Spaces costs a PLB sweep under the domain-page model but only@.\
+     page-group set changes under PA-RISC; per-page opens are one PLB@.\
+     entry update vs a page regroup (Table 1, 'Concurrent Garbage@.\
+     Collection').@."

@@ -1,0 +1,56 @@
+(* Quickstart: build a PLB machine, create two protection domains sharing a
+   segment in the single global address space, exercise the protection
+   system, and read the hardware event counters.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Sasos
+open Sasos.Os
+
+let show_outcome label o = Format.printf "  %-42s %a@." label Access.pp_outcome o
+
+let () =
+  (* a machine with the paper's default geometry: 64-bit addresses, 4 KB
+     pages, a 64-entry PLB next to a 64 KB VIVT cache *)
+  let sys = Machines.make Machines.Plb Config.default in
+
+  (* two protection domains — the SASOS analogue of processes *)
+  let editor = System_ops.new_domain sys in
+  let spell_checker = System_ops.new_domain sys in
+
+  (* a shared document buffer: one segment, one global address range;
+     pointers into it mean the same thing in both domains *)
+  let doc = System_ops.new_segment sys ~name:"document" ~pages:16 () in
+  System_ops.attach sys editor doc Rights.rw;
+  System_ops.attach sys spell_checker doc Rights.r;
+
+  Format.printf "document segment lives at %a (same address for everyone)@."
+    Va.pp doc.Segment.base;
+
+  (* the editor writes the document *)
+  System_ops.switch_domain sys editor;
+  show_outcome "editor writes page 0:" (System_ops.write sys (Segment.page_va doc 0));
+
+  (* the spell checker reads it through the very same addresses — no copy,
+     no marshalling; but its write is stopped by the hardware *)
+  System_ops.switch_domain sys spell_checker;
+  show_outcome "spell-checker reads page 0:" (System_ops.read sys (Segment.page_va doc 0));
+  show_outcome "spell-checker writes page 0:" (System_ops.write sys (Segment.page_va doc 0));
+
+  (* grant it write access to a single scratch page, leaving the rest
+     read-only — a per-(domain, page) rights change, one PLB entry *)
+  System_ops.grant sys spell_checker (Segment.page_va doc 15) Rights.rw;
+  show_outcome "after grant, writes scratch page 15:"
+    (System_ops.write sys (Segment.page_va doc 15));
+
+  (* what did the hardware do? *)
+  let m = System_ops.metrics sys in
+  Format.printf "@.hardware events:@.";
+  List.iter
+    (fun (k, v) -> if v <> 0 then Format.printf "  %-22s %d@." k v)
+    (Metrics.fields m);
+
+  Format.printf
+    "@.note: the protection fault above went to the kernel, was confirmed@.\
+     against the OS tables, and was delivered to the application - the@.\
+     Table 1 'trap the access' pattern every SASOS service builds on.@."

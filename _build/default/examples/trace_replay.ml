@@ -1,0 +1,66 @@
+(* Record once, replay everywhere: run the distributed-VM workload through
+   the trace recorder on the PLB machine, then replay the identical
+   operation stream on the other protection architectures and compare the
+   hardware's behaviour head to head.
+
+   Run with:  dune exec examples/trace_replay.exe *)
+
+open Sasos
+open Sasos.Os
+open Sasos.Trace
+
+let () =
+  (* record on a PLB machine *)
+  let inner = Machines.make Machines.Plb Config.default in
+  let r = Recorder.wrap inner in
+  let sys =
+    System_intf.Packed
+      ((module Recorder : System_intf.SYSTEM with type t = Recorder.t), r)
+  in
+  let result =
+    Workloads.Dsm.run
+      ~params:{ Workloads.Dsm.default with pages = 64; refs = 10_000 }
+      sys
+  in
+  let trace = Recorder.events r in
+  Format.printf "recorded the DSM workload: %a@.@." Stats.pp
+    (Stats.of_events trace);
+  Format.printf "coherence activity: %d read faults, %d write faults, %d \
+                 invalidations@.@."
+    result.Workloads.Dsm.read_faults result.Workloads.Dsm.write_faults
+    result.Workloads.Dsm.invalidations;
+
+  (* replay the identical stream on every machine *)
+  let t =
+    Util.Tablefmt.create
+      [
+        ("machine", Util.Tablefmt.Left);
+        ("faults", Util.Tablefmt.Right);
+        ("prot misses", Util.Tablefmt.Right);
+        ("tlb misses", Util.Tablefmt.Right);
+        ("regroups", Util.Tablefmt.Right);
+        ("cycles", Util.Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun (label, v) ->
+      let target = Machines.make v Config.default in
+      let outcomes = Player.replay_exn trace target in
+      let faults =
+        List.length (List.filter (( = ) Access.Protection_fault) outcomes)
+      in
+      let m = System_ops.metrics target in
+      Util.Tablefmt.add_row t
+        [
+          label;
+          Util.Tablefmt.cell_int faults;
+          Util.Tablefmt.cell_int (m.Metrics.plb_misses + m.Metrics.pg_misses);
+          Util.Tablefmt.cell_int m.Metrics.tlb_misses;
+          Util.Tablefmt.cell_int m.Metrics.regroups;
+          Util.Tablefmt.cell_int m.Metrics.cycles;
+        ])
+    Machines.all;
+  Util.Tablefmt.print t;
+  Format.printf
+    "@.Every machine sees the same faults (the protection semantics agree);@.\
+     what differs is the hardware work each model does to realize them.@."

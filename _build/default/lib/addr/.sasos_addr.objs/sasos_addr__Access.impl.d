@@ -1,0 +1,1 @@
+lib/addr/access.ml: Format Rights

@@ -1,0 +1,1 @@
+lib/addr/access.mli: Format Rights

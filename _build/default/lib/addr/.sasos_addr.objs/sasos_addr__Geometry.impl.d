@@ -1,0 +1,1 @@
+lib/addr/geometry.ml: Format Option Rights Sasos_util

@@ -1,0 +1,1 @@
+lib/addr/geometry.mli: Format

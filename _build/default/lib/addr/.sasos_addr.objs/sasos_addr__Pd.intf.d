@@ -1,0 +1,1 @@
+lib/addr/pd.mli: Format

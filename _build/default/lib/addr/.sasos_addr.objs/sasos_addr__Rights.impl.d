@@ -1,0 +1,1 @@
+lib/addr/rights.ml: Bytes Format Stdlib

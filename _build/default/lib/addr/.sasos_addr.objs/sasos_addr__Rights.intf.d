@@ -1,0 +1,1 @@
+lib/addr/rights.mli: Format

@@ -1,0 +1,1 @@
+lib/addr/va.ml: Format Geometry List

@@ -1,0 +1,1 @@
+lib/addr/va.mli: Format Geometry

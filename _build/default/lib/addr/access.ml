@@ -1,0 +1,18 @@
+type kind = Read | Write | Execute
+
+let rights_needed = function
+  | Read -> Rights.r
+  | Write -> Rights.w
+  | Execute -> Rights.x
+
+let pp_kind fmt k =
+  Format.pp_print_string fmt
+    (match k with Read -> "read" | Write -> "write" | Execute -> "execute")
+
+type outcome = Ok | Protection_fault
+
+let pp_outcome fmt o =
+  Format.pp_print_string fmt
+    (match o with Ok -> "ok" | Protection_fault -> "protection-fault")
+
+let outcome_equal (a : outcome) b = a = b

@@ -1,0 +1,17 @@
+(** Memory access kinds and outcomes. *)
+
+type kind = Read | Write | Execute
+
+val rights_needed : kind -> Rights.t
+(** The single permission bit an access of this kind requires. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type outcome =
+  | Ok  (** The access completed (possibly after refills / page-in). *)
+  | Protection_fault
+      (** The executing domain lacks the needed right; delivered to the
+          application, as when a DSM or GC handler runs. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val outcome_equal : outcome -> outcome -> bool

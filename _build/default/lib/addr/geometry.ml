@@ -1,0 +1,58 @@
+type t = {
+  va_bits : int;
+  pa_bits : int;
+  page_shift : int;
+  prot_shift : int;
+  pd_id_bits : int;
+}
+
+let default =
+  { va_bits = 64; pa_bits = 36; page_shift = 12; prot_shift = 12; pd_id_bits = 16 }
+
+let v ?(va_bits = default.va_bits) ?(pa_bits = default.pa_bits)
+    ?(page_shift = default.page_shift) ?prot_shift
+    ?(pd_id_bits = default.pd_id_bits) () =
+  let prot_shift = Option.value prot_shift ~default:page_shift in
+  if va_bits < 16 || va_bits > 64 then invalid_arg "Geometry.v: va_bits";
+  if pa_bits < 16 || pa_bits > va_bits then invalid_arg "Geometry.v: pa_bits";
+  if page_shift < 4 || page_shift >= pa_bits then
+    invalid_arg "Geometry.v: page_shift";
+  if prot_shift < 4 || prot_shift >= va_bits then
+    invalid_arg "Geometry.v: prot_shift";
+  { va_bits; pa_bits; page_shift; prot_shift; pd_id_bits }
+
+let page_size t = 1 lsl t.page_shift
+let prot_page_size t = 1 lsl t.prot_shift
+let vpn_bits t = t.va_bits - t.page_shift
+let ppn_bits t = t.va_bits - t.prot_shift
+let pfn_bits t = t.pa_bits - t.page_shift
+let plb_entry_bits t = ppn_bits t + t.pd_id_bits + Rights.bits
+
+let aid_bits = 16
+
+(* dirty + referenced bits *)
+let dr_bits = 2
+
+let pg_tlb_entry_bits t =
+  vpn_bits t + pfn_bits t + aid_bits + Rights.bits + dr_bits
+
+let conv_tlb_entry_bits t =
+  vpn_bits t + t.pd_id_bits + pfn_bits t + Rights.bits + dr_bits
+
+let index_bits ~line_bytes ~cache_bytes ~ways =
+  let lines = cache_bytes / line_bytes in
+  let sets = lines / ways in
+  Sasos_util.Bits.ceil_log2 sets
+
+let vivt_tag_bits t ~line_bytes ~cache_bytes ~ways =
+  let offset = Sasos_util.Bits.ceil_log2 line_bytes in
+  t.va_bits - offset - index_bits ~line_bytes ~cache_bytes ~ways
+
+let vipt_tag_bits t ~line_bytes ~cache_bytes ~ways =
+  let offset = Sasos_util.Bits.ceil_log2 line_bytes in
+  t.pa_bits - offset - index_bits ~line_bytes ~cache_bytes ~ways
+
+let pp fmt t =
+  Format.fprintf fmt
+    "geometry{va=%d pa=%d page=%dB prot_page=%dB pd_id=%db}" t.va_bits
+    t.pa_bits (page_size t) (prot_page_size t) t.pd_id_bits

@@ -1,0 +1,65 @@
+(** Address space geometry: page sizes and the field widths of Figure 1.
+
+    The paper assumes 64-bit virtual addresses, 4 KB pages and 36-bit
+    physical addresses; all three are parameters here so that the
+    [tag_overhead] and [granularity] experiments can sweep them. *)
+
+type t = {
+  va_bits : int;  (** virtual address width, default 64 *)
+  pa_bits : int;  (** physical address width, default 36 *)
+  page_shift : int;  (** log2 of the translation page size, default 12 *)
+  prot_shift : int;
+      (** log2 of the protection page size; equals [page_shift] unless the
+          §4.3 decoupling is in play *)
+  pd_id_bits : int;  (** protection-domain-id width, default 16 *)
+}
+
+val default : t
+(** 64-bit VA, 36-bit PA, 4 KB pages, protection grain = translation grain,
+    16-bit PD-IDs: the configuration of Figure 1. *)
+
+val v :
+  ?va_bits:int ->
+  ?pa_bits:int ->
+  ?page_shift:int ->
+  ?prot_shift:int ->
+  ?pd_id_bits:int ->
+  unit ->
+  t
+(** Build a geometry, defaulting each field from {!default}.
+    @raise Invalid_argument on inconsistent widths (e.g. [page_shift >=
+    va_bits]). *)
+
+val page_size : t -> int
+val prot_page_size : t -> int
+
+val vpn_bits : t -> int
+(** VPN width = [va_bits - page_shift] (52 in Figure 1). *)
+
+val ppn_bits : t -> int
+(** Protection-page-number width = [va_bits - prot_shift]. *)
+
+val pfn_bits : t -> int
+(** Page-frame-number width = [pa_bits - page_shift]. *)
+
+val plb_entry_bits : t -> int
+(** Width of one PLB entry: VPN + PD-ID + rights (52+16+3 = 71 in the
+    paper). Uses the protection page number when grains differ. *)
+
+val pg_tlb_entry_bits : t -> int
+(** Width of one page-group TLB entry: VPN + PFN + AID + rights + dirty +
+    referenced. The paper states a PLB entry is roughly 25% smaller. *)
+
+val conv_tlb_entry_bits : t -> int
+(** Conventional ASID-tagged TLB entry: VPN + ASID + PFN + rights + d/r. *)
+
+val aid_bits : int
+(** Access-identifier width; PA-RISC 1.1 uses 15–18 bits, we take 16. *)
+
+val vivt_tag_bits : t -> line_bytes:int -> cache_bytes:int -> ways:int -> int
+(** Tag width of a virtually indexed, virtually tagged cache line. *)
+
+val vipt_tag_bits : t -> line_bytes:int -> cache_bytes:int -> ways:int -> int
+(** Tag width of a virtually indexed, physically tagged cache line. *)
+
+val pp : Format.formatter -> t -> unit

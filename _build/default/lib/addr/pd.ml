@@ -1,0 +1,12 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Pd.of_int: negative domain id";
+  i
+
+let to_int t = t
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let hash (t : t) = t
+let pp fmt t = Format.fprintf fmt "pd%d" t
+let kernel = 0

@@ -1,0 +1,19 @@
+(** Protection domain identifiers (the PD-ID of Figure 1).
+
+    A protection domain is the SASOS analogue of a process: a set of access
+    privileges onto the global address space. This module is only the
+    identifier; domain state lives in the OS layer. *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negatives. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val kernel : t
+(** Domain 0, reserved for the kernel. *)

@@ -1,0 +1,40 @@
+type t = int
+
+let none = 0
+let r = 1
+let w = 2
+let x = 4
+let rw = 3
+let rx = 5
+let rwx = 7
+
+let make ~read ~write ~execute =
+  (if read then r else 0) lor (if write then w else 0)
+  lor (if execute then x else 0)
+
+let can_read t = t land r <> 0
+let can_write t = t land w <> 0
+let can_execute t = t land x <> 0
+let subset a b = a land lnot b = 0
+let union a b = a lor b
+let inter a b = a land b
+let remove a b = a land lnot b
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let bits = 3
+let to_int t = t
+
+let of_int i =
+  if i < 0 || i > 7 then invalid_arg "Rights.of_int: out of range";
+  i
+
+let to_string t =
+  let c cond ch = if cond then ch else '-' in
+  let buf = Bytes.create 3 in
+  Bytes.set buf 0 (c (can_read t) 'r');
+  Bytes.set buf 1 (c (can_write t) 'w');
+  Bytes.set buf 2 (c (can_execute t) 'x');
+  Bytes.to_string buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let all = [ 0; 1; 2; 3; 4; 5; 6; 7 ]

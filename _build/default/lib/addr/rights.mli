@@ -1,0 +1,49 @@
+(** Page access rights: the 3-bit Rights field of Figure 1.
+
+    Rights form a lattice under set inclusion, with [none] at the bottom and
+    [rwx] at the top. All protection structures in the simulator (PLB
+    entries, TLB Rights fields, OS protection tables) carry this type. *)
+
+type t = private int
+(** Bitmask of read(1) / write(2) / execute(4). *)
+
+val none : t
+val r : t
+val w : t
+val x : t
+val rw : t
+val rx : t
+val rwx : t
+
+val make : read:bool -> write:bool -> execute:bool -> t
+
+val can_read : t -> bool
+val can_write : t -> bool
+val can_execute : t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b]: every access allowed by [a] is allowed by [b]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val remove : t -> t -> t
+(** [remove a b] strips the permissions of [b] from [a]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val bits : int
+(** Width of the hardware encoding (3, as in Figure 1). *)
+
+val to_int : t -> int
+val of_int : int -> t
+(** @raise Invalid_argument if out of the 3-bit range. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders like ["rw-"]. *)
+
+val to_string : t -> string
+
+val all : t list
+(** The eight values, for exhaustive testing. *)

@@ -1,0 +1,24 @@
+type t = int
+type vpn = int
+type ppn = int
+
+let vpn_of_va (g : Geometry.t) va = va lsr g.page_shift
+let ppn_of_va (g : Geometry.t) va = va lsr g.prot_shift
+let va_of_vpn (g : Geometry.t) vpn = vpn lsl g.page_shift
+let offset (g : Geometry.t) va = va land ((1 lsl g.page_shift) - 1)
+
+let vpns_of_ppn (g : Geometry.t) ppn =
+  if g.prot_shift <= g.page_shift then [ ppn lsr (g.page_shift - g.prot_shift) ]
+  else begin
+    let per = 1 lsl (g.prot_shift - g.page_shift) in
+    List.init per (fun i -> (ppn lsl (g.prot_shift - g.page_shift)) + i)
+  end
+
+let ppns_of_vpn (g : Geometry.t) vpn =
+  if g.prot_shift >= g.page_shift then [ vpn lsr (g.prot_shift - g.page_shift) ]
+  else begin
+    let per = 1 lsl (g.page_shift - g.prot_shift) in
+    List.init per (fun i -> (vpn lsl (g.page_shift - g.prot_shift)) + i)
+  end
+
+let pp fmt va = Format.fprintf fmt "0x%x" va

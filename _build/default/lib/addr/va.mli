@@ -1,0 +1,34 @@
+(** Virtual addresses and page numbers in the single global address space.
+
+    Addresses are represented as OCaml [int]s (63 usable bits), which covers
+    the paper's 64-bit space for simulation purposes as long as segments are
+    allocated below 2^62 — the segment allocator guarantees this. *)
+
+type t = int
+(** A virtual byte address. *)
+
+type vpn = int
+(** A virtual page number (translation grain). *)
+
+type ppn = int
+(** A protection page number (protection grain, §4.3). *)
+
+val vpn_of_va : Geometry.t -> t -> vpn
+val ppn_of_va : Geometry.t -> t -> ppn
+val va_of_vpn : Geometry.t -> vpn -> t
+(** Base address of a page. *)
+
+val offset : Geometry.t -> t -> int
+(** Byte offset within the translation page. *)
+
+val vpns_of_ppn : Geometry.t -> ppn -> vpn list
+(** Translation pages covered by one protection page (when the protection
+    grain is coarser than the translation grain); the singleton page when
+    grains are equal or protection is finer. *)
+
+val ppns_of_vpn : Geometry.t -> vpn -> ppn list
+(** Protection pages covering one translation page (several when protection
+    is sub-page, §4.3). *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering. *)

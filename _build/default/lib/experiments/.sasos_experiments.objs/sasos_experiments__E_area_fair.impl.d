@@ -1,0 +1,1 @@
+lib/experiments/e_area_fair.ml: Buffer Experiment Geometry List Metrics Printf Sasos_addr Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Synthetic Sys_select Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e_attach.ml: Attach_churn Buffer Cost_model Experiment List Metrics Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Sys_select Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e_breakdown.ml: Buffer Cost_model Experiment List Metrics Option Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Sys_select Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e_cache_org.ml: Buffer Data_cache Experiment List Metrics Rpc Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Sys_select Tablefmt

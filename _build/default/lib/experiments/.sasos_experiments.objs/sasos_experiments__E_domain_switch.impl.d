@@ -1,0 +1,1 @@
+lib/experiments/e_domain_switch.ml: Buffer Experiment List Metrics Printf Rpc Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Synthetic Sys_select Tablefmt

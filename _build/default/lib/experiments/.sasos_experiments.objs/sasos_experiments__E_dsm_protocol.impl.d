@@ -1,0 +1,1 @@
+lib/experiments/e_dsm_protocol.ml: Buffer Dsm Experiment List Metrics Option Printf Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Sys_select

@@ -1,0 +1,1 @@
+lib/experiments/e_fig2_pg.ml: Buffer Experiment List Metrics Printf Replacement Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Synthetic Sys_select Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e_micro_ops.ml: Access Buffer Experiment Geometry List Metrics Rights Sasos_addr Sasos_hw Sasos_machine Sasos_os Sasos_util Segment Sys_select System_ops Tablefmt Va

@@ -1,0 +1,1 @@
+lib/experiments/e_off_chip_tlb.ml: Buffer Experiment List Metrics Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Synthetic Sys_select Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e_okamoto.ml: Access Buffer Experiment Metrics Plb_machine Printf Prng Rights Sasos_addr Sasos_hw Sasos_machine Sasos_os Sasos_util Segment Sys_select System_intf System_ops Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e_op_profile.ml: Buffer Experiment List Metrics Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Sys_select Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e_sharing.ml: Access Array Buffer Experiment List Metrics Prng Rights Sasos_addr Sasos_hw Sasos_machine Sasos_os Sasos_util Segment Sys_select System_ops Tablefmt Zipf

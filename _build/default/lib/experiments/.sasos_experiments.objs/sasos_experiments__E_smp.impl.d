@@ -1,0 +1,1 @@
+lib/experiments/e_smp.ml: Buffer Checkpoint Cost_model Dsm Experiment List Metrics Printf Sasos_hw Sasos_machine Sasos_os Sasos_util Sasos_workloads Sys_select Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e_tag_overhead.ml: Buffer Experiment Geometry List Printf Sasos_addr Sasos_util Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/experiment.ml: Metrics Printf Sasos_hw Sasos_machine Sasos_os System_ops

@@ -1,0 +1,1 @@
+lib/experiments/experiment.mli: Config Metrics Sasos_hw Sasos_machine Sasos_os System_intf

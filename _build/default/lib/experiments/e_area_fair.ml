@@ -1,0 +1,111 @@
+(** §4's size argument quantified: "PLB entries are smaller (about 25%
+    ...), allowing more entries in the same amount of space."
+
+    The paper's baseline comparison gives both structures the same entry
+    count; this experiment instead fixes the silicon budget (total tag+data
+    bits) and gives each structure as many entries as fit: a PLB entry is
+    71 bits against the page-group TLB's 97, so the PLB gets ~1.37x the
+    entries. The sharing workload then shows how much of the duplication
+    penalty the denser PLB buys back. *)
+
+open Sasos_addr
+open Sasos_hw
+open Sasos_machine
+open Sasos_util
+open Sasos_workloads
+
+let entries_for_budget ~bits ~entry_bits = max 1 (bits / entry_bits)
+
+let run_plb ~entries ~sharing =
+  let config = Sasos_os.Config.v ~plb_sets:1 ~plb_ways:entries () in
+  let params =
+    { Synthetic.default with domains = 8; sharing; shared_frac = 0.8;
+      refs = 30_000 }
+  in
+  let m, _ =
+    Experiment.run_on Sys_select.Plb config (fun sys ->
+        Synthetic.run ~params sys)
+  in
+  m
+
+let run_pg ~entries ~sharing =
+  let config = Sasos_os.Config.v ~tlb_sets:1 ~tlb_ways:entries () in
+  let params =
+    { Synthetic.default with domains = 8; sharing; shared_frac = 0.8;
+      refs = 30_000 }
+  in
+  let m, _ =
+    Experiment.run_on Sys_select.Page_group config (fun sys ->
+        Synthetic.run ~params sys)
+  in
+  m
+
+let run () =
+  let buf = Buffer.create 4096 in
+  let g = Geometry.default in
+  let plb_bits = Geometry.plb_entry_bits g in
+  let pg_bits = Geometry.pg_tlb_entry_bits g in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Equal silicon budget: a PLB entry is %d bits, a page-group TLB \
+        entry %d bits,\nso a fixed bit budget buys the PLB %.2fx the \
+        entries. Synthetic sharing workload,\n8 domains, sharing degree 4 \
+        and 8.\n\n"
+       plb_bits pg_bits
+       (float_of_int pg_bits /. float_of_int plb_bits));
+  let t =
+    Tablefmt.create
+      [
+        ("budget (Kbit)", Tablefmt.Right);
+        ("plb entries", Tablefmt.Right);
+        ("pg-TLB entries", Tablefmt.Right);
+        ("share", Tablefmt.Right);
+        ("plb miss%", Tablefmt.Right);
+        ("pg prot miss%", Tablefmt.Right);
+        ("plb cyc/acc", Tablefmt.Right);
+        ("pg cyc/acc", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun kbit ->
+      let bits = kbit * 1024 in
+      let plb_entries = entries_for_budget ~bits ~entry_bits:plb_bits in
+      let pg_entries = entries_for_budget ~bits ~entry_bits:pg_bits in
+      List.iter
+        (fun sharing ->
+          let mp = run_plb ~entries:plb_entries ~sharing in
+          let mg = run_pg ~entries:pg_entries ~sharing in
+          Tablefmt.add_row t
+            [
+              string_of_int kbit;
+              string_of_int plb_entries;
+              string_of_int pg_entries;
+              string_of_int sharing;
+              Tablefmt.cell_float (100.0 *. Metrics.plb_miss_ratio mp);
+              Tablefmt.cell_float (100.0 *. Metrics.tlb_miss_ratio mg);
+              Tablefmt.cell_float
+                (Experiment.per mp.Metrics.cycles mp.Metrics.accesses);
+              Tablefmt.cell_float
+                (Experiment.per mg.Metrics.cycles mg.Metrics.accesses);
+            ])
+        [ 4; 8 ];
+      Tablefmt.add_sep t)
+    [ 4; 8; 16; 32 ];
+  Buffer.add_string buf (Tablefmt.render t);
+  Buffer.add_string buf
+    "\nThe extra entries narrow (but under heavy sharing do not close) \
+     the duplication gap: duplication scales with the sharing degree, the \
+     density advantage is a fixed 1.37x.\n";
+  Buffer.contents buf
+
+let experiment =
+  {
+    Experiment.id = "area_fair";
+    title = "Equal-silicon comparison of PLB and page-group TLB";
+    paper_ref = "§4 (entry-size note)";
+    description =
+      "Fix the bit budget instead of the entry count: the PLB's smaller \
+       entries buy ~1.37x the entries; measure how far that offsets \
+       per-domain entry duplication under sharing.";
+    run;
+  }

@@ -1,0 +1,106 @@
+(** Where the cycles go: for each Table 1 workload and machine, the share
+    of simulated time spent on protection handling, translation handling,
+    the memory hierarchy, and disk. This decomposes the table1 totals into
+    the terms the paper's arguments are actually about — e.g. that the
+    page-group model converts protection misses into TLB work, or that the
+    PLB's costs concentrate in refills under sharing. *)
+
+open Sasos_hw
+open Sasos_machine
+open Sasos_util
+
+type parts = {
+  protection : int;  (** PLB/pg-cache refills, faults, grants, sweeps *)
+  translation : int;  (** TLB refills *)
+  memory : int;  (** cache hits/misses/writebacks/flushes *)
+  disk : int;
+  kernel : int;  (** traps and table work *)
+}
+
+let decompose (m : Metrics.t) =
+  let c = Sasos_os.Config.default.Sasos_os.Config.cost in
+  {
+    protection =
+      (m.Metrics.plb_refills * c.Cost_model.plb_refill)
+      + (m.Metrics.pg_refills * c.Cost_model.pg_refill)
+      + (m.Metrics.entries_inspected * c.Cost_model.purge_per_entry);
+    translation = m.Metrics.tlb_refills * c.Cost_model.tlb_refill;
+    memory =
+      (m.Metrics.cache_hits * c.Cost_model.cache_hit)
+      + (m.Metrics.l2_hits * c.Cost_model.l2_hit)
+      + ((m.Metrics.cache_misses - m.Metrics.l2_hits) * c.Cost_model.cache_miss)
+      + (m.Metrics.cache_writebacks * c.Cost_model.cache_writeback)
+      + (m.Metrics.cache_lines_flushed * c.Cost_model.cache_line_flush);
+    disk =
+      (m.Metrics.page_ins * c.Cost_model.page_in)
+      + (m.Metrics.page_outs * c.Cost_model.page_out);
+    kernel = m.Metrics.kernel_entries * c.Cost_model.kernel_trap;
+  }
+
+let run () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Cycle composition per workload and machine (percentages of non-disk \
+     cycles; disk shown\nseparately because it is model-independent):\n\n";
+  let t =
+    Tablefmt.create
+      [
+        ("workload", Tablefmt.Left);
+        ("model", Tablefmt.Left);
+        ("kernel%", Tablefmt.Right);
+        ("protection%", Tablefmt.Right);
+        ("translation%", Tablefmt.Right);
+        ("memory%", Tablefmt.Right);
+        ("disk cycles", Tablefmt.Right);
+      ]
+  in
+  let workloads =
+    List.filter
+      (fun e -> Option.is_some e.Sasos_workloads.Registry.table1_row)
+      Sasos_workloads.Registry.all
+  in
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun variant ->
+          let m, _ =
+            Experiment.run_on variant Sasos_os.Config.default
+              entry.Sasos_workloads.Registry.run
+          in
+          let p = decompose m in
+          let base =
+            float_of_int (p.protection + p.translation + p.memory + p.kernel)
+          in
+          let pct x = Tablefmt.cell_pct (float_of_int x) base in
+          Tablefmt.add_row t
+            [
+              entry.Sasos_workloads.Registry.name;
+              Sys_select.to_string variant;
+              pct p.kernel;
+              pct p.protection;
+              pct p.translation;
+              pct p.memory;
+              Tablefmt.cell_int p.disk;
+            ])
+        [ Sys_select.Plb; Sys_select.Page_group ];
+      Tablefmt.add_sep t)
+    workloads;
+  Buffer.add_string buf (Tablefmt.render t);
+  Buffer.add_string buf
+    "\nThe kernel share is trap overhead: the models differ mostly in how \
+     often they must\nenter the kernel (protection misses and fixes) and \
+     in what the handler then touches\n(one PLB entry vs a regroup; a \
+     sweep vs a pg-cache drop).\n";
+  Buffer.contents buf
+
+let experiment =
+  {
+    Experiment.id = "breakdown";
+    title = "Cycle composition per workload";
+    paper_ref = "Table 1 (cost attribution)";
+    description =
+      "Decompose each Table 1 workload's simulated cycles into kernel, \
+       protection, translation, memory-hierarchy and disk components, for \
+       both single-address-space machines.";
+    run;
+  }

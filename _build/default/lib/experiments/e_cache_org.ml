@@ -1,0 +1,89 @@
+(** §2.2 quantified: a single address space removes the synonym and homonym
+    obstacles to virtually indexed, virtually tagged caches.
+
+    The same switch-heavy shared-memory workload (RPC ping-pong) runs on:
+    - the SAS PLB machine with VIVT, VIPT and PIPT caches (VIVT is safe:
+      no synonyms, nothing flushed on switch);
+    - the MAS ASID machine with a space-tagged VIVT cache (homonyms are
+      avoided by the tag, but the shared message pages become genuine
+      synonyms — a write-coherence hazard, counted);
+    - the MAS flush machine (i860 regime: correct but pays full cache and
+      TLB flushes on every switch). *)
+
+open Sasos_hw
+open Sasos_machine
+open Sasos_util
+open Sasos_workloads
+
+type cfg = {
+  label : string;
+  variant : Sys_select.variant;
+  org : Data_cache.org;
+}
+
+let cfgs =
+  [
+    { label = "SAS plb + VIVT"; variant = Sys_select.Plb; org = Data_cache.Vivt };
+    { label = "SAS plb + VIPT"; variant = Sys_select.Plb; org = Data_cache.Vipt };
+    { label = "SAS plb + PIPT"; variant = Sys_select.Plb; org = Data_cache.Pipt };
+    {
+      label = "MAS asid + VIVT";
+      variant = Sys_select.Conv_asid;
+      org = Data_cache.Vivt;
+    };
+    {
+      label = "MAS flush + VIVT";
+      variant = Sys_select.Conv_flush;
+      org = Data_cache.Vivt;
+    };
+  ]
+
+let run () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "RPC ping-pong (2,000 calls, shared message pages) under different \
+     cache organizations and addressing disciplines:\n\n";
+  let t =
+    Tablefmt.create
+      [
+        ("configuration", Tablefmt.Left);
+        ("cache miss%", Tablefmt.Right);
+        ("lines flushed", Tablefmt.Right);
+        ("synonym fills", Tablefmt.Right);
+        ("cycles", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun c ->
+      let config = Sasos_os.Config.v ~cache_org:c.org () in
+      let m, _ =
+        Experiment.run_on c.variant config (fun sys -> Rpc.run sys)
+      in
+      Tablefmt.add_row t
+        [
+          c.label;
+          Tablefmt.cell_float (100.0 *. Metrics.cache_miss_ratio m);
+          Tablefmt.cell_int m.Metrics.cache_lines_flushed;
+          Tablefmt.cell_int m.Metrics.cache_synonyms;
+          Tablefmt.cell_int m.Metrics.cycles;
+        ])
+    cfgs;
+  Buffer.add_string buf (Tablefmt.render t);
+  Buffer.add_string buf
+    "\nExpected shape: SAS VIVT has zero synonym fills and zero \
+     switch-driven flushes; MAS ASID VIVT accumulates synonym fills on the \
+     write-shared pages (a correctness hazard real systems must forbid or \
+     flush around); MAS flush pays cold misses after every switch.\n";
+  Buffer.contents buf
+
+let experiment =
+  {
+    Experiment.id = "cache_org";
+    title = "Virtually indexed caches: SAS vs MAS";
+    paper_ref = "§2.2";
+    description =
+      "Synonym and homonym behaviour of VIVT/VIPT/PIPT data caches under \
+       single and multiple address spaces, on a switch-heavy shared-memory \
+       workload.";
+    run;
+  }

@@ -1,0 +1,159 @@
+(** The paper's concluding question, §6: "it will be hard to tell which
+    model can take best advantage ... Many of the answers will depend on
+    how the systems will be used, i.e., which operations are most common."
+
+    This experiment sweeps exactly that: the rate of per-domain protection
+    changes relative to plain sharing. Two domains share a segment; every
+    K references the current domain takes an exclusive write lock on a hot
+    page (per-domain grant + revoke) and later releases it. At large K
+    (static sharing) the page-group model should win — one TLB entry per
+    page, no duplication. As K shrinks (protection changes dominate) each
+    change costs the page-group OS a regroup, and the PLB's
+    one-entry-update advantage takes over. We report the measured
+    crossover.
+
+    The server-structured OS workload (§2.1's motivating scenario) is run
+    at the end as a realistic mixed point. *)
+
+open Sasos_addr
+open Sasos_hw
+open Sasos_machine
+open Sasos_os
+open Sasos_util
+open Sasos_workloads
+
+let refs = 40_000
+
+let run_one variant ~pages ~lock_period =
+  let sys = Sys_select.make variant Sasos_os.Config.default in
+  let rng = Prng.create ~seed:211 in
+  let d0 = System_ops.new_domain sys in
+  let d1 = System_ops.new_domain sys in
+  let seg = System_ops.new_segment sys ~pages () in
+  System_ops.attach sys d0 seg Rights.rw;
+  System_ops.attach sys d1 seg Rights.rw;
+  let zipf = Zipf.create ~n:pages ~theta:0.8 in
+  let domains = [| d0; d1 |] in
+  let locked = ref None in
+  let cur = ref 0 in
+  System_ops.switch_domain sys d0;
+  for step = 0 to refs - 1 do
+    if step mod 100 = 0 then begin
+      cur := 1 - !cur;
+      System_ops.switch_domain sys domains.(!cur)
+    end;
+    if lock_period > 0 && step mod lock_period = 0 then begin
+      let holder = domains.(!cur) and other = domains.(1 - !cur) in
+      (* release the previous lock, take a new exclusive one *)
+      (match !locked with
+      | Some (h, o, va) ->
+          System_ops.grant sys h va Rights.rw;
+          System_ops.grant sys o va Rights.rw;
+          ignore (h, o)
+      | None -> ());
+      let va = Segment.page_va seg (Zipf.sample zipf rng) in
+      System_ops.grant sys holder va Rights.rw;
+      System_ops.grant sys other va Rights.none;
+      locked := Some (holder, other, va)
+    end;
+    (* reference stream avoiding the page locked away from us *)
+    let rec pick () =
+      let va = Segment.page_va seg (Zipf.sample zipf rng) in
+      match !locked with
+      | Some (_, o, lva) when Pd.equal o domains.(!cur) && lva = va -> pick ()
+      | _ -> va
+    in
+    let kind = if Prng.bernoulli rng 0.3 then Access.Write else Access.Read in
+    System_ops.must_ok sys kind (pick ())
+  done;
+  Metrics.copy (System_ops.metrics sys)
+
+let run () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Two domains share one segment; every K references the running domain \
+     takes an exclusive\nper-domain write lock (grant rw / revoke other); \
+     K=static means no protection changes.\nCells are (page-group cycles / \
+     PLB cycles): <1 page-group wins, >1 PLB wins.\nBoth structures hold 64 \
+     entries; the PLB needs 2 entries per shared page, so segments\nbeyond \
+     32 pages exceed its reach while the page-group TLB still fits.\n\n";
+  let sizes = [ 16; 24; 32; 48; 64 ] in
+  let t =
+    Tablefmt.create
+      (("lock period K", Tablefmt.Right)
+      :: List.map
+           (fun p -> (Printf.sprintf "%d pages" p, Tablefmt.Right))
+           sizes)
+  in
+  List.iter
+    (fun lock_period ->
+      let cells =
+        List.map
+          (fun pages ->
+            let mp = run_one Sys_select.Plb ~pages ~lock_period in
+            let mg = run_one Sys_select.Page_group ~pages ~lock_period in
+            Tablefmt.cell_ratio
+              (float_of_int mg.Metrics.cycles)
+              (float_of_int mp.Metrics.cycles))
+          sizes
+      in
+      Tablefmt.add_row t
+        ((if lock_period = 0 then "static" else string_of_int lock_period)
+        :: cells))
+    [ 0; 2000; 500; 100; 25; 10; 5 ];
+  Buffer.add_string buf (Tablefmt.render t);
+  Buffer.add_string buf
+    "\nExpected shape (§4.1.2): the page-group model wins when sharing is \
+     static and working sets\nexceed PLB reach (upper right); the PLB wins \
+     when protection changes are frequent and its\nreach suffices (lower \
+     left). The frontier is the paper's \"it depends on which operations\n\
+     are most common\".\n";
+  Buffer.add_string buf
+    "\nServer-structured OS (the mixed realistic point, §2.1):\n\n";
+  let t2 =
+    Tablefmt.create
+      [
+        ("model", Tablefmt.Left);
+        ("cycles", Tablefmt.Right);
+        ("prot miss%", Tablefmt.Right);
+        ("regroups", Tablefmt.Right);
+        ("sweep slots", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun variant ->
+      let m, _ =
+        Experiment.run_on variant Sasos_os.Config.default (fun sys ->
+            ignore (Server_os.run sys))
+      in
+      let prot_miss =
+        match variant with
+        | Sys_select.Plb -> Metrics.plb_miss_ratio m
+        | Sys_select.Page_group -> Metrics.pg_miss_ratio m
+        | Sys_select.Conv_asid | Sys_select.Conv_flush ->
+            Metrics.tlb_miss_ratio m
+      in
+      Tablefmt.add_row t2
+        [
+          Sys_select.to_string variant;
+          Tablefmt.cell_int m.Metrics.cycles;
+          Tablefmt.cell_float (100.0 *. prot_miss);
+          Tablefmt.cell_int m.Metrics.regroups;
+          Tablefmt.cell_int m.Metrics.entries_inspected;
+        ])
+    [ Sys_select.Plb; Sys_select.Page_group; Sys_select.Conv_asid ];
+  Buffer.add_string buf (Tablefmt.render t2);
+  Buffer.contents buf
+
+let experiment =
+  {
+    Experiment.id = "crossover";
+    title = "Where the models trade places";
+    paper_ref = "§4.1.2, §6";
+    description =
+      "Sweep the frequency of per-domain protection changes against plain \
+       sharing and report the measured crossover between the domain-page \
+       and page-group models, plus a server-structured OS as the realistic \
+       mixed point.";
+    run;
+  }

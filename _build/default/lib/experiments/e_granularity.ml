@@ -1,0 +1,149 @@
+(** §4.3 quantified: decoupling protection granularity from translation
+    granularity, which the PLB makes possible because protection and
+    translation live in separate structures.
+
+    Part A — sub-page protection: two domains write-lock disjoint 64-byte
+    objects that interleave within 4 KB pages (the IBM 801's database
+    scenario, which motivated its 128-byte lock grain). With page-grain
+    protection the domains falsely share every unit and ownership thrashes;
+    at 128-byte grain the conflicts vanish.
+
+    Part B — super-page protection: a large segment with uniform rights can
+    be covered by a single coarse PLB entry (the segment must be aligned to
+    a power-of-two boundary), collapsing the per-page entry working set. *)
+
+open Sasos_addr
+open Sasos_hw
+open Sasos_machine
+open Sasos_os
+open Sasos_util
+
+(* Two writers over interleaved objects; ownership per protection unit is
+   transferred on fault. *)
+let false_sharing_run ~prot_shift =
+  let geom = Geometry.v ~prot_shift () in
+  let config = Sasos_os.Config.v ~geom () in
+  let sys = Sys_select.make Sys_select.Plb config in
+  let rng = Prng.create ~seed:103 in
+  let d0 = System_ops.new_domain sys and d1 = System_ops.new_domain sys in
+  let pages = 32 in
+  let seg = System_ops.new_segment sys ~name:"objects" ~pages () in
+  System_ops.attach sys d0 seg Rights.none;
+  System_ops.attach sys d1 seg Rights.none;
+  let object_bytes = 64 in
+  let objects = pages * (4096 / object_bytes) in
+  let owner : (int, Pd.t) Hashtbl.t = Hashtbl.create 256 in
+  let transfers = ref 0 in
+  let os = System_ops.os sys in
+  let zipf = Zipf.create ~n:(objects / 2) ~theta:0.6 in
+  let write_obj d other slot_parity =
+    (* objects interleave: domain 0 takes even slots, domain 1 odd *)
+    let i = (2 * Zipf.sample zipf rng) + slot_parity in
+    let va = seg.Segment.base + (i * object_bytes) in
+    System_ops.with_fault_handler sys Access.Write va ~handler:(fun () ->
+        let unit = Os_core.prot_unit os va in
+        (match Hashtbl.find_opt owner unit with
+        | Some o when not (Pd.equal o d) ->
+            incr transfers;
+            System_ops.grant sys other va Rights.none
+        | Some _ | None -> ());
+        Hashtbl.replace owner unit d;
+        System_ops.grant sys d va Rights.rw)
+  in
+  let rounds = 2_000 in
+  let per_round = 4 in
+  for _ = 1 to rounds do
+    System_ops.switch_domain sys d0;
+    for _ = 1 to per_round do
+      write_obj d0 d1 0
+    done;
+    System_ops.switch_domain sys d1;
+    for _ = 1 to per_round do
+      write_obj d1 d0 1
+    done
+  done;
+  (Metrics.copy (System_ops.metrics sys), !transfers)
+
+let superpage_run ~shifts =
+  let config = Sasos_os.Config.v ~plb_shifts:shifts () in
+  let sys = Sys_select.make Sys_select.Plb config in
+  let rng = Prng.create ~seed:107 in
+  let d = System_ops.new_domain sys in
+  let pages = 1024 (* 4 MB: exactly one 2^22 protection region *) in
+  let seg =
+    System_ops.new_segment sys ~name:"big" ~align_shift:22 ~pages ()
+  in
+  System_ops.attach sys d seg Rights.rw;
+  System_ops.switch_domain sys d;
+  for _ = 1 to 30_000 do
+    let idx = Prng.int rng pages in
+    System_ops.must_ok sys Access.Read (Segment.page_va seg idx)
+  done;
+  Metrics.copy (System_ops.metrics sys)
+
+let run () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Part A: write-lock thrashing of two domains on interleaved 64 B \
+     objects vs protection grain (PLB machine; translation pages fixed at \
+     4 KB):\n\n";
+  let t =
+    Tablefmt.create
+      [
+        ("protection grain", Tablefmt.Right);
+        ("prot faults", Tablefmt.Right);
+        ("ownership transfers", Tablefmt.Right);
+        ("grants", Tablefmt.Right);
+        ("cycles", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun prot_shift ->
+      let m, transfers = false_sharing_run ~prot_shift in
+      Tablefmt.add_row t
+        [
+          Printf.sprintf "%d B" (1 lsl prot_shift);
+          Tablefmt.cell_int m.Metrics.protection_faults;
+          Tablefmt.cell_int transfers;
+          Tablefmt.cell_int m.Metrics.grants;
+          Tablefmt.cell_int m.Metrics.cycles;
+        ])
+    [ 6; 7; 9; 12; 14 ];
+  Buffer.add_string buf (Tablefmt.render t);
+  Buffer.add_string buf
+    "\nPart B: single coarse PLB entry covering an aligned 4 MB segment \
+     with uniform rights (multi-size PLB) vs page-grain entries only:\n\n";
+  let t2 =
+    Tablefmt.create
+      [
+        ("PLB page sizes", Tablefmt.Left);
+        ("plb miss%", Tablefmt.Right);
+        ("plb refills", Tablefmt.Right);
+        ("cycles", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun (label, shifts) ->
+      let m = superpage_run ~shifts in
+      Tablefmt.add_row t2
+        [
+          label;
+          Tablefmt.cell_float (100.0 *. Metrics.plb_miss_ratio m);
+          Tablefmt.cell_int m.Metrics.plb_refills;
+          Tablefmt.cell_int m.Metrics.cycles;
+        ])
+    [ ("4 KB only", [ 12 ]); ("4 KB + 4 MB", [ 12; 22 ]) ];
+  Buffer.add_string buf (Tablefmt.render t2);
+  Buffer.contents buf
+
+let experiment =
+  {
+    Experiment.id = "granularity";
+    title = "Protection grain decoupled from translation grain";
+    paper_ref = "§4.3";
+    description =
+      "Sub-page protection removes false sharing between write-locking \
+       domains; super-page protection lets one PLB entry cover a uniform \
+       segment. Both are possible because the PLB holds no translations.";
+    run;
+  }

@@ -1,0 +1,97 @@
+(** Table 1's per-operation costs measured directly: set up a machine with
+    warm structures, then meter exactly one operation of each kind.
+
+    This is the per-cell quantification of Table 1: what does a single
+    attach, detach, domain switch, per-domain page-rights change,
+    all-domain page-rights change, whole-segment rights change, and page
+    unmap cost on each model? *)
+
+open Sasos_addr
+open Sasos_hw
+open Sasos_machine
+open Sasos_os
+open Sasos_util
+
+let ops =
+  [ "attach"; "detach"; "switch"; "grant page"; "protect page (all)";
+    "protect segment"; "unmap page" ]
+
+let measure variant =
+  let config = Sasos_os.Config.default in
+  let sys = Sys_select.make variant config in
+  let d0 = System_ops.new_domain sys in
+  let d1 = System_ops.new_domain sys in
+  let seg = System_ops.new_segment sys ~name:"work" ~pages:32 () in
+  let spare = System_ops.new_segment sys ~name:"spare" ~pages:32 () in
+  System_ops.attach sys d0 seg Rights.rw;
+  System_ops.attach sys d1 seg Rights.rw;
+  (* warm the structures: both domains touch the segment *)
+  System_ops.switch_domain sys d0;
+  for i = 0 to 31 do
+    System_ops.must_ok sys Access.Write (Segment.page_va seg i)
+  done;
+  System_ops.switch_domain sys d1;
+  for i = 0 to 31 do
+    System_ops.must_ok sys Access.Read (Segment.page_va seg i)
+  done;
+  System_ops.switch_domain sys d0;
+  let page = Segment.page_va seg 3 in
+  let meter op = (Experiment.metrics_of_op sys op).Metrics.cycles in
+  [
+    meter (fun () -> System_ops.attach sys d0 spare Rights.rw);
+    meter (fun () -> System_ops.detach sys d0 spare);
+    meter (fun () -> System_ops.switch_domain sys d1);
+    meter (fun () -> System_ops.grant sys d0 page Rights.r);
+    meter (fun () -> System_ops.protect_all sys page Rights.r);
+    meter (fun () -> System_ops.protect_segment sys d0 seg Rights.r);
+    meter (fun () ->
+        System_ops.unmap_page sys (Va.vpn_of_va Geometry.default page));
+  ]
+
+let run () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Cycles for one operation on warm structures (32-page segment shared \
+     by two domains; cost model of DESIGN.md §4):\n\n";
+  let variants =
+    [
+      Sys_select.Plb; Sys_select.Page_group; Sys_select.Conv_asid;
+      Sys_select.Conv_flush;
+    ]
+  in
+  let results = List.map (fun v -> (v, measure v)) variants in
+  let t =
+    Tablefmt.create
+      (("operation", Tablefmt.Left)
+      :: List.map
+           (fun v -> (Sys_select.to_string v, Tablefmt.Right))
+           variants)
+  in
+  List.iteri
+    (fun i op ->
+      Tablefmt.add_row t
+        (op
+        :: List.map
+             (fun (_, cycles) -> Tablefmt.cell_int (List.nth cycles i))
+             results))
+    ops;
+  Buffer.add_string buf (Tablefmt.render t);
+  Buffer.add_string buf
+    "\nExpected shape (Table 1): attach cheap everywhere; detach = PLB \
+     sweep vs one pg-cache drop; switch = one register write (PLB) vs \
+     pg-cache purge vs TLB+cache flush (conv-flush); per-domain grant = one \
+     PLB entry vs page regroup; all-domain protect = PLB sweep vs one TLB \
+     entry; whole-segment protect = sweep (PLB/conv) vs home-group \
+     rebuild.\n";
+  Buffer.contents buf
+
+let experiment =
+  {
+    Experiment.id = "micro_ops";
+    title = "Single-operation costs per model";
+    paper_ref = "Table 1 (per cell)";
+    description =
+      "Metered cycle cost of one attach / detach / domain switch / rights \
+       change / unmap on each machine with warm hardware structures.";
+    run;
+  }

@@ -1,0 +1,107 @@
+(** §2.2/§3.2.1's off-chip TLB argument quantified.
+
+    With a PLB beside a VIVT cache, "address translation is required only
+    on the small percentage of accesses that either miss in the cache or
+    require a writeback. The TLB can therefore be moved out of the
+    critical path ... An advantage of moving the TLB off-chip is that it
+    permits a larger TLB than that typically found in microprocessors."
+
+    The page-group machine cannot exploit this: its TLB carries the
+    protection check and must be consulted (on chip, small) on every
+    reference. This experiment sweeps the PLB machine's TLB size while
+    the page-group machine stays at 64 on-chip entries, on a workload
+    whose page working set exceeds 64 pages. *)
+
+open Sasos_hw
+open Sasos_machine
+open Sasos_util
+open Sasos_workloads
+
+let params =
+  { Synthetic.default with domains = 2; shared_segments = 2; sharing = 2;
+    private_pages = 256; shared_pages = 256; refs = 40_000; theta = 0.4;
+    switch_period = 500 }
+
+let run_with ?(l2_bytes = 0) variant ~tlb_entries =
+  let config =
+    Sasos_os.Config.v ~tlb_sets:1 ~tlb_ways:tlb_entries ~l2_bytes ()
+  in
+  let m, _ =
+    Experiment.run_on variant config (fun sys -> Synthetic.run ~params sys)
+  in
+  m
+
+let run () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Working set ~512 pages, 2 domains. The PLB machine's TLB sits behind \
+     the VIVT cache\n(consulted only on cache misses) and can grow off \
+     chip; the page-group TLB is on the\ncritical path and fixed at 64 \
+     entries.\n\n";
+  let t =
+    Tablefmt.create
+      [
+        ("configuration", Tablefmt.Left);
+        ("tlb entries", Tablefmt.Right);
+        ("tlb lookups", Tablefmt.Right);
+        ("tlb miss%", Tablefmt.Right);
+        ("tlb refills", Tablefmt.Right);
+        ("cyc/acc", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun entries ->
+      let m = run_with Sys_select.Plb ~tlb_entries:entries in
+      Tablefmt.add_row t
+        [
+          "plb (off-chip TLB)";
+          string_of_int entries;
+          Tablefmt.cell_int (m.Metrics.tlb_hits + m.Metrics.tlb_misses);
+          Tablefmt.cell_float (100.0 *. Metrics.tlb_miss_ratio m);
+          Tablefmt.cell_int m.Metrics.tlb_refills;
+          Tablefmt.cell_float (Experiment.per m.Metrics.cycles m.Metrics.accesses);
+        ])
+    [ 64; 128; 256; 512; 1024 ];
+  Tablefmt.add_sep t;
+  (* the paper's full proposal: VIVT L1 + unified physical L2, with the
+     large TLB at the L2 controller *)
+  let m = run_with ~l2_bytes:(1024 * 1024) Sys_select.Plb ~tlb_entries:1024 in
+  Tablefmt.add_row t
+    [
+      "plb + 1MB L2 (TLB at L2 ctl)";
+      "1024";
+      Tablefmt.cell_int (m.Metrics.tlb_hits + m.Metrics.tlb_misses);
+      Tablefmt.cell_float (100.0 *. Metrics.tlb_miss_ratio m);
+      Tablefmt.cell_int m.Metrics.tlb_refills;
+      Tablefmt.cell_float (Experiment.per m.Metrics.cycles m.Metrics.accesses);
+    ];
+  Tablefmt.add_sep t;
+  let m = run_with Sys_select.Page_group ~tlb_entries:64 in
+  Tablefmt.add_row t
+    [
+      "page-group (on-chip TLB)";
+      "64";
+      Tablefmt.cell_int (m.Metrics.tlb_hits + m.Metrics.tlb_misses);
+      Tablefmt.cell_float (100.0 *. Metrics.tlb_miss_ratio m);
+      Tablefmt.cell_int m.Metrics.tlb_refills;
+      Tablefmt.cell_float (Experiment.per m.Metrics.cycles m.Metrics.accesses);
+    ];
+  Buffer.add_string buf (Tablefmt.render t);
+  Buffer.add_string buf
+    "\nTwo effects, both from the paper: the PLB machine's TLB sees only \
+     cache-miss traffic\n(an order of magnitude fewer lookups), and \
+     growing it off-chip drives refills toward\nzero — an option the \
+     page-group model forecloses because protection rides in its TLB.\n";
+  Buffer.contents buf
+
+let experiment =
+  {
+    Experiment.id = "off_chip_tlb";
+    title = "Moving the TLB off the critical path";
+    paper_ref = "§2.2, §3.2.1";
+    description =
+      "TLB traffic and miss behaviour when translation is needed only on \
+       cache misses (PLB machine) and the TLB can grow off-chip, vs the \
+       page-group model's mandatory on-chip TLB.";
+    run;
+  }

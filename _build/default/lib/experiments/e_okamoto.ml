@@ -1,0 +1,123 @@
+(** §5 related work, implemented: Okamoto et al.'s execution-point
+    protection as an extension of the domain-page model.
+
+    The payoff case is protected-object invocation. Under conventional
+    protection, a client must cross into a server domain (an RPC: two
+    domain switches plus message traffic) to touch data it may not access
+    directly. With execution-point grants, the object's data segment is
+    guarded by its code segment: the client jumps into the object's code
+    (one context-register write), the code accesses the data through the
+    context-tagged PLB entries, and returns — no domain switch, no server
+    domain, no marshalling. *)
+
+open Sasos_addr
+open Sasos_hw
+open Sasos_machine
+open Sasos_os
+open Sasos_util
+
+let calls = 5_000
+let object_pages = 4
+
+(* Baseline: the object lives behind a server domain, reached by RPC. *)
+let rpc_baseline () =
+  let sys = Sys_select.make Sys_select.Plb Sasos_os.Config.default in
+  let client = System_ops.new_domain sys in
+  let server = System_ops.new_domain sys in
+  let data = System_ops.new_segment sys ~name:"object" ~pages:object_pages () in
+  let msg = System_ops.new_segment sys ~name:"msg" ~pages:1 () in
+  System_ops.attach sys server data Rights.rw;
+  System_ops.attach sys client msg Rights.rw;
+  System_ops.attach sys server msg Rights.rw;
+  let rng = Prng.create ~seed:301 in
+  System_ops.switch_domain sys client;
+  for _ = 1 to calls do
+    System_ops.must_ok sys Access.Write (Segment.page_va msg 0);
+    System_ops.switch_domain sys server;
+    System_ops.must_ok sys Access.Read (Segment.page_va msg 0);
+    System_ops.must_ok sys Access.Write
+      (Segment.page_va data (Prng.int rng object_pages));
+    System_ops.must_ok sys Access.Write (Segment.page_va msg 0);
+    System_ops.switch_domain sys client;
+    System_ops.must_ok sys Access.Read (Segment.page_va msg 0)
+  done;
+  Metrics.copy (System_ops.metrics sys)
+
+(* Okamoto: the object's data is guarded by its code; the client invokes
+   the method in place. *)
+let guarded_invocation () =
+  let t = Plb_machine.create Sasos_os.Config.default in
+  let sys =
+    System_intf.Packed
+      ((module Plb_machine : System_intf.SYSTEM with type t = Plb_machine.t),
+       t)
+  in
+  let client = System_ops.new_domain sys in
+  let data = System_ops.new_segment sys ~name:"object" ~pages:object_pages () in
+  let code = System_ops.new_segment sys ~name:"methods" ~pages:2 () in
+  (* the client may execute the methods but cannot touch the data *)
+  System_ops.attach sys client code Rights.rx;
+  System_ops.attach sys client data Rights.none;
+  Plb_machine.guard_segment t ~data ~code Rights.rw;
+  let rng = Prng.create ~seed:301 in
+  System_ops.switch_domain sys client;
+  for _ = 1 to calls do
+    (* call: jump into the object's code *)
+    Plb_machine.set_code_context t (Some code);
+    System_ops.must_ok sys Access.Execute (Segment.page_va code 0);
+    (* the method touches the protected state *)
+    System_ops.must_ok sys Access.Write
+      (Segment.page_va data (Prng.int rng object_pages));
+    (* return *)
+    Plb_machine.set_code_context t None
+  done;
+  Metrics.copy (Plb_machine.metrics t)
+
+let run () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Protected-object invocation, %d calls on a %d-page object:\n\n"
+       calls object_pages);
+  let t =
+    Tablefmt.create
+      [
+        ("mechanism", Tablefmt.Left);
+        ("cycles/call", Tablefmt.Right);
+        ("switches", Tablefmt.Right);
+        ("kernel entries", Tablefmt.Right);
+        ("accesses/call", Tablefmt.Right);
+      ]
+  in
+  let add label (m : Metrics.t) =
+    Tablefmt.add_row t
+      [
+        label;
+        Tablefmt.cell_float (Experiment.per m.Metrics.cycles calls);
+        Tablefmt.cell_int m.Metrics.domain_switches;
+        Tablefmt.cell_int m.Metrics.kernel_entries;
+        Tablefmt.cell_float (Experiment.per m.Metrics.accesses calls);
+      ]
+  in
+  add "RPC into a server domain" (rpc_baseline ());
+  add "execution-point guard (Okamoto)" (guarded_invocation ());
+  Buffer.add_string buf (Tablefmt.render t);
+  Buffer.add_string buf
+    "\nThe guarded call does no domain switches and no message traffic: \
+     entering the object's\ncode is one register write, and the guard's \
+     context-tagged PLB entries make the data\naccesses ordinary hits. \
+     This is the §5 observation that the domain-page model generalizes\n\
+     to execution-point protection, implemented.\n";
+  Buffer.contents buf
+
+let experiment =
+  {
+    Experiment.id = "okamoto";
+    title = "Execution-point protection (protected objects without switches)";
+    paper_ref = "§5 (Okamoto et al.)";
+    description =
+      "The related-work extension of the domain-page model: data guarded \
+       by the code executing on it, invoked in place, compared against an \
+       RPC into a server domain.";
+    run;
+  }

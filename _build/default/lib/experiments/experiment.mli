@@ -1,0 +1,31 @@
+(** Experiment framework: each experiment reproduces one table, figure or
+    quantified claim of the paper and renders a plain-text report. *)
+
+open Sasos_hw
+open Sasos_os
+
+type t = {
+  id : string;  (** stable CLI name, e.g. ["table1"] *)
+  title : string;
+  paper_ref : string;  (** e.g. ["Table 1"], ["Figure 2"], ["§4.1.4"] *)
+  description : string;
+  run : unit -> string;  (** the rendered report *)
+}
+
+val run_on :
+  Sasos_machine.Sys_select.variant ->
+  Config.t ->
+  (System_intf.packed -> unit) ->
+  Metrics.t * System_intf.packed
+(** Fresh machine of the given model; run the workload; return the final
+    metrics together with the machine (for post-run probes). *)
+
+val metrics_of_op : System_intf.packed -> (unit -> unit) -> Metrics.t
+(** Counter delta across one operation on a live machine — for
+    micro-measuring a single attach/detach/switch. *)
+
+val per : int -> int -> float
+(** [per num den] = average with zero-guard. *)
+
+val header : t -> string
+(** Standard report header naming the experiment and its paper artifact. *)

@@ -1,0 +1,9 @@
+(** All experiments, indexed by id, in presentation order. *)
+
+val all : Experiment.t list
+val find : string -> Experiment.t option
+val ids : string list
+
+val run_all : unit -> string
+(** Run every experiment and concatenate the reports — the full
+    reproduction of the paper's tables and figures. *)

@@ -1,0 +1,1 @@
+lib/hw/assoc_cache.ml: Array Option Replacement Sasos_util

@@ -1,0 +1,1 @@
+lib/hw/assoc_cache.mli: Replacement

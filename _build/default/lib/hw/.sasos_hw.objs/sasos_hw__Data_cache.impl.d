@@ -1,0 +1,1 @@
+lib/hw/data_cache.ml: Array Bits Hashtbl Option Prng Replacement Sasos_util

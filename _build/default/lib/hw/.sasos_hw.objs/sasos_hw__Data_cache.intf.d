@@ -1,0 +1,1 @@
+lib/hw/data_cache.mli: Replacement Sasos_addr Va

@@ -1,0 +1,1 @@
+lib/hw/metrics.ml: Format List

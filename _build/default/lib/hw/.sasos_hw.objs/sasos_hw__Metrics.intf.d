@@ -1,0 +1,1 @@
+lib/hw/metrics.mli: Format

@@ -1,0 +1,1 @@
+lib/hw/page_group_cache.ml: Assoc_cache

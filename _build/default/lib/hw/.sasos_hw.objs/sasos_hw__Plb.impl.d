@@ -1,0 +1,1 @@
+lib/hw/plb.ml: Assoc_cache List Pd Rights Sasos_addr

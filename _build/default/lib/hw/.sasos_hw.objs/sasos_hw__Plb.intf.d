@@ -1,0 +1,1 @@
+lib/hw/plb.mli: Pd Replacement Rights Sasos_addr Va

@@ -1,0 +1,1 @@
+lib/hw/replacement.ml: Format String

@@ -1,0 +1,1 @@
+lib/hw/replacement.mli: Format

@@ -1,0 +1,1 @@
+lib/hw/tlb.ml: Assoc_cache Rights Sasos_addr Va

@@ -1,0 +1,1 @@
+lib/hw/tlb.mli: Replacement Rights Sasos_addr Va

@@ -1,0 +1,188 @@
+type org = Vivt | Vipt | Pipt
+
+let org_to_string = function
+  | Vivt -> "vivt"
+  | Vipt -> "vipt"
+  | Pipt -> "pipt"
+
+type line = {
+  mutable valid : bool;
+  mutable space : int;
+  mutable tag : int; (* tag-source address lsr line_shift *)
+  mutable va_line : int; (* virtual line address, for range flushes *)
+  mutable pa_line : int; (* physical line address, for writeback/synonyms *)
+  mutable dirty : bool;
+  mutable stamp : int;
+}
+
+type t = {
+  organization : org;
+  line_shift : int;
+  nsets : int;
+  ways : int;
+  policy : Replacement.t;
+  rng : Sasos_util.Prng.t;
+  table : line array array;
+  (* residency count per physical line, for synonym detection *)
+  pa_resident : (int, int) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable synonyms : int;
+}
+
+let fresh_line () =
+  { valid = false; space = 0; tag = 0; va_line = 0; pa_line = 0; dirty = false; stamp = 0 }
+
+let create ?(policy = Replacement.Lru) ?(seed = 0xcac4e) ~org ~size_bytes
+    ~line_bytes ~ways () =
+  let open Sasos_util in
+  if not (Bits.is_power_of_two size_bytes && Bits.is_power_of_two line_bytes)
+  then invalid_arg "Data_cache.create: sizes must be powers of two";
+  if size_bytes < line_bytes * ways then
+    invalid_arg "Data_cache.create: cache smaller than one set";
+  let nlines = size_bytes / line_bytes in
+  if nlines mod ways <> 0 then
+    invalid_arg "Data_cache.create: lines not divisible by ways";
+  {
+    organization = org;
+    line_shift = Bits.log2 line_bytes;
+    nsets = nlines / ways;
+    ways;
+    policy;
+    rng = Prng.create ~seed;
+    table = Array.init (nlines / ways) (fun _ -> Array.init ways (fun _ -> fresh_line ()));
+    pa_resident = Hashtbl.create 1024;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+    synonyms = 0;
+  }
+
+let org t = t.organization
+let lines t = t.nsets * t.ways
+let line_bytes t = 1 lsl t.line_shift
+let sets t = t.nsets
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let pa_incr t pa_line =
+  let c = Option.value (Hashtbl.find_opt t.pa_resident pa_line) ~default:0 in
+  Hashtbl.replace t.pa_resident pa_line (c + 1);
+  c + 1
+
+let pa_decr t pa_line =
+  match Hashtbl.find_opt t.pa_resident pa_line with
+  | None -> ()
+  | Some 1 -> Hashtbl.remove t.pa_resident pa_line
+  | Some c -> Hashtbl.replace t.pa_resident pa_line (c - 1)
+
+let evict_line t l =
+  if l.valid then begin
+    pa_decr t l.pa_line;
+    if l.dirty then begin
+      t.writebacks <- t.writebacks + 1;
+      l.dirty <- false
+    end;
+    l.valid <- false
+  end
+
+type result = Hit | Miss of { writeback : bool }
+
+let access t ~space ~va ~pa ~write =
+  let va_line = va lsr t.line_shift in
+  let pa_line = pa lsr t.line_shift in
+  let index_addr = match t.organization with Pipt -> pa | Vivt | Vipt -> va in
+  let tag_addr = match t.organization with Vivt -> va | Vipt | Pipt -> pa in
+  let tag = tag_addr lsr t.line_shift in
+  (* physically tagged lines need no homonym space tag *)
+  let space = match t.organization with Vivt -> space | Vipt | Pipt -> 0 in
+  let set = (index_addr lsr t.line_shift) land (t.nsets - 1) in
+  let row = t.table.(set) in
+  let found = ref None in
+  Array.iter
+    (fun l -> if l.valid && l.tag = tag && l.space = space then found := Some l)
+    row;
+  match !found with
+  | Some l ->
+      t.hits <- t.hits + 1;
+      if write then l.dirty <- true;
+      if t.policy = Replacement.Lru then l.stamp <- next_tick t;
+      Hit
+  | None -> begin
+      t.misses <- t.misses + 1;
+      (* pick victim: first invalid, else policy *)
+      let victim = ref None in
+      Array.iter
+        (fun l -> if (not l.valid) && !victim = None then victim := Some l)
+        row;
+      let l =
+        match !victim with
+        | Some l -> l
+        | None -> begin
+            match t.policy with
+            | Replacement.Random -> row.(Sasos_util.Prng.int t.rng t.ways)
+            | Replacement.Lru | Replacement.Fifo ->
+                let best = ref row.(0) in
+                Array.iter (fun c -> if c.stamp < !best.stamp then best := c) row;
+                !best
+          end
+      in
+      let writeback = l.valid && l.dirty in
+      evict_line t l;
+      l.valid <- true;
+      l.space <- space;
+      l.tag <- tag;
+      l.va_line <- va_line;
+      l.pa_line <- pa_line;
+      l.dirty <- write;
+      l.stamp <- next_tick t;
+      if pa_incr t pa_line > 1 then t.synonyms <- t.synonyms + 1;
+      Miss { writeback }
+    end
+
+let sweep t p =
+  let flushed = ref 0 and wb = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun l ->
+          if l.valid && p l then begin
+            incr flushed;
+            if l.dirty then incr wb;
+            evict_line t l
+          end)
+        row)
+    t.table;
+  t.writebacks <- t.writebacks; (* writebacks already counted in evict_line *)
+  (!flushed, !wb)
+
+let flush_va_range t ~space ~lo ~hi =
+  let lo_line = lo lsr t.line_shift and hi_line = (hi - 1) lsr t.line_shift in
+  sweep t (fun l ->
+      l.va_line >= lo_line && l.va_line <= hi_line
+      && (t.organization <> Vivt || l.space = space))
+
+let flush_pa_page t ~pfn ~page_shift =
+  let shift = page_shift - t.line_shift in
+  sweep t (fun l -> l.pa_line lsr shift = pfn)
+
+let flush_all t = sweep t (fun _ -> true)
+
+let resident_copies_of_pa t ~pa_line =
+  Option.value (Hashtbl.find_opt t.pa_resident pa_line) ~default:0
+
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks
+let synonyms_detected t = t.synonyms
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0;
+  t.synonyms <- 0

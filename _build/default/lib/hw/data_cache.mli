@@ -1,0 +1,74 @@
+open Sasos_addr
+
+(** Set-associative data cache with selectable indexing and tagging.
+
+    §2.2 of the paper argues that a virtually indexed, virtually tagged
+    (VIVT) cache is the fastest organization and that a single address space
+    removes its two classical problems (synonyms and homonyms). This model
+    supports the three disciplines so the [cache_org] experiment can compare
+    them:
+
+    - [Vivt]: indexed and tagged by virtual address; optionally space-tagged
+      (ASID per line) on MAS machines, or flushed on switch.
+    - [Vipt]: indexed by virtual address, tagged by physical address.
+    - [Pipt]: indexed and tagged by physical address (translation needed
+      before every access).
+
+    The cache tracks, per line, the physical line it holds, which lets it
+    detect synonyms (one physical line resident under two different tags) —
+    the coherence hazard the paper discusses. Detection is a counter, not a
+    crash: MAS workloads are expected to trigger it, SAS workloads never. *)
+
+type org = Vivt | Vipt | Pipt
+
+val org_to_string : org -> string
+
+type t
+
+val create :
+  ?policy:Replacement.t ->
+  ?seed:int ->
+  org:org ->
+  size_bytes:int ->
+  line_bytes:int ->
+  ways:int ->
+  unit ->
+  t
+(** @raise Invalid_argument unless sizes are powers of two and consistent. *)
+
+val org : t -> org
+val lines : t -> int
+val line_bytes : t -> int
+val sets : t -> int
+
+type result = Hit | Miss of { writeback : bool }
+
+val access : t -> space:int -> va:Va.t -> pa:int -> write:bool -> result
+(** One load/store. [space] is the homonym tag (0 on SAS machines and on
+    physically tagged lines where it is unnecessary); [pa] is the physical
+    byte address, used for physical indexing/tagging and synonym tracking. *)
+
+val flush_va_range : t -> space:int -> lo:Va.t -> hi:Va.t -> int * int
+(** Flush (writeback + invalidate) every line whose virtual tag falls in
+    [lo, hi); returns [(lines_flushed, writebacks)]. Used when unmapping a
+    page. On a [Pipt] cache this flushes by resident physical lines of the
+    given virtual range's translations and is driven by the caller per-page. *)
+
+val flush_pa_page : t -> pfn:int -> page_shift:int -> int * int
+(** Flush every line resident for the given physical page. *)
+
+val flush_all : t -> int * int
+(** Full flush: [(lines, writebacks)]. *)
+
+val resident_copies_of_pa : t -> pa_line:int -> int
+(** Number of lines currently holding the given physical line (>1 means a
+    synonym is resident). *)
+
+val hits : t -> int
+val misses : t -> int
+val writebacks : t -> int
+val synonyms_detected : t -> int
+(** Incremented whenever a fill makes a physical line resident under a
+    second distinct (space, tag). *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,275 @@
+type t = {
+  mutable accesses : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_writebacks : int;
+  mutable cache_lines_flushed : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable plb_hits : int;
+  mutable plb_misses : int;
+  mutable plb_refills : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable tlb_refills : int;
+  mutable pg_hits : int;
+  mutable pg_misses : int;
+  mutable pg_refills : int;
+  mutable protection_faults : int;
+  mutable page_faults : int;
+  mutable page_ins : int;
+  mutable page_outs : int;
+  mutable kernel_entries : int;
+  mutable entries_inspected : int;
+  mutable entries_purged : int;
+  mutable domain_switches : int;
+  mutable attaches : int;
+  mutable detaches : int;
+  mutable grants : int;
+  mutable global_protects : int;
+  mutable regroups : int;
+  mutable cache_synonyms : int;
+  mutable shootdowns : int;
+  mutable cycles : int;
+}
+
+let create () =
+  {
+    accesses = 0;
+    reads = 0;
+    writes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_writebacks = 0;
+    cache_lines_flushed = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    plb_hits = 0;
+    plb_misses = 0;
+    plb_refills = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    tlb_refills = 0;
+    pg_hits = 0;
+    pg_misses = 0;
+    pg_refills = 0;
+    protection_faults = 0;
+    page_faults = 0;
+    page_ins = 0;
+    page_outs = 0;
+    kernel_entries = 0;
+    entries_inspected = 0;
+    entries_purged = 0;
+    domain_switches = 0;
+    attaches = 0;
+    detaches = 0;
+    grants = 0;
+    global_protects = 0;
+    regroups = 0;
+    cache_synonyms = 0;
+    shootdowns = 0;
+    cycles = 0;
+  }
+
+let fields t =
+  [
+    ("accesses", t.accesses);
+    ("reads", t.reads);
+    ("writes", t.writes);
+    ("cache_hits", t.cache_hits);
+    ("cache_misses", t.cache_misses);
+    ("cache_writebacks", t.cache_writebacks);
+    ("cache_lines_flushed", t.cache_lines_flushed);
+    ("l2_hits", t.l2_hits);
+    ("l2_misses", t.l2_misses);
+    ("plb_hits", t.plb_hits);
+    ("plb_misses", t.plb_misses);
+    ("plb_refills", t.plb_refills);
+    ("tlb_hits", t.tlb_hits);
+    ("tlb_misses", t.tlb_misses);
+    ("tlb_refills", t.tlb_refills);
+    ("pg_hits", t.pg_hits);
+    ("pg_misses", t.pg_misses);
+    ("pg_refills", t.pg_refills);
+    ("protection_faults", t.protection_faults);
+    ("page_faults", t.page_faults);
+    ("page_ins", t.page_ins);
+    ("page_outs", t.page_outs);
+    ("kernel_entries", t.kernel_entries);
+    ("entries_inspected", t.entries_inspected);
+    ("entries_purged", t.entries_purged);
+    ("domain_switches", t.domain_switches);
+    ("attaches", t.attaches);
+    ("detaches", t.detaches);
+    ("grants", t.grants);
+    ("global_protects", t.global_protects);
+    ("regroups", t.regroups);
+    ("cache_synonyms", t.cache_synonyms);
+    ("shootdowns", t.shootdowns);
+    ("cycles", t.cycles);
+  ]
+
+let reset t =
+  t.accesses <- 0;
+  t.reads <- 0;
+  t.writes <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.cache_writebacks <- 0;
+  t.cache_lines_flushed <- 0;
+  t.l2_hits <- 0;
+  t.l2_misses <- 0;
+  t.plb_hits <- 0;
+  t.plb_misses <- 0;
+  t.plb_refills <- 0;
+  t.tlb_hits <- 0;
+  t.tlb_misses <- 0;
+  t.tlb_refills <- 0;
+  t.pg_hits <- 0;
+  t.pg_misses <- 0;
+  t.pg_refills <- 0;
+  t.protection_faults <- 0;
+  t.page_faults <- 0;
+  t.page_ins <- 0;
+  t.page_outs <- 0;
+  t.kernel_entries <- 0;
+  t.entries_inspected <- 0;
+  t.entries_purged <- 0;
+  t.domain_switches <- 0;
+  t.attaches <- 0;
+  t.detaches <- 0;
+  t.grants <- 0;
+  t.global_protects <- 0;
+  t.regroups <- 0;
+  t.cache_synonyms <- 0;
+  t.shootdowns <- 0;
+  t.cycles <- 0
+
+let copy t =
+  {
+    accesses = t.accesses;
+    reads = t.reads;
+    writes = t.writes;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    cache_writebacks = t.cache_writebacks;
+    cache_lines_flushed = t.cache_lines_flushed;
+    l2_hits = t.l2_hits;
+    l2_misses = t.l2_misses;
+    plb_hits = t.plb_hits;
+    plb_misses = t.plb_misses;
+    plb_refills = t.plb_refills;
+    tlb_hits = t.tlb_hits;
+    tlb_misses = t.tlb_misses;
+    tlb_refills = t.tlb_refills;
+    pg_hits = t.pg_hits;
+    pg_misses = t.pg_misses;
+    pg_refills = t.pg_refills;
+    protection_faults = t.protection_faults;
+    page_faults = t.page_faults;
+    page_ins = t.page_ins;
+    page_outs = t.page_outs;
+    kernel_entries = t.kernel_entries;
+    entries_inspected = t.entries_inspected;
+    entries_purged = t.entries_purged;
+    domain_switches = t.domain_switches;
+    attaches = t.attaches;
+    detaches = t.detaches;
+    grants = t.grants;
+    global_protects = t.global_protects;
+    regroups = t.regroups;
+    cache_synonyms = t.cache_synonyms;
+    shootdowns = t.shootdowns;
+    cycles = t.cycles;
+  }
+
+let diff a b =
+  {
+    accesses = a.accesses - b.accesses;
+    reads = a.reads - b.reads;
+    writes = a.writes - b.writes;
+    cache_hits = a.cache_hits - b.cache_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
+    cache_writebacks = a.cache_writebacks - b.cache_writebacks;
+    cache_lines_flushed = a.cache_lines_flushed - b.cache_lines_flushed;
+    l2_hits = a.l2_hits - b.l2_hits;
+    l2_misses = a.l2_misses - b.l2_misses;
+    plb_hits = a.plb_hits - b.plb_hits;
+    plb_misses = a.plb_misses - b.plb_misses;
+    plb_refills = a.plb_refills - b.plb_refills;
+    tlb_hits = a.tlb_hits - b.tlb_hits;
+    tlb_misses = a.tlb_misses - b.tlb_misses;
+    tlb_refills = a.tlb_refills - b.tlb_refills;
+    pg_hits = a.pg_hits - b.pg_hits;
+    pg_misses = a.pg_misses - b.pg_misses;
+    pg_refills = a.pg_refills - b.pg_refills;
+    protection_faults = a.protection_faults - b.protection_faults;
+    page_faults = a.page_faults - b.page_faults;
+    page_ins = a.page_ins - b.page_ins;
+    page_outs = a.page_outs - b.page_outs;
+    kernel_entries = a.kernel_entries - b.kernel_entries;
+    entries_inspected = a.entries_inspected - b.entries_inspected;
+    entries_purged = a.entries_purged - b.entries_purged;
+    domain_switches = a.domain_switches - b.domain_switches;
+    attaches = a.attaches - b.attaches;
+    detaches = a.detaches - b.detaches;
+    grants = a.grants - b.grants;
+    global_protects = a.global_protects - b.global_protects;
+    regroups = a.regroups - b.regroups;
+    cache_synonyms = a.cache_synonyms - b.cache_synonyms;
+    shootdowns = a.shootdowns - b.shootdowns;
+    cycles = a.cycles - b.cycles;
+  }
+
+let add_into acc x =
+  acc.accesses <- acc.accesses + x.accesses;
+  acc.reads <- acc.reads + x.reads;
+  acc.writes <- acc.writes + x.writes;
+  acc.cache_hits <- acc.cache_hits + x.cache_hits;
+  acc.cache_misses <- acc.cache_misses + x.cache_misses;
+  acc.cache_writebacks <- acc.cache_writebacks + x.cache_writebacks;
+  acc.cache_lines_flushed <- acc.cache_lines_flushed + x.cache_lines_flushed;
+  acc.l2_hits <- acc.l2_hits + x.l2_hits;
+  acc.l2_misses <- acc.l2_misses + x.l2_misses;
+  acc.plb_hits <- acc.plb_hits + x.plb_hits;
+  acc.plb_misses <- acc.plb_misses + x.plb_misses;
+  acc.plb_refills <- acc.plb_refills + x.plb_refills;
+  acc.tlb_hits <- acc.tlb_hits + x.tlb_hits;
+  acc.tlb_misses <- acc.tlb_misses + x.tlb_misses;
+  acc.tlb_refills <- acc.tlb_refills + x.tlb_refills;
+  acc.pg_hits <- acc.pg_hits + x.pg_hits;
+  acc.pg_misses <- acc.pg_misses + x.pg_misses;
+  acc.pg_refills <- acc.pg_refills + x.pg_refills;
+  acc.protection_faults <- acc.protection_faults + x.protection_faults;
+  acc.page_faults <- acc.page_faults + x.page_faults;
+  acc.page_ins <- acc.page_ins + x.page_ins;
+  acc.page_outs <- acc.page_outs + x.page_outs;
+  acc.kernel_entries <- acc.kernel_entries + x.kernel_entries;
+  acc.entries_inspected <- acc.entries_inspected + x.entries_inspected;
+  acc.entries_purged <- acc.entries_purged + x.entries_purged;
+  acc.domain_switches <- acc.domain_switches + x.domain_switches;
+  acc.attaches <- acc.attaches + x.attaches;
+  acc.detaches <- acc.detaches + x.detaches;
+  acc.grants <- acc.grants + x.grants;
+  acc.global_protects <- acc.global_protects + x.global_protects;
+  acc.regroups <- acc.regroups + x.regroups;
+  acc.cache_synonyms <- acc.cache_synonyms + x.cache_synonyms;
+  acc.shootdowns <- acc.shootdowns + x.shootdowns;
+  acc.cycles <- acc.cycles + x.cycles
+
+let ratio num den =
+  if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let cache_miss_ratio t = ratio t.cache_misses (t.cache_hits + t.cache_misses)
+let plb_miss_ratio t = ratio t.plb_misses (t.plb_hits + t.plb_misses)
+let tlb_miss_ratio t = ratio t.tlb_misses (t.tlb_hits + t.tlb_misses)
+let pg_miss_ratio t = ratio t.pg_misses (t.pg_hits + t.pg_misses)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, v) -> if v <> 0 then Format.fprintf fmt "%s: %d@," name v)
+    (fields t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,39 @@
+module Key = struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash (a : int) = a * 0x9e3779b1
+end
+
+module C = Assoc_cache.Make (Key)
+
+type t = bool C.t
+(* value = write_disabled *)
+
+let create ?policy ?seed ~entries () =
+  if entries < 1 then invalid_arg "Page_group_cache.create: entries >= 1";
+  C.create ?policy ?seed ~sets:1 ~ways:entries ()
+
+let capacity = C.capacity
+let length = C.length
+
+type check = Denied | Allowed of { write_disabled : bool }
+
+let check t ~aid =
+  if aid = 0 then Allowed { write_disabled = false }
+  else
+    match C.find t aid with
+    | Some write_disabled -> Allowed { write_disabled }
+    | None -> Denied
+
+let load t ~aid ~write_disabled =
+  if aid <> 0 then ignore (C.insert t aid write_disabled)
+
+let set_write_disable t ~aid d = C.update t aid (fun _ -> d)
+let drop t ~aid = C.remove t aid
+let flush = C.clear
+let resident t ~aid = aid = 0 || C.mem t aid
+let iter = C.iter
+let hits = C.hits
+let misses = C.misses
+let reset_stats = C.reset_stats

@@ -1,0 +1,104 @@
+open Sasos_addr
+
+module Key = struct
+  type t = { pd : int; shift : int; pn : int }
+
+  let equal a b = a.pd = b.pd && a.shift = b.shift && a.pn = b.pn
+
+  let hash { pd; shift; pn } =
+    (pn * 0x9e3779b1) lxor (pd * 0x85ebca6b) lxor (shift * 0xc2b2ae35)
+end
+
+module C = Assoc_cache.Make (Key)
+
+type t = { shifts : int list (* ascending *); cache : Rights.t C.t }
+
+let create ?policy ?seed ?(shifts = [ 12 ]) ~sets ~ways () =
+  if shifts = [] then invalid_arg "Plb.create: no protection page sizes";
+  List.iter
+    (fun s -> if s < 4 || s > 62 then invalid_arg "Plb.create: bad shift")
+    shifts;
+  {
+    shifts = List.sort_uniq compare shifts;
+    cache = C.create ?policy ?seed ~sets ~ways ();
+  }
+
+let shifts t = t.shifts
+let capacity t = C.capacity t.cache
+let length t = C.length t.cache
+
+let key pd shift va = { Key.pd = Pd.to_int pd; shift; pn = va lsr shift }
+
+(* A hardware PLB probes all grains in parallel and reports one hit or miss
+   per access; we emulate that by peeking every grain and charging the
+   statistics once. The finest resident grain provides the rights. *)
+let lookup t ~pd ~va =
+  let rec finest = function
+    | [] -> None
+    | shift :: rest -> begin
+        match C.peek t.cache (key pd shift va) with
+        | Some r -> Some (shift, r)
+        | None -> finest rest
+      end
+  in
+  match finest t.shifts with
+  | Some (shift, _) ->
+      (* count the hit and refresh recency via a real probe *)
+      C.find t.cache (key pd shift va)
+  | None ->
+      ignore (C.find t.cache (key pd (List.hd t.shifts) va));
+      None
+
+let install t ~pd ~va ~shift rights =
+  if not (List.mem shift t.shifts) then
+    invalid_arg "Plb.install: unconfigured protection page size";
+  ignore (C.insert t.cache (key pd shift va) rights)
+
+let update_rights t ~pd ~va rights =
+  let rec go = function
+    | [] -> false
+    | shift :: rest ->
+        if C.update t.cache (key pd shift va) (fun _ -> rights) then true
+        else go rest
+  in
+  go t.shifts
+
+let invalidate t ~pd ~va =
+  List.fold_left
+    (fun any shift -> C.remove t.cache (key pd shift va) || any)
+    false t.shifts
+
+let purge_matching t p =
+  C.purge t.cache (fun k r ->
+      p (Pd.of_int k.Key.pd) (k.Key.pn lsl k.Key.shift) r)
+
+let update_matching t f =
+  let inspected = ref 0 and updated = ref 0 in
+  let pending = ref [] in
+  C.iter
+    (fun k r ->
+      incr inspected;
+      match f (Pd.of_int k.Key.pd) (k.Key.pn lsl k.Key.shift) r with
+      | Some r' when not (Rights.equal r r') -> pending := (k, r') :: !pending
+      | Some _ | None -> ())
+    t.cache;
+  List.iter
+    (fun (k, r') ->
+      if C.update t.cache k (fun _ -> r') then incr updated)
+    !pending;
+  (!inspected, !updated)
+
+let flush t = C.clear t.cache
+
+let entries_for_va t va =
+  C.fold
+    (fun k _ acc ->
+      if k.Key.pn = va lsr k.Key.shift then acc + 1 else acc)
+    t.cache 0
+
+let iter f t =
+  C.iter (fun k r -> f (Pd.of_int k.Key.pd) (k.Key.pn lsl k.Key.shift) k.Key.shift r) t.cache
+
+let hits t = C.hits t.cache
+let misses t = C.misses t.cache
+let reset_stats t = C.reset_stats t.cache

@@ -1,0 +1,11 @@
+type t = Lru | Fifo | Random
+
+let to_string = function Lru -> "lru" | Fifo -> "fifo" | Random -> "random"
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "lru" -> Some Lru
+  | "fifo" -> Some Fifo
+  | "random" -> Some Random
+  | _ -> None

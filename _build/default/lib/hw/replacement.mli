@@ -1,0 +1,12 @@
+(** Replacement policies for the associative hardware structures.
+
+    The paper's page-group variant specifically calls for LRU (following
+    Wilkes & Sears); FIFO and Random are provided for ablations. *)
+
+type t = Lru | Fifo | Random
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Case-insensitive parse of ["lru"], ["fifo"], ["random"]. *)

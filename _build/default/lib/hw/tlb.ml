@@ -1,0 +1,45 @@
+open Sasos_addr
+
+type entry = {
+  pfn : int;
+  mutable rights : Rights.t;
+  mutable aid : int;
+  mutable dirty : bool;
+  mutable referenced : bool;
+}
+
+module Key = struct
+  type t = { space : int; vpn : Va.vpn }
+
+  let equal a b = a.space = b.space && a.vpn = b.vpn
+  let hash { space; vpn } = (vpn * 0x9e3779b1) lxor (space * 0x85ebca6b)
+end
+
+module C = Assoc_cache.Make (Key)
+
+type t = entry C.t
+
+let create ?policy ?seed ~sets ~ways () = C.create ?policy ?seed ~sets ~ways ()
+let capacity = C.capacity
+let length = C.length
+let lookup t ~space ~vpn = C.find t { Key.space; vpn }
+let peek t ~space ~vpn = C.peek t { Key.space; vpn }
+
+let install t ~space ~vpn entry =
+  ignore (C.insert t { Key.space; vpn } entry)
+
+let invalidate t ~space ~vpn = C.remove t { Key.space; vpn }
+
+let invalidate_vpn_all_spaces t vpn =
+  C.purge t (fun k _ -> k.Key.vpn = vpn)
+
+let purge_space t space = C.purge t (fun k _ -> k.Key.space = space)
+let flush = C.clear
+
+let entries_for_vpn t vpn =
+  C.fold (fun k _ acc -> if k.Key.vpn = vpn then acc + 1 else acc) t 0
+
+let iter f t = C.iter (fun k e -> f k.Key.space k.Key.vpn e) t
+let hits = C.hits
+let misses = C.misses
+let reset_stats = C.reset_stats

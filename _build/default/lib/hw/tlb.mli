@@ -1,0 +1,60 @@
+open Sasos_addr
+
+(** Translation lookaside buffer.
+
+    One structure serves all three machines, differing in what they store in
+    each entry and how they tag it:
+
+    - the PLB machine's off-critical-path TLB holds only translation plus
+      dirty/referenced bits, tagged by VPN alone ([space = 0]);
+    - the page-group machine's on-chip TLB additionally holds the AID and
+      the Rights field (Figure 2), tagged by VPN alone;
+    - the conventional MAS machine tags entries with an address space
+      identifier ([space = ASID]) and holds per-space rights, or uses
+      [space = 0] with a full flush on every context switch. *)
+
+type entry = {
+  pfn : int;
+  mutable rights : Rights.t;  (** unused (rwx) in the PLB machine's TLB *)
+  mutable aid : int;  (** page-group number; unused outside Pg_machine *)
+  mutable dirty : bool;
+  mutable referenced : bool;
+}
+
+type t
+
+val create :
+  ?policy:Replacement.t -> ?seed:int -> sets:int -> ways:int -> unit -> t
+
+val capacity : t -> int
+val length : t -> int
+
+val lookup : t -> space:int -> vpn:Va.vpn -> entry option
+(** Counted probe (hit/miss statistics, LRU touch). *)
+
+val peek : t -> space:int -> vpn:Va.vpn -> entry option
+
+val install : t -> space:int -> vpn:Va.vpn -> entry -> unit
+(** Fill after a miss (may evict). *)
+
+val invalidate : t -> space:int -> vpn:Va.vpn -> bool
+
+val invalidate_vpn_all_spaces : t -> Va.vpn -> int * int
+(** Shootdown of every entry for a page regardless of space — needed on the
+    MAS machine where a shared page is replicated per ASID. Returns
+    [(inspected, removed)]. *)
+
+val purge_space : t -> int -> int * int
+(** Remove all entries of one address space. Returns [(inspected, removed)]. *)
+
+val flush : t -> int
+(** Full purge; returns entries dropped. *)
+
+val entries_for_vpn : t -> Va.vpn -> int
+(** How many (space-)copies of this page the TLB currently holds — measures
+    the duplication of §3.1. *)
+
+val iter : (int -> Va.vpn -> entry -> unit) -> t -> unit
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/machine/conv_machine.mli: Sasos_os

@@ -1,0 +1,1 @@
+lib/machine/machine_common.ml: Config Cost_model Data_cache Metrics Os_core Sasos_addr Sasos_hw Sasos_os

@@ -1,0 +1,1 @@
+lib/machine/machine_common.mli: Config Data_cache Os_core Sasos_addr Sasos_hw Sasos_os

@@ -1,0 +1,1 @@
+lib/machine/pg_machine.mli: Sasos_addr Sasos_os

@@ -1,0 +1,1 @@
+lib/machine/plb_machine.mli: Sasos_addr Sasos_os

@@ -1,0 +1,1 @@
+lib/machine/sys_select.ml: Conv_machine List Pg_machine Plb_machine Sasos_os String System_intf

@@ -1,0 +1,1 @@
+lib/machine/sys_select.mli: Config Sasos_os System_intf

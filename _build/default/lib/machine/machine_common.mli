@@ -1,0 +1,25 @@
+(** Pieces shared by the machine implementations: the optional unified
+    second-level cache (§3.2.1's "TLB at the L2 controller" organization)
+    and multiprocessor shootdown accounting (§4.1.3). *)
+
+open Sasos_hw
+open Sasos_os
+
+val charge_shootdown : Os_core.t -> unit
+(** One inter-processor broadcast: when [Config.cpus > 1], count a
+    shootdown and charge one IPI round per remote CPU. No-op on a
+    uniprocessor. *)
+
+val l2_of_config : Config.t -> Data_cache.t option
+(** A physically indexed, physically tagged unified L2 when
+    [Config.l2_bytes > 0]. Immune to address-space discipline: never
+    flushed on switches, only when a physical page is reclaimed. *)
+
+val charge_fill : Os_core.t -> Data_cache.t option -> va:Sasos_addr.Va.t ->
+  pa:int -> write:bool -> unit
+(** Charge a level-1 line fill: from the L2 when present and hit
+    (counting [l2_hits]), else from memory. *)
+
+val flush_l2_page : Os_core.t -> Data_cache.t option -> Sasos_addr.Va.vpn -> unit
+(** Drop a physical page's lines from the L2 when its frame is reclaimed;
+    counts flushed lines and charges per-line flush cost. *)

@@ -1,0 +1,459 @@
+open Sasos_addr
+open Sasos_hw
+open Sasos_os
+
+type t = {
+  os : Os_core.t;
+  plb : Plb.t;
+  tlb : Tlb.t; (* space = 0: translations are global, off the critical path *)
+  cache : Data_cache.t;
+  l2 : Data_cache.t option;
+  (* Okamoto execution-point extension (paper §5): data segments guarded by
+     a code segment, and the current code context register *)
+  guards : (int, int * Rights.t) Hashtbl.t; (* data seg -> (code seg, rights) *)
+  mutable code_context : Segment.t option;
+}
+
+let name = "plb"
+let model = System_intf.Domain_page
+
+let create (config : Config.t) =
+  {
+    os = Os_core.create config;
+    plb =
+      Plb.create ~policy:config.Config.policy ~seed:config.Config.seed
+        ~shifts:config.Config.plb_shifts ~sets:config.Config.plb_sets
+        ~ways:config.Config.plb_ways ();
+    tlb =
+      Tlb.create ~policy:config.Config.policy ~seed:config.Config.seed
+        ~sets:config.Config.tlb_sets ~ways:config.Config.tlb_ways ();
+    cache =
+      Data_cache.create ~policy:config.Config.policy ~seed:config.Config.seed
+        ~org:config.Config.cache_org ~size_bytes:config.Config.cache_bytes
+        ~line_bytes:config.Config.cache_line ~ways:config.Config.cache_ways ();
+    l2 = Machine_common.l2_of_config config;
+    guards = Hashtbl.create 16;
+    code_context = None;
+  }
+
+let os t = t.os
+let metrics t = t.os.Os_core.metrics
+let cost t = t.os.Os_core.cost
+let geom t = t.os.Os_core.geom
+let new_domain t = Os_core.new_domain t.os
+let current_domain t = t.os.Os_core.current
+
+(* A domain switch is one protected register write; neither the PLB nor the
+   TLB is purged (§4.1.4). *)
+let switch_domain t pd =
+  let m = metrics t in
+  m.Metrics.domain_switches <- m.Metrics.domain_switches + 1;
+  Os_core.charge t.os
+    ((cost t).Cost_model.domain_switch + (cost t).Cost_model.pd_id_write);
+  t.os.Os_core.current <- pd
+
+let new_segment t ?name ?align_shift ~pages () =
+  Segment_table.allocate t.os.Os_core.segments ?name ?align_shift ~pages ()
+
+let charge_sweep t inspected removed =
+  let m = metrics t in
+  m.Metrics.entries_inspected <- m.Metrics.entries_inspected + inspected;
+  m.Metrics.entries_purged <- m.Metrics.entries_purged + removed;
+  (* every CPU sweeps its private copy of the structure *)
+  Os_core.charge t.os
+    ((cost t).Cost_model.purge_per_entry * inspected
+    * t.os.Os_core.config.Config.cpus);
+  if inspected > 0 then Machine_common.charge_shootdown t.os
+
+(* --- Okamoto execution-point extension (§5 related work) ------------- *)
+(* Okamoto et al. extend the domain-page model: a page can be marked
+   accessible to any thread currently executing code from a designated
+   code page, independent of its protection domain. PLB entries for such
+   grants are tagged with a context identifier instead of a PD-ID; the
+   processor holds the current code context in a second register and the
+   PLB matches either tag. Protected objects can then be invoked without
+   a domain switch. *)
+
+let ctx_tag_base = 0x4000_0000
+
+let ctx_pd (cseg : Segment.t) =
+  Pd.of_int (ctx_tag_base + Segment.id_to_int cseg.Segment.id)
+
+let guard_rights t va =
+  match t.code_context with
+  | None -> Rights.none
+  | Some cseg -> begin
+      match Segment_table.find_by_va t.os.Os_core.segments va with
+      | None -> Rights.none
+      | Some dseg -> begin
+          match
+            Hashtbl.find_opt t.guards (Segment.id_to_int dseg.Segment.id)
+          with
+          | Some (cid, r) when cid = Segment.id_to_int cseg.Segment.id -> r
+          | Some _ | None -> Rights.none
+        end
+    end
+
+(* Entering or leaving guarded code is one register write, like a PD-ID
+   change — no kernel involvement. *)
+let set_code_context t cseg =
+  Os_core.charge t.os (cost t).Cost_model.pd_id_write;
+  t.code_context <- cseg
+
+let guard_segment t ~data ~code rights =
+  Os_core.kernel_entry t.os;
+  Hashtbl.replace t.guards
+    (Segment.id_to_int data.Segment.id)
+    (Segment.id_to_int code.Segment.id, rights);
+  Os_core.charge t.os (cost t).Cost_model.table_op
+
+let unguard_segment t ~data =
+  Os_core.kernel_entry t.os;
+  match Hashtbl.find_opt t.guards (Segment.id_to_int data.Segment.id) with
+  | None -> ()
+  | Some (cid, _) ->
+      Hashtbl.remove t.guards (Segment.id_to_int data.Segment.id);
+      let lo = data.Segment.base and hi = Segment.limit data in
+      let cpd = Pd.of_int (ctx_tag_base + cid) in
+      let inspected, removed =
+        Plb.purge_matching t.plb (fun epd base _ ->
+            Pd.equal epd cpd && base >= lo && base < hi)
+      in
+      charge_sweep t inspected removed
+
+(* Destroying a domain sweeps its PLB entries — the same CAM sweep as a
+   detach, over the whole structure. *)
+let destroy_domain t pd =
+  Os_core.kernel_entry t.os;
+  Os_core.destroy_domain t.os pd;
+  let inspected, removed = Plb.purge_matching t.plb (fun epd _ _ -> Pd.equal epd pd) in
+  charge_sweep t inspected removed
+
+(* Attach manipulates no hardware: rights fault into the PLB page by page.
+   The exception is a re-attach that reduces an existing attachment — a
+   restriction, which must sweep the domain's resident entries for the
+   segment so none over-allows. *)
+let attach t pd seg rights =
+  let m = metrics t in
+  m.Metrics.attaches <- m.Metrics.attaches + 1;
+  Os_core.kernel_entry t.os;
+  let restricting =
+    match Os_core.attachment t.os pd seg with
+    | Some old -> not (Rights.subset old rights)
+    | None -> false
+  in
+  Os_core.set_attachment t.os pd seg rights;
+  Os_core.charge t.os (cost t).Cost_model.table_op;
+  if restricting then begin
+    let lo = seg.Segment.base and hi = Segment.limit seg in
+    let inspected, removed =
+      Plb.purge_matching t.plb (fun epd base _ ->
+          Pd.equal epd pd && base >= lo && base < hi)
+    in
+    charge_sweep t inspected removed
+  end
+
+(* Detach sweeps the PLB: inspect every entry, eliminate those for the
+   (segment, domain) pair (Table 1). *)
+let detach t pd seg =
+  let m = metrics t in
+  m.Metrics.detaches <- m.Metrics.detaches + 1;
+  Os_core.kernel_entry t.os;
+  Os_core.remove_attachment t.os pd seg;
+  let lo = seg.Segment.base and hi = Segment.limit seg in
+  let inspected, removed =
+    Plb.purge_matching t.plb (fun epd base _ ->
+        Pd.equal epd pd && base >= lo && base < hi)
+  in
+  charge_sweep t inspected removed;
+  Os_core.charge t.os (cost t).Cost_model.table_op
+
+(* Pick the coarsest configured protection page size consistent with the OS
+   truth at [va] for [pd] (§4.3): the region must lie inside one segment,
+   be covered by the attachment with no per-page overrides, and be aligned. *)
+let refill_shift t pd va =
+  match Plb.shifts t.plb with
+  | [ s ] -> s
+  | shifts -> begin
+      let fine = List.hd shifts in
+      match Segment_table.find_by_va t.os.Os_core.segments va with
+      | None -> fine
+      | Some seg ->
+          if Os_core.has_overrides t.os pd seg then fine
+          else begin
+            let fits s =
+              let base = va land lnot ((1 lsl s) - 1) in
+              base >= seg.Segment.base && base + (1 lsl s) <= Segment.limit seg
+            in
+            List.fold_left (fun acc s -> if fits s then s else acc) fine shifts
+          end
+    end
+
+let plb_refill t pd va rights =
+  let m = metrics t in
+  let shift = refill_shift t pd va in
+  Plb.install t.plb ~pd ~va ~shift rights;
+  m.Metrics.plb_refills <- m.Metrics.plb_refills + 1;
+  Os_core.charge t.os (cost t).Cost_model.plb_refill
+
+(* Change one domain's rights to one page: update the single PLB entry
+   (Table 1: "simply requires updating a PLB entry"). *)
+let grant t pd va rights =
+  let m = metrics t in
+  m.Metrics.grants <- m.Metrics.grants + 1;
+  Os_core.kernel_entry t.os;
+  Os_core.set_override t.os pd va rights;
+  Os_core.charge t.os (cost t).Cost_model.table_op;
+  (* a resident coarse entry can no longer represent the segment; replace
+     whatever is resident for this (domain, page) with a fine entry. This
+     is Table 1's "simply requires updating a PLB entry": one entry write,
+     not a miss-path refill. Other CPUs may cache the pair: broadcast. *)
+  Machine_common.charge_shootdown t.os;
+  ignore (Plb.invalidate t.plb ~pd ~va);
+  if not (Rights.equal rights Rights.none) then begin
+    let fine = List.hd (Plb.shifts t.plb) in
+    Plb.install t.plb ~pd ~va ~shift:fine rights;
+    Os_core.charge t.os (cost t).Cost_model.pd_id_write
+  end
+
+(* Change one domain's rights across a whole segment: sweep the PLB,
+   rewriting this domain's entries for the segment in place (Table 1,
+   checkpoint "Restrict Access" / GC "Flip Spaces"). *)
+let protect_segment t pd seg rights =
+  let m = metrics t in
+  m.Metrics.global_protects <- m.Metrics.global_protects + 1;
+  Os_core.kernel_entry t.os;
+  List.iter
+    (fun unit ->
+      Os_core.clear_override t.os pd
+        (unit lsl (geom t).Geometry.prot_shift))
+    (Os_core.override_units_in_segment t.os pd seg);
+  Os_core.set_attachment t.os pd seg rights;
+  Os_core.charge t.os (cost t).Cost_model.table_op;
+  let lo = seg.Segment.base and hi = Segment.limit seg in
+  let inspected, _updated =
+    Plb.update_matching t.plb (fun epd base r ->
+        if Pd.equal epd pd && base >= lo && base < hi then Some rights
+        else Some r)
+  in
+  charge_sweep t inspected 0
+
+(* Change the page's rights for every attached domain: requires a full PLB
+   sweep under the domain-page model (Table 1, checkpoint / GC rows). *)
+let protect_all t va rights =
+  let m = metrics t in
+  m.Metrics.global_protects <- m.Metrics.global_protects + 1;
+  Os_core.kernel_entry t.os;
+  (match Segment_table.find_by_va t.os.Os_core.segments va with
+  | None -> ()
+  | Some seg ->
+      List.iter
+        (fun pd ->
+          match Os_core.attachment t.os pd seg with
+          | Some _ -> Os_core.set_override t.os pd va rights
+          | None ->
+              (* an override may exist without an attachment *)
+              if not (Rights.equal (Os_core.rights t.os pd va) Rights.none)
+              then Os_core.set_override t.os pd va rights)
+        (Os_core.domain_list t.os));
+  Os_core.charge t.os (cost t).Cost_model.table_op;
+  let g = geom t in
+  let unit = Os_core.prot_unit t.os va in
+  let inspected, updated =
+    Plb.update_matching t.plb (fun epd base r ->
+        (* rewrite any entry whose protection page is the unit from that
+           domain's truth — a domain that held no rights was not part of
+           the change and must not receive the new value; coarse entries
+           covering the unit are demoted by invalidation below *)
+        if base lsr g.Geometry.prot_shift = unit then
+          Some (Os_core.rights t.os epd va)
+        else Some r)
+  in
+  charge_sweep t inspected 0;
+  ignore updated;
+  (* with several grains, coarse entries covering the page are stale (the
+     update above rewrote only matching bases): drop them for all domains *)
+  if List.length (Plb.shifts t.plb) > 1 then
+    List.iter
+      (fun pd' -> ignore (Plb.invalidate t.plb ~pd:pd' ~va))
+      (Os_core.domain_list t.os)
+
+let flush_page_from_cache t vpn =
+  let g = geom t in
+  let m = metrics t in
+  let lo = Va.va_of_vpn g vpn in
+  let hi = lo + Geometry.page_size g in
+  let flushed, _wb = Data_cache.flush_va_range t.cache ~space:0 ~lo ~hi in
+  m.Metrics.cache_lines_flushed <- m.Metrics.cache_lines_flushed + flushed;
+  Os_core.charge t.os ((cost t).Cost_model.cache_line_flush * flushed)
+
+(* Unmap: flush data-cache lines and drop the TLB entry. The PLB needs no
+   maintenance — stale protection entries are harmless because the missing
+   translation stops any access (§4.1.3). *)
+let unmap_page t vpn =
+  Os_core.kernel_entry t.os;
+  Machine_common.charge_shootdown t.os;
+  flush_page_from_cache t vpn;
+  Machine_common.flush_l2_page t.os t.l2 vpn;
+  ignore (Tlb.invalidate t.tlb ~space:0 ~vpn);
+  Os_core.charge t.os (cost t).Cost_model.table_op;
+  Os_core.unmap t.os ~vpn ~write_back:true
+
+let destroy_segment t seg =
+  List.iter
+    (fun pd ->
+      if Option.is_some (Os_core.attachment t.os pd seg) then detach t pd seg)
+    (Os_core.domain_list t.os);
+  List.iter
+    (fun vpn ->
+      if Os_core.is_resident t.os ~vpn then unmap_page t vpn;
+      Sasos_mem.Backing_store.drop t.os.Os_core.disk ~vpn)
+    (Segment.vpns seg);
+  ignore (Segment_table.destroy t.os.Os_core.segments seg.Segment.id)
+
+let ensure_mapped t vpn =
+  Os_core.ensure_mapped t.os ~vpn ~before_evict:(fun victim ->
+      flush_page_from_cache t victim;
+      ignore (Tlb.invalidate t.tlb ~space:0 ~vpn:victim))
+
+(* The data path once protection has approved the access: probe the VIVT
+   cache; on a miss consult the (off-critical-path) TLB and fill. *)
+let data_path t kind va =
+  let g = geom t in
+  let m = metrics t in
+  let c = cost t in
+  let vpn = Va.vpn_of_va g va in
+  let write = kind = Access.Write in
+  let pa =
+    match Os_core.pa_of t.os va with
+    | Some pa -> pa
+    | None -> begin
+        (* Not mapped: the cache cannot hold the line, so this access will
+           miss and the TLB miss handler pages it in. *)
+        m.Metrics.tlb_misses <- m.Metrics.tlb_misses + 1;
+        ignore (Tlb.lookup t.tlb ~space:0 ~vpn);
+        Os_core.kernel_entry t.os;
+        let pfn = ensure_mapped t vpn in
+        Tlb.install t.tlb ~space:0 ~vpn
+          { Tlb.pfn; rights = Rights.rwx; aid = 0; dirty = false;
+            referenced = true };
+        m.Metrics.tlb_refills <- m.Metrics.tlb_refills + 1;
+        Os_core.charge t.os c.Cost_model.tlb_refill;
+        (pfn lsl g.Geometry.page_shift) lor Va.offset g va
+      end
+  in
+  match Data_cache.access t.cache ~space:0 ~va ~pa ~write with
+  | Data_cache.Hit ->
+      m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
+      Os_core.charge t.os c.Cost_model.cache_hit;
+      if write then Os_core.mark_dirty t.os ~vpn
+  | Data_cache.Miss { writeback } -> begin
+      m.Metrics.cache_misses <- m.Metrics.cache_misses + 1;
+      Machine_common.charge_fill t.os t.l2 ~va ~pa ~write;
+      if writeback then begin
+        m.Metrics.cache_writebacks <- m.Metrics.cache_writebacks + 1;
+        Os_core.charge t.os c.Cost_model.cache_writeback
+      end;
+      m.Metrics.cache_synonyms <- Data_cache.synonyms_detected t.cache;
+      (* translation was needed to fill the line *)
+      (match Tlb.lookup t.tlb ~space:0 ~vpn with
+      | Some e ->
+          m.Metrics.tlb_hits <- m.Metrics.tlb_hits + 1;
+          e.Tlb.referenced <- true;
+          if write then e.Tlb.dirty <- true
+      | None ->
+          m.Metrics.tlb_misses <- m.Metrics.tlb_misses + 1;
+          Os_core.kernel_entry t.os;
+          let pfn = ensure_mapped t vpn in
+          Tlb.install t.tlb ~space:0 ~vpn
+            { Tlb.pfn; rights = Rights.rwx; aid = 0; dirty = write;
+              referenced = true };
+          m.Metrics.tlb_refills <- m.Metrics.tlb_refills + 1;
+          Os_core.charge t.os c.Cost_model.tlb_refill);
+      if write then Os_core.mark_dirty t.os ~vpn
+    end
+
+let access t kind va =
+  let m = metrics t in
+  let c = cost t in
+  m.Metrics.accesses <- m.Metrics.accesses + 1;
+  (match kind with
+  | Access.Write -> m.Metrics.writes <- m.Metrics.writes + 1
+  | Access.Read | Access.Execute -> m.Metrics.reads <- m.Metrics.reads + 1);
+  let pd = current_domain t in
+  let needed = Access.rights_needed kind in
+  (* PLB probe, in parallel with the cache lookup (Figure 1); with a code
+     context loaded, the context-tagged bank is probed as well (Okamoto) *)
+  let primary = Plb.lookup t.plb ~pd ~va in
+  (match primary with
+  | Some _ -> m.Metrics.plb_hits <- m.Metrics.plb_hits + 1
+  | None -> m.Metrics.plb_misses <- m.Metrics.plb_misses + 1);
+  let primary_allows =
+    match primary with Some r -> Rights.subset needed r | None -> false
+  in
+  let context_allows =
+    (not primary_allows)
+    && (match t.code_context with
+       | None -> false
+       | Some cseg -> begin
+           match Plb.lookup t.plb ~pd:(ctx_pd cseg) ~va with
+           | Some r ->
+               m.Metrics.plb_hits <- m.Metrics.plb_hits + 1;
+               Rights.subset needed r
+           | None ->
+               m.Metrics.plb_misses <- m.Metrics.plb_misses + 1;
+               false
+         end)
+  in
+  if primary_allows || context_allows then begin
+    data_path t kind va;
+    Access.Ok
+  end
+  else begin
+    (* exception or miss: the kernel decides against the truth *)
+    Os_core.kernel_entry t.os;
+    Os_core.charge t.os c.Cost_model.table_op;
+    let domain_truth = Os_core.rights t.os pd va in
+    if Rights.subset needed domain_truth then begin
+      (* refresh/refill the domain-tagged entry and restart *)
+      ignore (Plb.invalidate t.plb ~pd ~va);
+      plb_refill t pd va domain_truth;
+      data_path t kind va;
+      Access.Ok
+    end
+    else begin
+      let gr = guard_rights t va in
+      if Rights.subset needed gr then begin
+        (* granted through the execution point: install under the context
+           tag so subsequent references hit without the kernel *)
+        (match t.code_context with
+        | Some cseg ->
+            let fine = List.hd (Plb.shifts t.plb) in
+            Plb.install t.plb ~pd:(ctx_pd cseg) ~va ~shift:fine gr;
+            m.Metrics.plb_refills <- m.Metrics.plb_refills + 1;
+            Os_core.charge t.os c.Cost_model.plb_refill
+        | None -> ());
+        data_path t kind va;
+        Access.Ok
+      end
+      else begin
+        m.Metrics.protection_faults <- m.Metrics.protection_faults + 1;
+        Access.Protection_fault
+      end
+    end
+  end
+
+let resident_prot_entries_for t va = Plb.entries_for_va t.plb va
+
+let hw_over_allows t probes =
+  List.exists
+    (fun (pd, va) ->
+      let truth = Os_core.rights t.os pd va in
+      let over = ref false in
+      Plb.iter
+        (fun epd base shift r ->
+          if Pd.equal epd pd && base = va land lnot ((1 lsl shift) - 1) then
+            if not (Rights.subset r truth) then over := true)
+        t.plb;
+      !over)
+    probes

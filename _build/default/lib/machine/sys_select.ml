@@ -1,0 +1,44 @@
+open Sasos_os
+
+type variant = Plb | Page_group | Conv_asid | Conv_flush
+
+let all =
+  [
+    ("plb", Plb);
+    ("page-group", Page_group);
+    ("conv-asid", Conv_asid);
+    ("conv-flush", Conv_flush);
+  ]
+
+let of_string s =
+  List.assoc_opt (String.lowercase_ascii s) all
+
+let to_string = function
+  | Plb -> "plb"
+  | Page_group -> "page-group"
+  | Conv_asid -> "conv-asid"
+  | Conv_flush -> "conv-flush"
+
+let make variant config =
+  match variant with
+  | Plb ->
+      System_intf.Packed
+        ((module Plb_machine : System_intf.SYSTEM with type t = Plb_machine.t),
+         Plb_machine.create config)
+  | Page_group ->
+      System_intf.Packed
+        ((module Pg_machine : System_intf.SYSTEM with type t = Pg_machine.t),
+         Pg_machine.create config)
+  | Conv_asid ->
+      System_intf.Packed
+        ((module Conv_machine.Asid : System_intf.SYSTEM
+            with type t = Conv_machine.Asid.t),
+         Conv_machine.Asid.create config)
+  | Conv_flush ->
+      System_intf.Packed
+        ((module Conv_machine.Flush : System_intf.SYSTEM
+            with type t = Conv_machine.Flush.t),
+         Conv_machine.Flush.create config)
+
+let make_all config = List.map (fun (_, v) -> make v config) all
+let sas_pair config = (make Plb config, make Page_group config)

@@ -1,0 +1,20 @@
+(** Runtime selection and packaging of the machine models. *)
+
+open Sasos_os
+
+type variant = Plb | Page_group | Conv_asid | Conv_flush
+
+val all : (string * variant) list
+(** Stable names: ["plb"], ["page-group"], ["conv-asid"], ["conv-flush"]. *)
+
+val of_string : string -> variant option
+val to_string : variant -> string
+
+val make : variant -> Config.t -> System_intf.packed
+(** Instantiate a machine of the given model. *)
+
+val make_all : Config.t -> System_intf.packed list
+(** One fresh instance of every model, in the order of {!all}. *)
+
+val sas_pair : Config.t -> System_intf.packed * System_intf.packed
+(** The paper's two single-address-space contenders: (PLB, page-group). *)

@@ -1,0 +1,1 @@
+lib/mem/backing_store.ml: Hashtbl Sasos_addr Va

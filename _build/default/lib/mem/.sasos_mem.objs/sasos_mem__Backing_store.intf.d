@@ -1,0 +1,1 @@
+lib/mem/backing_store.mli: Sasos_addr Va

@@ -1,0 +1,1 @@
+lib/mem/compressor.ml: Float Sasos_addr Sasos_util Stdlib Va

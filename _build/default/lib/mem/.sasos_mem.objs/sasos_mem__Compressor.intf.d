@@ -1,0 +1,1 @@
+lib/mem/compressor.mli: Sasos_addr Va

@@ -1,0 +1,1 @@
+lib/mem/inverted_page_table.ml: Hashtbl Sasos_addr Va

@@ -1,0 +1,1 @@
+lib/mem/inverted_page_table.mli: Sasos_addr Va

@@ -1,0 +1,25 @@
+open Sasos_addr
+
+type t = { table : (Va.vpn, int) Hashtbl.t; mutable bytes : int }
+
+let create () = { table = Hashtbl.create 1024; bytes = 0 }
+
+let write t ~vpn ~bytes_used =
+  (match Hashtbl.find_opt t.table vpn with
+  | Some old -> t.bytes <- t.bytes - old
+  | None -> ());
+  Hashtbl.replace t.table vpn bytes_used;
+  t.bytes <- t.bytes + bytes_used
+
+let read t ~vpn = Hashtbl.find_opt t.table vpn
+
+let drop t ~vpn =
+  match Hashtbl.find_opt t.table vpn with
+  | None -> ()
+  | Some old ->
+      Hashtbl.remove t.table vpn;
+      t.bytes <- t.bytes - old
+
+let resident t ~vpn = Hashtbl.mem t.table vpn
+let pages t = Hashtbl.length t.table
+let bytes_used t = t.bytes

@@ -1,0 +1,27 @@
+(** Secondary storage model.
+
+    Tracks which virtual pages currently live on disk and how large they are
+    there (whole pages normally; smaller when written by the compression
+    pager). Latency is charged by the machines via the cost model; this
+    module is the bookkeeping. *)
+
+open Sasos_addr
+
+type t
+
+val create : unit -> t
+
+val write : t -> vpn:Va.vpn -> bytes_used:int -> unit
+(** Page-out: (over)write the disk copy. *)
+
+val read : t -> vpn:Va.vpn -> int option
+(** Page-in: bytes used on disk, or [None] if the page was never written. A
+    read leaves the disk copy in place (clean page-ins need no re-write). *)
+
+val drop : t -> vpn:Va.vpn -> unit
+(** Discard the disk copy (segment destroyed). *)
+
+val resident : t -> vpn:Va.vpn -> bool
+val pages : t -> int
+val bytes_used : t -> int
+(** Total disk bytes — the compression pager's figure of merit. *)

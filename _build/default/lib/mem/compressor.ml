@@ -1,0 +1,18 @@
+open Sasos_addr
+
+type t = { seed : int; mean_ratio : float; page_bytes : int }
+
+let create ?(seed = 0x510c) ?(mean_ratio = 0.4) ~page_bytes () =
+  if mean_ratio <= 0.0 || mean_ratio > 1.0 then
+    invalid_arg "Compressor.create: mean_ratio in (0,1]";
+  { seed; mean_ratio; page_bytes }
+
+(* Deterministic per-page ratio: hash the vpn into [0.5, 1.5) x mean. *)
+let compressed_size t (vpn : Va.vpn) =
+  let rng = Sasos_util.Prng.create ~seed:(t.seed lxor (vpn * 0x9e3779b1)) in
+  let jitter = 0.5 +. Sasos_util.Prng.float rng 1.0 in
+  let ratio = Float.min 1.0 (t.mean_ratio *. jitter) in
+  Stdlib.max 1 (int_of_float (ratio *. float_of_int t.page_bytes))
+
+let compress_cycles t = t.page_bytes * 4
+let decompress_cycles t = t.page_bytes * 2

@@ -1,0 +1,22 @@
+(** Page compressor model for the compression-paging application
+    (Appel & Li's "compression paging" row of Table 1).
+
+    Compressed sizes are drawn deterministically per page from a seeded
+    distribution, so repeated compressions of the same page agree and
+    experiments are reproducible. *)
+
+open Sasos_addr
+
+type t
+
+val create : ?seed:int -> ?mean_ratio:float -> page_bytes:int -> unit -> t
+(** [mean_ratio] is the average compressed/original ratio (default 0.4). *)
+
+val compressed_size : t -> Va.vpn -> int
+(** Deterministic size in bytes for this page, in [1, page_bytes]. *)
+
+val compress_cycles : t -> int
+(** Cost of compressing one page (cycles) — roughly a few instructions per
+    byte on the machines of the era. *)
+
+val decompress_cycles : t -> int

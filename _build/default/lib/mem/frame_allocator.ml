@@ -1,0 +1,39 @@
+type t = {
+  total : int;
+  mutable free_list : int list;
+  mutable free_count : int;
+  state : bool array; (* true = free *)
+}
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Frame_allocator.create: frames <= 0";
+  {
+    total = frames;
+    free_list = List.init frames (fun i -> i);
+    free_count = frames;
+    state = Array.make frames true;
+  }
+
+let total t = t.total
+let free_count t = t.free_count
+let used_count t = t.total - t.free_count
+
+let alloc t =
+  match t.free_list with
+  | [] -> None
+  | f :: rest ->
+      t.free_list <- rest;
+      t.free_count <- t.free_count - 1;
+      t.state.(f) <- false;
+      Some f
+
+let free t f =
+  if f < 0 || f >= t.total then invalid_arg "Frame_allocator.free: bad frame";
+  if t.state.(f) then invalid_arg "Frame_allocator.free: double free";
+  t.state.(f) <- true;
+  t.free_list <- f :: t.free_list;
+  t.free_count <- t.free_count + 1
+
+let is_free t f =
+  if f < 0 || f >= t.total then invalid_arg "Frame_allocator.is_free: bad frame";
+  t.state.(f)

@@ -1,0 +1,23 @@
+(** Physical page-frame allocator.
+
+    A simple free-list over a fixed number of frames. When memory is
+    exhausted the machines invoke page replacement (in the paging
+    experiments) or the allocator refuses. *)
+
+type t
+
+val create : frames:int -> t
+(** @raise Invalid_argument if [frames <= 0]. *)
+
+val total : t -> int
+val free_count : t -> int
+val used_count : t -> int
+
+val alloc : t -> int option
+(** A free frame number, or [None] when memory is full. *)
+
+val free : t -> int -> unit
+(** Return a frame. @raise Invalid_argument if the frame is out of range or
+    already free (double free). *)
+
+val is_free : t -> int -> bool

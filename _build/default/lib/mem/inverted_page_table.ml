@@ -1,0 +1,23 @@
+open Sasos_addr
+
+type mapping = { pfn : int; mutable dirty : bool; mutable referenced : bool }
+type t = (Va.vpn, mapping) Hashtbl.t
+
+let create () = Hashtbl.create 4096
+
+let map t ~vpn ~pfn =
+  if Hashtbl.mem t vpn then
+    invalid_arg "Inverted_page_table.map: page already mapped";
+  Hashtbl.replace t vpn { pfn; dirty = false; referenced = false }
+
+let unmap t ~vpn =
+  match Hashtbl.find_opt t vpn with
+  | None -> raise Not_found
+  | Some m ->
+      Hashtbl.remove t vpn;
+      m
+
+let find t ~vpn = Hashtbl.find_opt t vpn
+let is_mapped t ~vpn = Hashtbl.mem t vpn
+let mapped_count t = Hashtbl.length t
+let iter f t = Hashtbl.iter f t

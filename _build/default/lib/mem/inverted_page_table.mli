@@ -1,0 +1,31 @@
+(** The global translation table of a single address space OS.
+
+    Because virtual-to-physical translations are global (one per page,
+    independent of domain), the natural OS structure is a single inverted /
+    hashed page table shared by all domains — the organization §3.1
+    recommends for software-loaded TLBs. Protection lives elsewhere
+    (per-machine protection tables). *)
+
+open Sasos_addr
+
+type mapping = {
+  pfn : int;
+  mutable dirty : bool;
+  mutable referenced : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val map : t -> vpn:Va.vpn -> pfn:int -> unit
+(** @raise Invalid_argument if the page is already mapped (a SASOS has
+    exactly one translation per page — mapping twice would be a homonym). *)
+
+val unmap : t -> vpn:Va.vpn -> mapping
+(** @raise Not_found if unmapped. *)
+
+val find : t -> vpn:Va.vpn -> mapping option
+val is_mapped : t -> vpn:Va.vpn -> bool
+val mapped_count : t -> int
+val iter : (Va.vpn -> mapping -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/os/cap_registry.ml: Capability Hashtbl Rights Sasos_addr Sasos_util Segment System_ops

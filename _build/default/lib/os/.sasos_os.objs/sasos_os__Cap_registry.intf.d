@@ -1,0 +1,1 @@
+lib/os/cap_registry.mli: Capability Pd Rights Sasos_addr Segment System_intf

@@ -1,0 +1,1 @@
+lib/os/capability.ml: Format Rights Sasos_addr Segment

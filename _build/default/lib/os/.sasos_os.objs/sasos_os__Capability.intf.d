@@ -1,0 +1,1 @@
+lib/os/capability.mli: Format Rights Sasos_addr Segment

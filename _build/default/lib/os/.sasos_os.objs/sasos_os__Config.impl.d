@@ -1,0 +1,1 @@
+lib/os/config.ml: Cost_model Data_cache Geometry Replacement Sasos_addr Sasos_hw

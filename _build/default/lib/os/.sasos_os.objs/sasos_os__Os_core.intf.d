@@ -1,0 +1,1 @@
+lib/os/os_core.mli: Backing_store Config Cost_model Frame_allocator Geometry Hashtbl Inverted_page_table Metrics Pd Queue Rights Sasos_addr Sasos_hw Sasos_mem Sasos_util Segment Segment_table Va

@@ -1,0 +1,1 @@
+lib/os/segment.ml: Format List Sasos_addr Va

@@ -1,0 +1,1 @@
+lib/os/segment.mli: Format Sasos_addr Va

@@ -1,0 +1,1 @@
+lib/os/segment_table.ml: Geometry Hashtbl Int Map Printf Sasos_addr Sasos_util Segment Va

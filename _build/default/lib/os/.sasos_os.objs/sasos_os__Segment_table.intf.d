@@ -1,0 +1,1 @@
+lib/os/segment_table.mli: Geometry Sasos_addr Segment Va

@@ -1,0 +1,1 @@
+lib/os/system_intf.ml: Access Config Metrics Os_core Pd Rights Sasos_addr Sasos_hw Segment Va

@@ -1,0 +1,1 @@
+lib/os/system_ops.ml: Access Printf Sasos_addr System_intf

@@ -1,0 +1,1 @@
+lib/os/system_ops.mli: Access Os_core Pd Rights Sasos_addr Sasos_hw Segment System_intf Va

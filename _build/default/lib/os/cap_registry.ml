@@ -1,0 +1,73 @@
+open Sasos_addr
+
+type record = { segment : Segment.id; rights : Rights.t }
+
+type t = {
+  rng : Sasos_util.Prng.t;
+  by_check : (int64, record) Hashtbl.t;
+  names : (string, Capability.t) Hashtbl.t;
+  segments_of : (int, Segment.t) Hashtbl.t;
+      (* segments seen at mint time, for attach *)
+}
+
+let create ?(seed = 0xca9) () =
+  {
+    rng = Sasos_util.Prng.create ~seed;
+    by_check = Hashtbl.create 64;
+    names = Hashtbl.create 64;
+    segments_of = Hashtbl.create 64;
+  }
+
+let fresh_check t =
+  (* sparse: collisions are vanishingly unlikely, but loop anyway *)
+  let rec go () =
+    let c = Sasos_util.Prng.bits64 t.rng in
+    if Hashtbl.mem t.by_check c then go () else c
+  in
+  go ()
+
+let mint t (seg : Segment.t) rights =
+  let check = fresh_check t in
+  Hashtbl.replace t.by_check check { segment = seg.Segment.id; rights };
+  Hashtbl.replace t.segments_of (Segment.id_to_int seg.Segment.id) seg;
+  Capability.make ~segment:seg.Segment.id ~rights ~check
+
+let validate t cap =
+  match Hashtbl.find_opt t.by_check (Capability.check cap) with
+  | Some r ->
+      Segment.id_equal r.segment (Capability.segment cap)
+      && Rights.equal r.rights (Capability.rights cap)
+  | None -> false
+
+let restrict t cap rights =
+  if not (validate t cap) then Error "invalid capability"
+  else if not (Rights.subset rights (Capability.rights cap)) then
+    Error "rights exceed the capability's bound"
+  else begin
+    let check = fresh_check t in
+    Hashtbl.replace t.by_check check
+      { segment = Capability.segment cap; rights };
+    Ok (Capability.make ~segment:(Capability.segment cap) ~rights ~check)
+  end
+
+let revoke t cap = Hashtbl.remove t.by_check (Capability.check cap)
+
+let attach t sys pd cap rights =
+  if not (validate t cap) then Error "invalid capability"
+  else if not (Rights.subset rights (Capability.rights cap)) then
+    Error "rights exceed the capability's bound"
+  else begin
+    match
+      Hashtbl.find_opt t.segments_of
+        (Segment.id_to_int (Capability.segment cap))
+    with
+    | None -> Error "segment no longer exists"
+    | Some seg ->
+        System_ops.attach sys pd seg rights;
+        Ok ()
+  end
+
+let publish t name cap = Hashtbl.replace t.names name cap
+let lookup t name = Hashtbl.find_opt t.names name
+let unpublish t name = Hashtbl.remove t.names name
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.names []

@@ -1,0 +1,13 @@
+open Sasos_addr
+
+type t = { segment : Segment.id; rights : Rights.t; check : int64 }
+
+let segment t = t.segment
+let rights t = t.rights
+let check t = t.check
+let make ~segment ~rights ~check = { segment; rights; check }
+
+let pp fmt t =
+  Format.fprintf fmt "cap(seg%d, %a, ****)"
+    (Segment.id_to_int t.segment)
+    Rights.pp t.rights

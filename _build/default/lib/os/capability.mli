@@ -1,0 +1,32 @@
+open Sasos_addr
+
+(** Password capabilities for segments — Opal's attachment model.
+
+    In Opal a protection domain may attach a segment only if it can
+    present a capability for it: an unforgeable value naming the segment
+    and bounding the rights the attachment may carry (Chase et al. 92a).
+    Capabilities are "password" (sparse) capabilities: a large random
+    check field validated against the kernel's registry, so they can be
+    passed through shared memory like any other datum.
+
+    Values of this type are unforgeable within the type system (abstract),
+    and a guessed check fails validation with overwhelming probability. *)
+
+type t
+
+val segment : t -> Segment.id
+val rights : t -> Rights.t
+(** Upper bound on the rights an attachment made with this capability may
+    request. *)
+
+val check : t -> int64
+(** The sparse check field (exposed for serialization; knowing a check is
+    exactly what holding the capability means). *)
+
+val make : segment:Segment.id -> rights:Rights.t -> check:int64 -> t
+(** Reassemble a capability from its fields (e.g. received over a message
+    segment). Validity is decided by {!Cap_registry.validate}, not by
+    construction. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the segment and rights; the check field is elided. *)

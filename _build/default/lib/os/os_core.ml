@@ -1,0 +1,240 @@
+open Sasos_addr
+open Sasos_hw
+open Sasos_mem
+
+type t = {
+  config : Config.t;
+  geom : Geometry.t;
+  cost : Cost_model.t;
+  metrics : Metrics.t;
+  segments : Segment_table.t;
+  frames : Frame_allocator.t;
+  ipt : Inverted_page_table.t;
+  disk : Backing_store.t;
+  attachments : (int * int, Rights.t) Hashtbl.t;
+  overrides : (int * int, Rights.t) Hashtbl.t;
+  override_counts : (int * int, int) Hashtbl.t; (* (pd, seg id) -> count *)
+  resident : (Va.vpn, unit) Hashtbl.t;
+  resident_fifo : Va.vpn Queue.t;
+  mutable domains : Pd.t list;
+  mutable next_pd : int;
+  mutable current : Pd.t;
+  rng : Sasos_util.Prng.t;
+}
+
+let create (config : Config.t) =
+  {
+    config;
+    geom = config.Config.geom;
+    cost = config.Config.cost;
+    metrics = Metrics.create ();
+    segments = Segment_table.create config.Config.geom;
+    frames = Frame_allocator.create ~frames:config.Config.frames;
+    ipt = Inverted_page_table.create ();
+    disk = Backing_store.create ();
+    attachments = Hashtbl.create 256;
+    overrides = Hashtbl.create 1024;
+    override_counts = Hashtbl.create 256;
+    resident = Hashtbl.create 4096;
+    resident_fifo = Queue.create ();
+    domains = [];
+    next_pd = 1;
+    current = Pd.kernel;
+    rng = Sasos_util.Prng.create ~seed:config.Config.seed;
+  }
+
+let new_domain t =
+  let pd = Pd.of_int t.next_pd in
+  t.next_pd <- t.next_pd + 1;
+  t.domains <- pd :: t.domains;
+  pd
+
+let domain_list t = List.rev t.domains
+
+let destroy_domain t pd =
+  if Pd.equal t.current pd then
+    invalid_arg "Os_core.destroy_domain: domain is running";
+  t.domains <- List.filter (fun d -> not (Pd.equal d pd)) t.domains;
+  let i = Pd.to_int pd in
+  let drop tbl =
+    let keys =
+      Hashtbl.fold (fun (d, k) _ acc -> if d = i then (d, k) :: acc else acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove tbl) keys
+  in
+  drop t.attachments;
+  drop t.overrides;
+  drop t.override_counts
+
+let prot_unit t va = va lsr t.geom.Geometry.prot_shift
+
+let rights t pd va =
+  match Hashtbl.find_opt t.overrides (Pd.to_int pd, prot_unit t va) with
+  | Some r -> r
+  | None -> begin
+      match Segment_table.find_by_va t.segments va with
+      | None -> Rights.none
+      | Some seg -> begin
+          match
+            Hashtbl.find_opt t.attachments
+              (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
+          with
+          | Some r -> r
+          | None -> Rights.none
+        end
+    end
+
+let set_attachment t pd seg r =
+  Hashtbl.replace t.attachments
+    (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
+    r
+
+let count_key t pd va =
+  Option.map
+    (fun seg -> (Pd.to_int pd, Segment.id_to_int seg.Segment.id))
+    (Segment_table.find_by_va t.segments va)
+
+let remove_attachment t pd (seg : Segment.t) =
+  Hashtbl.remove t.attachments (Pd.to_int pd, Segment.id_to_int seg.Segment.id);
+  (* per-page overrides within the segment die with the attachment *)
+  let shift = t.geom.Geometry.prot_shift in
+  let lo = seg.Segment.base lsr shift in
+  let hi = (Segment.limit seg - 1) lsr shift in
+  for unit = lo to hi do
+    Hashtbl.remove t.overrides (Pd.to_int pd, unit)
+  done;
+  Hashtbl.remove t.override_counts
+    (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
+
+let attachment t pd (seg : Segment.t) =
+  Hashtbl.find_opt t.attachments
+    (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
+
+let bump_count t pd va delta =
+  match count_key t pd va with
+  | None -> ()
+  | Some key ->
+      let c = Option.value (Hashtbl.find_opt t.override_counts key) ~default:0 in
+      let c = c + delta in
+      if c <= 0 then Hashtbl.remove t.override_counts key
+      else Hashtbl.replace t.override_counts key c
+
+let set_override t pd va r =
+  let key = (Pd.to_int pd, prot_unit t va) in
+  if not (Hashtbl.mem t.overrides key) then bump_count t pd va 1;
+  Hashtbl.replace t.overrides key r
+
+let clear_override t pd va =
+  let key = (Pd.to_int pd, prot_unit t va) in
+  if Hashtbl.mem t.overrides key then begin
+    Hashtbl.remove t.overrides key;
+    bump_count t pd va (-1)
+  end
+
+let has_overrides t pd (seg : Segment.t) =
+  Hashtbl.mem t.override_counts
+    (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
+
+let override_units_in_segment t pd (seg : Segment.t) =
+  if not (has_overrides t pd seg) then []
+  else begin
+    let shift = t.geom.Geometry.prot_shift in
+    let lo = seg.Segment.base lsr shift in
+    let hi = (Segment.limit seg - 1) lsr shift in
+    let units = ref [] in
+    for unit = hi downto lo do
+      if Hashtbl.mem t.overrides (Pd.to_int pd, unit) then
+        units := unit :: !units
+    done;
+    !units
+  end
+
+let page_has_override t va =
+  let unit = prot_unit t va in
+  List.exists
+    (fun pd -> Hashtbl.mem t.overrides (Pd.to_int pd, unit))
+    t.domains
+
+let domains_with_rights t va =
+  List.filter_map
+    (fun pd ->
+      let r = rights t pd va in
+      if Rights.equal r Rights.none then None else Some (pd, r))
+    (domain_list t)
+
+let charge t cycles = t.metrics.Metrics.cycles <- t.metrics.Metrics.cycles + cycles
+
+let kernel_entry t =
+  t.metrics.Metrics.kernel_entries <- t.metrics.Metrics.kernel_entries + 1;
+  charge t t.cost.Cost_model.kernel_trap
+
+let note_resident t vpn =
+  Hashtbl.replace t.resident vpn ();
+  Queue.push vpn t.resident_fifo
+
+let unmap t ~vpn ~write_back =
+  match Inverted_page_table.find t.ipt ~vpn with
+  | None -> ()
+  | Some m ->
+      if write_back && m.Inverted_page_table.dirty then begin
+        let bytes = Geometry.page_size t.geom in
+        Backing_store.write t.disk ~vpn ~bytes_used:bytes;
+        t.metrics.Metrics.page_outs <- t.metrics.Metrics.page_outs + 1;
+        charge t t.cost.Cost_model.page_out
+      end;
+      ignore (Inverted_page_table.unmap t.ipt ~vpn);
+      Hashtbl.remove t.resident vpn;
+      Frame_allocator.free t.frames m.Inverted_page_table.pfn
+
+let rec evict_oldest t ~before_evict =
+  match Queue.take_opt t.resident_fifo with
+  | None -> failwith "Os_core: no resident page to evict"
+  | Some victim ->
+      (* the FIFO may contain stale entries for pages already unmapped *)
+      if Hashtbl.mem t.resident victim then begin
+        before_evict victim;
+        unmap t ~vpn:victim ~write_back:true
+      end
+      else evict_oldest t ~before_evict
+
+let ensure_mapped t ~vpn ~before_evict =
+  match Inverted_page_table.find t.ipt ~vpn with
+  | Some m -> m.Inverted_page_table.pfn
+  | None -> begin
+      t.metrics.Metrics.page_faults <- t.metrics.Metrics.page_faults + 1;
+      let rec get_frame () =
+        match Frame_allocator.alloc t.frames with
+        | Some f -> f
+        | None ->
+            evict_oldest t ~before_evict;
+            get_frame ()
+      in
+      let pfn = get_frame () in
+      (* page-in from disk if a copy exists; else zero-fill (cheap) *)
+      if Backing_store.resident t.disk ~vpn then begin
+        t.metrics.Metrics.page_ins <- t.metrics.Metrics.page_ins + 1;
+        charge t t.cost.Cost_model.page_in
+      end;
+      Inverted_page_table.map t.ipt ~vpn ~pfn;
+      note_resident t vpn;
+      pfn
+    end
+
+let is_resident t ~vpn = Inverted_page_table.is_mapped t.ipt ~vpn
+
+let pfn_of t ~vpn =
+  Option.map
+    (fun m -> m.Inverted_page_table.pfn)
+    (Inverted_page_table.find t.ipt ~vpn)
+
+let pa_of t va =
+  let vpn = Va.vpn_of_va t.geom va in
+  Option.map
+    (fun pfn -> (pfn lsl t.geom.Geometry.page_shift) lor Va.offset t.geom va)
+    (pfn_of t ~vpn)
+
+let mark_dirty t ~vpn =
+  match Inverted_page_table.find t.ipt ~vpn with
+  | Some m -> m.Inverted_page_table.dirty <- true
+  | None -> ()

@@ -1,0 +1,29 @@
+open Sasos_addr
+
+type id = int
+
+let id_to_int i = i
+let id_of_int i = i
+let id_equal (a : id) b = a = b
+
+type t = {
+  id : id;
+  name : string;
+  base : Va.t;
+  pages : int;
+  page_shift : int;
+}
+
+let size_bytes t = t.pages lsl t.page_shift
+let limit t = t.base + size_bytes t
+let contains t va = va >= t.base && va < limit t
+
+let page_va t i =
+  if i < 0 || i >= t.pages then invalid_arg "Segment.page_va: out of range";
+  t.base + (i lsl t.page_shift)
+
+let first_vpn t = t.base lsr t.page_shift
+let vpns t = List.init t.pages (fun i -> first_vpn t + i)
+
+let pp fmt t =
+  Format.fprintf fmt "seg%d(%s)@0x%x+%dp" t.id t.name t.base t.pages

@@ -1,0 +1,38 @@
+(** Virtual segments: the unit of allocation and sharing in Opal.
+
+    A segment is a fixed, contiguous range of the global virtual address
+    space, assigned at creation and disjoint from every other segment ever
+    created (addresses are never reused — they are not scarce in a 64-bit
+    space). Segment boundaries are unknown to the hardware. *)
+
+open Sasos_addr
+
+type id = private int
+
+val id_to_int : id -> int
+val id_of_int : int -> id
+val id_equal : id -> id -> bool
+
+type t = {
+  id : id;
+  name : string;
+  base : Va.t;  (** first byte; page- and alignment-aligned *)
+  pages : int;  (** length in translation pages *)
+  page_shift : int;
+}
+
+val size_bytes : t -> int
+val limit : t -> Va.t
+(** One past the last byte. *)
+
+val contains : t -> Va.t -> bool
+
+val page_va : t -> int -> Va.t
+(** Base address of the segment's [i]-th page.
+    @raise Invalid_argument if out of range. *)
+
+val first_vpn : t -> Va.vpn
+val vpns : t -> Va.vpn list
+(** All translation pages, in order. *)
+
+val pp : Format.formatter -> t -> unit

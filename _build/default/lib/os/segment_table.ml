@@ -1,0 +1,71 @@
+open Sasos_addr
+
+module Base_map = Map.Make (Int)
+
+type t = {
+  geom : Geometry.t;
+  mutable by_base : Segment.t Base_map.t;
+  by_id : (int, Segment.t) Hashtbl.t;
+  mutable next_base : Va.t;
+  mutable next_id : int;
+}
+
+(* Leave low space clear (null page etc.) and start segments at 16 MB. *)
+let initial_base = 0x100_0000
+
+(* Keep simulated addresses within OCaml's 62 usable bits. *)
+let address_limit = 1 lsl 61
+
+let create geom = {
+  geom;
+  by_base = Base_map.empty;
+  by_id = Hashtbl.create 256;
+  next_base = initial_base;
+  next_id = 1;
+}
+
+let allocate t ?(name = "") ?align_shift ~pages () =
+  if pages <= 0 then invalid_arg "Segment_table.allocate: pages <= 0";
+  let page_shift = t.geom.Geometry.page_shift in
+  let align = match align_shift with
+    | None -> 1 lsl page_shift
+    | Some s ->
+        if s < page_shift then
+          invalid_arg "Segment_table.allocate: align below page size"
+        else 1 lsl s
+  in
+  let base = Sasos_util.Bits.round_up t.next_base align in
+  let size = pages lsl page_shift in
+  if base + size >= address_limit then
+    invalid_arg "Segment_table.allocate: address space exhausted";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  (* one guard page after the segment: off-by-one strays fault, and
+     adjacent segments never share a protection page *)
+  t.next_base <- base + size + (1 lsl page_shift);
+  let name = if name = "" then Printf.sprintf "seg%d" id else name in
+  let seg =
+    { Segment.id = Segment.id_of_int id; name; base; pages; page_shift }
+  in
+  t.by_base <- Base_map.add base seg t.by_base;
+  Hashtbl.replace t.by_id id seg;
+  seg
+
+let destroy t id =
+  let id = Segment.id_to_int id in
+  match Hashtbl.find_opt t.by_id id with
+  | None -> raise Not_found
+  | Some seg ->
+      Hashtbl.remove t.by_id id;
+      t.by_base <- Base_map.remove seg.Segment.base t.by_base;
+      seg
+
+let find t id = Hashtbl.find_opt t.by_id (Segment.id_to_int id)
+
+let find_by_va t va =
+  match Base_map.find_last_opt (fun base -> base <= va) t.by_base with
+  | Some (_, seg) when Segment.contains seg va -> Some seg
+  | Some _ | None -> None
+
+let live_count t = Hashtbl.length t.by_id
+let iter f t = Base_map.iter (fun _ s -> f s) t.by_base

@@ -1,0 +1,59 @@
+(** Convenience wrappers for driving a packed machine
+    ({!System_intf.packed}) without unpacking the existential by hand.
+    Workloads, experiments, examples and tests are all written against
+    these. *)
+
+open Sasos_addr
+open System_intf
+
+let name (Packed ((module S), _)) = S.name
+let model (Packed ((module S), _)) = S.model
+let os (Packed ((module S), t)) = S.os t
+let metrics (Packed ((module S), t)) = S.metrics t
+let new_domain (Packed ((module S), t)) = S.new_domain t
+let current_domain (Packed ((module S), t)) = S.current_domain t
+let switch_domain (Packed ((module S), t)) pd = S.switch_domain t pd
+let destroy_domain (Packed ((module S), t)) pd = S.destroy_domain t pd
+
+let new_segment (Packed ((module S), t)) ?name ?align_shift ~pages () =
+  S.new_segment t ?name ?align_shift ~pages ()
+
+let destroy_segment (Packed ((module S), t)) seg = S.destroy_segment t seg
+let attach (Packed ((module S), t)) pd seg r = S.attach t pd seg r
+let detach (Packed ((module S), t)) pd seg = S.detach t pd seg
+let grant (Packed ((module S), t)) pd va r = S.grant t pd va r
+let protect_all (Packed ((module S), t)) va r = S.protect_all t va r
+
+let protect_segment (Packed ((module S), t)) pd seg r =
+  S.protect_segment t pd seg r
+
+let unmap_page (Packed ((module S), t)) vpn = S.unmap_page t vpn
+let access (Packed ((module S), t)) kind va = S.access t kind va
+
+let resident_prot_entries_for (Packed ((module S), t)) va =
+  S.resident_prot_entries_for t va
+
+let hw_over_allows (Packed ((module S), t)) probes = S.hw_over_allows t probes
+
+let read sys va = access sys Access.Read va
+let write sys va = access sys Access.Write va
+
+(** Access that must succeed; raises if the machine faults — used by
+    workloads at points where the protocol guarantees access. *)
+let must_ok sys kind va =
+  match access sys kind va with
+  | Access.Ok -> ()
+  | Access.Protection_fault ->
+      failwith
+        (Printf.sprintf "%s: unexpected protection fault at 0x%x" (name sys)
+           va)
+
+(** Access retried once after running [handler] on a protection fault — the
+    "trap the access, fix, restart" pattern of every Table 1 application.
+    Raises if the retry faults again. *)
+let with_fault_handler sys kind va ~handler =
+  match access sys kind va with
+  | Access.Ok -> ()
+  | Access.Protection_fault ->
+      handler ();
+      must_ok sys kind va

@@ -1,0 +1,1 @@
+lib/trace/event.ml: Access Format Printf Result Rights Sasos_addr String

@@ -1,0 +1,1 @@
+lib/trace/player.ml: Array Event List Pd Printf Sasos_addr Sasos_os Segment System_ops

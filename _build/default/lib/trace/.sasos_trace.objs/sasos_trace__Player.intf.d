@@ -1,0 +1,1 @@
+lib/trace/player.mli: Access Event Sasos_addr Sasos_os System_intf

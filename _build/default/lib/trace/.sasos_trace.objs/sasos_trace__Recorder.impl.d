@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Event Geometry Hashtbl List Option Os_core Pd Queue Sasos_addr Sasos_machine Sasos_os Segment Segment_table System_intf System_ops Va

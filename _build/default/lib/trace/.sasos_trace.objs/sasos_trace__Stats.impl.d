@@ -1,0 +1,1 @@
+lib/trace/stats.ml: Access Event Format Hashtbl List Sasos_addr

@@ -1,0 +1,1 @@
+lib/trace/store.ml: Event Fun List Printf String

@@ -1,0 +1,1 @@
+lib/trace/store.mli: Event

@@ -1,0 +1,119 @@
+open Sasos_addr
+
+type t =
+  | New_domain
+  | Destroy_domain of { pd : int }
+  | New_segment of { pages : int; align_shift : int option; name : string }
+  | Destroy_segment of { seg : int }
+  | Attach of { pd : int; seg : int; rights : Rights.t }
+  | Detach of { pd : int; seg : int }
+  | Grant of { pd : int; seg : int; off : int; rights : Rights.t }
+  | Protect_all of { seg : int; off : int; rights : Rights.t }
+  | Protect_segment of { pd : int; seg : int; rights : Rights.t }
+  | Switch of { pd : int }
+  | Access of { kind : Access.kind; seg : int; off : int }
+  | Unmap of { seg : int; page : int }
+
+let kind_char = function
+  | Access.Read -> 'r'
+  | Access.Write -> 'w'
+  | Access.Execute -> 'x'
+
+let to_line = function
+  | New_domain -> "domain"
+  | Destroy_domain { pd } -> Printf.sprintf "destroy-domain %d" pd
+  | New_segment { pages; align_shift; name } ->
+      Printf.sprintf "segment %d %s %s" pages
+        (match align_shift with Some s -> string_of_int s | None -> "-")
+        (if name = "" then "-" else name)
+  | Destroy_segment { seg } -> Printf.sprintf "destroy %d" seg
+  | Attach { pd; seg; rights } ->
+      Printf.sprintf "attach %d %d %d" pd seg (Rights.to_int rights)
+  | Detach { pd; seg } -> Printf.sprintf "detach %d %d" pd seg
+  | Grant { pd; seg; off; rights } ->
+      Printf.sprintf "grant %d %d %d %d" pd seg off (Rights.to_int rights)
+  | Protect_all { seg; off; rights } ->
+      Printf.sprintf "protect-all %d %d %d" seg off (Rights.to_int rights)
+  | Protect_segment { pd; seg; rights } ->
+      Printf.sprintf "protect-segment %d %d %d" pd seg (Rights.to_int rights)
+  | Switch { pd } -> Printf.sprintf "switch %d" pd
+  | Access { kind; seg; off } ->
+      Printf.sprintf "access %c %d %d" (kind_char kind) seg off
+  | Unmap { seg; page } -> Printf.sprintf "unmap %d %d" seg page
+
+let of_line line =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let int_of s ~what =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> fail "bad %s: %S" what s
+  in
+  let ( let* ) = Result.bind in
+  let rights_of s =
+    let* v = int_of s ~what:"rights" in
+    if v >= 0 && v <= 7 then Ok (Rights.of_int v) else fail "rights out of range: %d" v
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "domain" ] -> Ok New_domain
+  | [ "destroy-domain"; pd ] ->
+      let* pd = int_of pd ~what:"domain" in
+      Ok (Destroy_domain { pd })
+  | [ "segment"; pages; align; name ] ->
+      let* pages = int_of pages ~what:"pages" in
+      let* align_shift =
+        if align = "-" then Ok None
+        else
+          let* a = int_of align ~what:"align" in
+          Ok (Some a)
+      in
+      Ok (New_segment { pages; align_shift; name = (if name = "-" then "" else name) })
+  | [ "destroy"; seg ] ->
+      let* seg = int_of seg ~what:"segment" in
+      Ok (Destroy_segment { seg })
+  | [ "attach"; pd; seg; r ] ->
+      let* pd = int_of pd ~what:"domain" in
+      let* seg = int_of seg ~what:"segment" in
+      let* rights = rights_of r in
+      Ok (Attach { pd; seg; rights })
+  | [ "detach"; pd; seg ] ->
+      let* pd = int_of pd ~what:"domain" in
+      let* seg = int_of seg ~what:"segment" in
+      Ok (Detach { pd; seg })
+  | [ "grant"; pd; seg; off; r ] ->
+      let* pd = int_of pd ~what:"domain" in
+      let* seg = int_of seg ~what:"segment" in
+      let* off = int_of off ~what:"offset" in
+      let* rights = rights_of r in
+      Ok (Grant { pd; seg; off; rights })
+  | [ "protect-all"; seg; off; r ] ->
+      let* seg = int_of seg ~what:"segment" in
+      let* off = int_of off ~what:"offset" in
+      let* rights = rights_of r in
+      Ok (Protect_all { seg; off; rights })
+  | [ "protect-segment"; pd; seg; r ] ->
+      let* pd = int_of pd ~what:"domain" in
+      let* seg = int_of seg ~what:"segment" in
+      let* rights = rights_of r in
+      Ok (Protect_segment { pd; seg; rights })
+  | [ "switch"; pd ] ->
+      let* pd = int_of pd ~what:"domain" in
+      Ok (Switch { pd })
+  | [ "access"; k; seg; off ] ->
+      let* kind =
+        match k with
+        | "r" -> Ok Access.Read
+        | "w" -> Ok Access.Write
+        | "x" -> Ok Access.Execute
+        | _ -> fail "bad access kind: %S" k
+      in
+      let* seg = int_of seg ~what:"segment" in
+      let* off = int_of off ~what:"offset" in
+      Ok (Access { kind; seg; off })
+  | [ "unmap"; seg; page ] ->
+      let* seg = int_of seg ~what:"segment" in
+      let* page = int_of page ~what:"page" in
+      Ok (Unmap { seg; page })
+  | _ -> fail "unrecognized trace line: %S" line
+
+let equal (a : t) b = a = b
+let pp fmt t = Format.pp_print_string fmt (to_line t)

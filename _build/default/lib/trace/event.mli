@@ -1,0 +1,32 @@
+(** Portable trace events.
+
+    A trace is a machine-independent record of the OS operations and memory
+    references a workload issued. Domains and segments are named by their
+    creation index (0-based), and addresses by (segment, byte offset), so a
+    trace replays identically on any machine model and geometry. *)
+
+open Sasos_addr
+
+type t =
+  | New_domain
+  | Destroy_domain of { pd : int }
+  | New_segment of { pages : int; align_shift : int option; name : string }
+  | Destroy_segment of { seg : int }
+  | Attach of { pd : int; seg : int; rights : Rights.t }
+  | Detach of { pd : int; seg : int }
+  | Grant of { pd : int; seg : int; off : int; rights : Rights.t }
+  | Protect_all of { seg : int; off : int; rights : Rights.t }
+  | Protect_segment of { pd : int; seg : int; rights : Rights.t }
+  | Switch of { pd : int }
+  | Access of { kind : Access.kind; seg : int; off : int }
+  | Unmap of { seg : int; page : int }
+
+val to_line : t -> string
+(** One-line textual encoding (whitespace-separated, stable). *)
+
+val of_line : string -> (t, string) result
+(** Parse one line; [Error] explains the malformation. Blank lines and
+    lines starting with ['#'] are rejected here — the {!Store} skips them. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

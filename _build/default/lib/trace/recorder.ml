@@ -1,0 +1,126 @@
+open Sasos_addr
+open Sasos_os
+
+type t = {
+  inner : System_intf.packed;
+  log : Event.t Queue.t;
+  pd_index : (int, int) Hashtbl.t; (* Pd.to_int -> creation index *)
+  seg_index : (int, int) Hashtbl.t; (* Segment id -> creation index *)
+  mutable npd : int;
+  mutable nseg : int;
+}
+
+let name = "recorder"
+let model = System_intf.Domain_page
+
+let wrap inner =
+  {
+    inner;
+    log = Queue.create ();
+    pd_index = Hashtbl.create 16;
+    seg_index = Hashtbl.create 64;
+    npd = 0;
+    nseg = 0;
+  }
+
+(* [create] must make a machine of *some* model; record over the PLB by
+   default — [wrap] chooses explicitly. *)
+let create config =
+  wrap (Sasos_machine.Sys_select.make Sasos_machine.Sys_select.Plb config)
+
+let inner t = t.inner
+let events t = List.of_seq (Queue.to_seq t.log)
+let clear t = Queue.clear t.log
+let push t e = Queue.push e t.log
+let os t = System_ops.os t.inner
+let metrics t = System_ops.metrics t.inner
+
+let pd_idx t pd =
+  match Hashtbl.find_opt t.pd_index (Pd.to_int pd) with
+  | Some i -> i
+  | None -> invalid_arg "Recorder: domain not created through the recorder"
+
+let seg_idx t (seg : Segment.t) =
+  match Hashtbl.find_opt t.seg_index (Segment.id_to_int seg.Segment.id) with
+  | Some i -> i
+  | None -> invalid_arg "Recorder: segment not created through the recorder"
+
+(* locate the segment containing a va via the inner machine's OS *)
+let locate t va =
+  match Segment_table.find_by_va (os t).Os_core.segments va with
+  | Some seg -> Some (seg_idx t seg, va - seg.Segment.base)
+  | None -> None
+
+let new_domain t =
+  let pd = System_ops.new_domain t.inner in
+  Hashtbl.replace t.pd_index (Pd.to_int pd) t.npd;
+  t.npd <- t.npd + 1;
+  push t Event.New_domain;
+  pd
+
+let current_domain t = System_ops.current_domain t.inner
+
+let switch_domain t pd =
+  push t (Event.Switch { pd = pd_idx t pd });
+  System_ops.switch_domain t.inner pd
+
+let destroy_domain t pd =
+  push t (Event.Destroy_domain { pd = pd_idx t pd });
+  System_ops.destroy_domain t.inner pd
+
+let new_segment t ?name ?align_shift ~pages () =
+  let seg = System_ops.new_segment t.inner ?name ?align_shift ~pages () in
+  Hashtbl.replace t.seg_index (Segment.id_to_int seg.Segment.id) t.nseg;
+  t.nseg <- t.nseg + 1;
+  push t
+    (Event.New_segment
+       { pages; align_shift; name = Option.value name ~default:"" });
+  seg
+
+let destroy_segment t seg =
+  push t (Event.Destroy_segment { seg = seg_idx t seg });
+  System_ops.destroy_segment t.inner seg
+
+let attach t pd seg rights =
+  push t (Event.Attach { pd = pd_idx t pd; seg = seg_idx t seg; rights });
+  System_ops.attach t.inner pd seg rights
+
+let detach t pd seg =
+  push t (Event.Detach { pd = pd_idx t pd; seg = seg_idx t seg });
+  System_ops.detach t.inner pd seg
+
+let grant t pd va rights =
+  (match locate t va with
+  | Some (seg, off) -> push t (Event.Grant { pd = pd_idx t pd; seg; off; rights })
+  | None -> ());
+  System_ops.grant t.inner pd va rights
+
+let protect_all t va rights =
+  (match locate t va with
+  | Some (seg, off) -> push t (Event.Protect_all { seg; off; rights })
+  | None -> ());
+  System_ops.protect_all t.inner va rights
+
+let protect_segment t pd seg rights =
+  push t
+    (Event.Protect_segment { pd = pd_idx t pd; seg = seg_idx t seg; rights });
+  System_ops.protect_segment t.inner pd seg rights
+
+let unmap_page t vpn =
+  let geom = (os t).Os_core.geom in
+  (match locate t (Va.va_of_vpn geom vpn) with
+  | Some (seg, off) ->
+      push t (Event.Unmap { seg; page = off lsr geom.Geometry.page_shift })
+  | None -> ());
+  System_ops.unmap_page t.inner vpn
+
+let access t kind va =
+  (match locate t va with
+  | Some (seg, off) -> push t (Event.Access { kind; seg; off })
+  | None -> ());
+  System_ops.access t.inner kind va
+
+let resident_prot_entries_for t va =
+  System_ops.resident_prot_entries_for t.inner va
+
+let hw_over_allows t probes = System_ops.hw_over_allows t.inner probes

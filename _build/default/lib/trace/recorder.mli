@@ -1,0 +1,29 @@
+(** A recording machine: implements {!Sasos_os.System_intf.SYSTEM} by
+    forwarding every operation to an inner machine while appending a
+    portable {!Event.t} to a log.
+
+    Because the recorder is itself a SYSTEM, any workload runs on it
+    unchanged — wrap a machine, run the workload, and keep the trace for
+    replay on the other models:
+
+    {[
+      let inner = Sys_select.make Plb config in
+      let rec_t = Recorder.wrap inner in
+      let sys = System_intf.Packed ((module Recorder), rec_t) in
+      Workloads.Gc.run sys;
+      let trace = Recorder.events rec_t in
+      let outcomes = Player.replay trace (Sys_select.make Page_group config)
+    ]} *)
+
+include Sasos_os.System_intf.SYSTEM
+
+val wrap : Sasos_os.System_intf.packed -> t
+(** Record on top of an existing machine. ({!create} wraps a fresh PLB
+    machine.) *)
+
+val inner : t -> Sasos_os.System_intf.packed
+
+val events : t -> Event.t list
+(** The trace so far, in order. *)
+
+val clear : t -> unit

@@ -1,0 +1,74 @@
+open Sasos_addr
+
+type t = {
+  events : int;
+  accesses : int;
+  reads : int;
+  writes : int;
+  executes : int;
+  switches : int;
+  attaches : int;
+  detaches : int;
+  grants : int;
+  protects : int;
+  unmaps : int;
+  domains : int;
+  segments : int;
+  unique_pages : int;
+}
+
+let of_events events =
+  let pages = Hashtbl.create 256 in
+  let z =
+    {
+      events = 0;
+      accesses = 0;
+      reads = 0;
+      writes = 0;
+      executes = 0;
+      switches = 0;
+      attaches = 0;
+      detaches = 0;
+      grants = 0;
+      protects = 0;
+      unmaps = 0;
+      domains = 0;
+      segments = 0;
+      unique_pages = 0;
+    }
+  in
+  let acc =
+    List.fold_left
+      (fun acc e ->
+        let acc = { acc with events = acc.events + 1 } in
+        match (e : Event.t) with
+        | Event.New_domain -> { acc with domains = acc.domains + 1 }
+        | Event.Destroy_domain _ -> acc
+        | Event.New_segment _ -> { acc with segments = acc.segments + 1 }
+        | Event.Destroy_segment _ -> acc
+        | Event.Attach _ -> { acc with attaches = acc.attaches + 1 }
+        | Event.Detach _ -> { acc with detaches = acc.detaches + 1 }
+        | Event.Grant _ -> { acc with grants = acc.grants + 1 }
+        | Event.Protect_all _ | Event.Protect_segment _ ->
+            { acc with protects = acc.protects + 1 }
+        | Event.Switch _ -> { acc with switches = acc.switches + 1 }
+        | Event.Unmap _ -> { acc with unmaps = acc.unmaps + 1 }
+        | Event.Access { kind; seg; off } ->
+            Hashtbl.replace pages (seg, off lsr 12) ();
+            let acc = { acc with accesses = acc.accesses + 1 } in
+            (match kind with
+            | Access.Read -> { acc with reads = acc.reads + 1 }
+            | Access.Write -> { acc with writes = acc.writes + 1 }
+            | Access.Execute -> { acc with executes = acc.executes + 1 }))
+      z events
+  in
+  { acc with unique_pages = Hashtbl.length pages }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>events: %d@,accesses: %d (r %d / w %d / x %d)@,switches: %d@,\
+     attaches: %d, detaches: %d@,grants: %d, protects: %d, unmaps: %d@,\
+     domains: %d, segments: %d@,unique pages touched: %d@]"
+    t.events t.accesses t.reads t.writes t.executes t.switches t.attaches
+    t.detaches t.grants t.protects t.unmaps t.domains t.segments
+    t.unique_pages

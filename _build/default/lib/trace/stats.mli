@@ -1,0 +1,21 @@
+(** Summary statistics of a trace. *)
+
+type t = {
+  events : int;
+  accesses : int;
+  reads : int;
+  writes : int;
+  executes : int;
+  switches : int;
+  attaches : int;
+  detaches : int;
+  grants : int;
+  protects : int;  (** protect-all + protect-segment *)
+  unmaps : int;
+  domains : int;
+  segments : int;
+  unique_pages : int;  (** distinct (segment, 4K page) pairs referenced *)
+}
+
+val of_events : Event.t list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  if not (is_power_of_two n) then invalid_arg "Bits.log2: not a power of two";
+  let rec go k v = if v = 1 then k else go (k + 1) (v lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Bits.ceil_log2: n must be >= 1";
+  let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+  go 0 1
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Bits.ceil_div: divisor must be positive";
+  (a + b - 1) / b
+
+let round_up x align =
+  if not (is_power_of_two align) then
+    invalid_arg "Bits.round_up: align must be a power of two";
+  (x + align - 1) land lnot (align - 1)
+
+let mask k = (1 lsl k) - 1
+
+let popcount n =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 n

@@ -1,0 +1,24 @@
+(** Small bit-manipulation helpers used throughout the hardware models. *)
+
+val is_power_of_two : int -> bool
+(** True for 1, 2, 4, ... ; false for 0, negatives and non-powers. *)
+
+val log2 : int -> int
+(** [log2 n] for a positive power of two [n].
+    @raise Invalid_argument otherwise. *)
+
+val ceil_log2 : int -> int
+(** Smallest [k] with [2^k >= n], for [n >= 1]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] = ⌈a/b⌉ for positive [b]. *)
+
+val round_up : int -> int -> int
+(** [round_up x align] rounds [x] up to a multiple of [align] (a power of
+    two). *)
+
+val mask : int -> int
+(** [mask k] is a value with the low [k] bits set. *)
+
+val popcount : int -> int
+(** Number of set bits. *)

@@ -1,0 +1,52 @@
+type t = { width : int; counts : int array; mutable total : int }
+
+let create ~buckets ~width =
+  if buckets <= 0 || width <= 0 then
+    invalid_arg "Histogram.create: buckets and width must be positive";
+  { width; counts = Array.make (buckets + 1) 0; total = 0 }
+
+let nbuckets t = Array.length t.counts - 1
+
+let add t v =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  let i = v / t.width in
+  let i = if i >= nbuckets t then nbuckets t else i in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+let bucket t i = t.counts.(i)
+
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+    let target = if target < 1 then 1 else target in
+    let acc = ref 0 and result = ref ((nbuckets t + 1) * t.width) in
+    (try
+       for i = 0 to nbuckets t do
+         acc := !acc + t.counts.(i);
+         if !acc >= target then begin
+           result := (i + 1) * t.width;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let render t =
+  let buf = Buffer.create 256 in
+  let maxc = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let label =
+          if i = nbuckets t then Printf.sprintf "%8d+" (i * t.width)
+          else Printf.sprintf "%8d " (i * t.width)
+        in
+        let bar = String.make (c * 40 / maxc) '#' in
+        Buffer.add_string buf (Printf.sprintf "%s |%-40s| %d\n" label bar c)
+      end)
+    t.counts;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Fixed-bucket histograms for distributions reported by experiments
+    (e.g. purge sweep lengths, fault inter-arrival distances). *)
+
+type t
+
+val create : buckets:int -> width:int -> t
+(** [create ~buckets ~width]: bucket [i] counts values in
+    [i*width, (i+1)*width); values beyond the last bucket land in an
+    overflow bucket. @raise Invalid_argument on non-positive arguments. *)
+
+val add : t -> int -> unit
+(** Record one observation. Negative values raise [Invalid_argument]. *)
+
+val count : t -> int
+(** Total observations. *)
+
+val bucket : t -> int -> int
+(** Count in bucket [i]; index [buckets] is the overflow bucket. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0,100]: an upper bound on the value at the
+    p-th percentile (the right edge of the bucket that contains it). 0 when
+    empty. *)
+
+val render : t -> string
+(** Small ASCII rendering, one line per non-empty bucket. *)

@@ -1,0 +1,24 @@
+(** Streaming numeric summaries (count / mean / variance / extrema).
+
+    Welford's online algorithm; used by experiments that aggregate over
+    repeated trials. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0 when fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** +infinity when empty. *)
+
+val max : t -> float
+(** -infinity when empty. *)
+
+val total : t -> float

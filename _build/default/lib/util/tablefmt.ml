@@ -1,0 +1,93 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  headers : string list;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create columns =
+  {
+    headers = List.map fst columns;
+    aligns = Array.of_list (List.map snd columns);
+    rows = [];
+  }
+
+let ncols t = List.length t.headers
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > ncols t then invalid_arg "Tablefmt.add_row: too many cells";
+  let cells =
+    if n = ncols t then cells
+    else cells @ List.init (ncols t - n) (fun _ -> "")
+  in
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Sep -> ()
+    | Cells cells ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cells
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let pad i c =
+    let w = widths.(i) in
+    let n = w - String.length c in
+    match t.aligns.(i) with
+    | Left -> c ^ String.make n ' '
+    | Right -> String.make n ' ' ^ c
+  in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_sep () =
+    Buffer.add_char buf '|';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '|')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_sep ();
+  List.iter (function Sep -> emit_sep () | Cells c -> emit_cells c) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + len / 3 + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cell_float ?(dec = 2) f = Printf.sprintf "%.*f" dec f
+
+let cell_ratio a b =
+  if b = 0.0 then "inf" else Printf.sprintf "%.2fx" (a /. b)
+
+let cell_pct part whole =
+  if whole = 0.0 then "0.0%" else Printf.sprintf "%.1f%%" (100.0 *. part /. whole)

@@ -1,0 +1,37 @@
+(** Plain-text table rendering for experiment reports.
+
+    Produces aligned, pipe-separated tables similar to those in the paper,
+    suitable for terminals and for diffing in EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : (string * align) list -> t
+(** [create columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells.
+    @raise Invalid_argument if the row has more cells than columns. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** The full table as a string, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_int : int -> string
+(** Integer with thousands separators, e.g. ["12_345_678"] → ["12,345,678"]. *)
+
+val cell_float : ?dec:int -> float -> string
+(** Fixed-point rendering, default 2 decimals. *)
+
+val cell_ratio : float -> float -> string
+(** [cell_ratio a b] renders [a/b] as e.g. ["3.41x"]; ["inf"] when [b = 0]. *)
+
+val cell_pct : float -> float -> string
+(** [cell_pct part whole] renders the percentage, e.g. ["12.3%"]. *)

@@ -1,0 +1,19 @@
+(** Zipf-distributed random sampling.
+
+    Memory reference streams are famously skewed; the workload generators use
+    a Zipf law over pages to get realistic hot/cold behaviour. *)
+
+type t
+(** Precomputed sampler over [0, n). *)
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] builds a sampler over ranks [0..n-1] where rank [k]
+    has probability proportional to [1 / (k+1)^theta]. [theta = 0] is
+    uniform; [theta] around 0.8–1.0 matches typical reference streams.
+    @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
+
+val n : t -> int
+(** Population size. *)
+
+val sample : t -> Prng.t -> int
+(** Draw a rank in [0, n). Rank 0 is the hottest. *)

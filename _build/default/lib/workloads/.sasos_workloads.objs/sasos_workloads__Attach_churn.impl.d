@@ -1,0 +1,1 @@
+lib/workloads/attach_churn.ml: Access Array List Pd Prng Queue Rights Sasos_addr Sasos_os Sasos_util Segment System_ops

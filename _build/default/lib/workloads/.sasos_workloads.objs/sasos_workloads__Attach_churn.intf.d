@@ -1,0 +1,1 @@
+lib/workloads/attach_churn.mli: Sasos_os

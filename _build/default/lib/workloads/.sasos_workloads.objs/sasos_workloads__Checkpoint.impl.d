@@ -1,0 +1,1 @@
+lib/workloads/checkpoint.ml: Access Array Cost_model Metrics Os_core Prng Rights Sasos_addr Sasos_hw Sasos_os Sasos_util Segment System_ops Zipf

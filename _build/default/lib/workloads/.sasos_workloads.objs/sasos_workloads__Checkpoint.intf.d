@@ -1,0 +1,1 @@
+lib/workloads/checkpoint.mli: Sasos_os

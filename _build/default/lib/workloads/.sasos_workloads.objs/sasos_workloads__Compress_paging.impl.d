@@ -1,0 +1,1 @@
+lib/workloads/compress_paging.ml: Access Array Backing_store Compressor Geometry Metrics Os_core Prng Queue Rights Sasos_addr Sasos_hw Sasos_mem Sasos_os Sasos_util Segment System_ops Va Zipf

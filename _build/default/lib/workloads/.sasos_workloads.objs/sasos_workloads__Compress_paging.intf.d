@@ -1,0 +1,1 @@
+lib/workloads/compress_paging.mli: Sasos_os

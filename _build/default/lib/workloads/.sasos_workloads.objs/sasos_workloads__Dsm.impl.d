@@ -1,0 +1,1 @@
+lib/workloads/dsm.ml: Access Array List Metrics Prng Rights Sasos_addr Sasos_hw Sasos_os Sasos_util Segment System_ops Zipf

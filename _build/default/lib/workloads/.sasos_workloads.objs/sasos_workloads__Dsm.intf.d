@@ -1,0 +1,1 @@
+lib/workloads/dsm.mli: Sasos_os

@@ -1,0 +1,1 @@
+lib/workloads/gc.ml: Access Array Prng Rights Sasos_addr Sasos_os Sasos_util Segment System_ops Zipf

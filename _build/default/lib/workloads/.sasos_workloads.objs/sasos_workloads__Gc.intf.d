@@ -1,0 +1,1 @@
+lib/workloads/gc.mli: Sasos_os

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Attach_churn Checkpoint Compress_paging Dsm Gc List Rpc Sasos_os Server_os Synthetic Txn

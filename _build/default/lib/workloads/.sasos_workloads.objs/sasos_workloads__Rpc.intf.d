@@ -1,0 +1,1 @@
+lib/workloads/rpc.mli: Sasos_os

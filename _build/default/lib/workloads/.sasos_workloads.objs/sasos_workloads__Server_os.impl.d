@@ -1,0 +1,1 @@
+lib/workloads/server_os.ml: Access Array Os_core Prng Rights Sasos_addr Sasos_os Sasos_util Segment System_ops Va Zipf

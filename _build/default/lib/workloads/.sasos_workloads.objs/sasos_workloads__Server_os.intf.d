@@ -1,0 +1,1 @@
+lib/workloads/server_os.mli: Sasos_os

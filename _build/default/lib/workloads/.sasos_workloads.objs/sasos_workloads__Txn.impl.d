@@ -1,0 +1,1 @@
+lib/workloads/txn.ml: Access Array List Option Prng Rights Sasos_addr Sasos_os Sasos_util Segment System_ops Zipf

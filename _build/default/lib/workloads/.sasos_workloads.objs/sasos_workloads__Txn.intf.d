@@ -1,0 +1,1 @@
+lib/workloads/txn.mli: Sasos_os

@@ -1,0 +1,62 @@
+open Sasos_addr
+open Sasos_os
+open Sasos_util
+
+type params = {
+  iterations : int;
+  domains : int;
+  pages_per_seg : int;
+  touches : int;
+  live_target : int;
+  seed : int;
+}
+
+let default =
+  {
+    iterations = 400;
+    domains = 4;
+    pages_per_seg = 16;
+    touches = 8;
+    live_target = 32;
+    seed = 31;
+  }
+
+let run ?(params = default) sys =
+  let p = params in
+  let rng = Prng.create ~seed:p.seed in
+  let domains = Array.init p.domains (fun _ -> System_ops.new_domain sys) in
+  let live : (Segment.t * Pd.t list) Queue.t = Queue.create () in
+  System_ops.switch_domain sys domains.(0);
+  for it = 0 to p.iterations - 1 do
+    let seg =
+      System_ops.new_segment sys ~name:"churn" ~pages:p.pages_per_seg ()
+    in
+    (* 1..domains attached, varying per iteration *)
+    let nattach = 1 + (it mod p.domains) in
+    let attached =
+      List.init nattach (fun k -> domains.((it + k) mod p.domains))
+    in
+    List.iter (fun d -> System_ops.attach sys d seg Rights.rw) attached;
+    (* use the segment from one of its domains *)
+    let user = List.nth attached (Prng.int rng nattach) in
+    System_ops.switch_domain sys user;
+    for _ = 1 to p.touches do
+      let idx = Prng.int rng p.pages_per_seg in
+      let kind =
+        if Prng.bernoulli rng 0.5 then Access.Write else Access.Read
+      in
+      System_ops.must_ok sys kind (Segment.page_va seg idx)
+    done;
+    Queue.push (seg, attached) live;
+    if Queue.length live > p.live_target then begin
+      let old_seg, old_domains = Queue.pop live in
+      List.iter (fun d -> System_ops.detach sys d old_seg) old_domains;
+      System_ops.destroy_segment sys old_seg
+    end
+  done;
+  (* drain *)
+  Queue.iter
+    (fun (seg, ds) ->
+      List.iter (fun d -> System_ops.detach sys d seg) ds;
+      System_ops.destroy_segment sys seg)
+    live

@@ -1,0 +1,20 @@
+(** Segment attach/detach churn — Table 1's first two rows and §4.1.1.
+
+    Domains continuously map new segments (files, libraries, communication
+    channels), touch a few pages, and later detach and destroy them. The
+    paper predicts attach is cheap in both models, while detach costs a PLB
+    sweep in the domain-page model versus one page-group cache operation in
+    the page-group model. *)
+
+type params = {
+  iterations : int;
+  domains : int;
+  pages_per_seg : int;
+  touches : int;  (** pages touched per attachment *)
+  live_target : int;  (** live segments kept before the oldest is retired *)
+  seed : int;
+}
+
+val default : params
+
+val run : ?params:params -> Sasos_os.System_intf.packed -> unit

@@ -1,0 +1,101 @@
+open Sasos_addr
+open Sasos_hw
+open Sasos_os
+open Sasos_util
+
+type params = {
+  data_pages : int;
+  checkpoints : int;
+  refs_between : int;
+  refs_during : int;
+  copy_batch : int;
+  slice : int;
+  theta : float;
+  write_frac : float;
+  seed : int;
+}
+
+let default =
+  {
+    data_pages = 128;
+    checkpoints = 5;
+    refs_between = 8_000;
+    refs_during = 8_000;
+    copy_batch = 2;
+    slice = 100;
+    theta = 0.8;
+    write_frac = 0.5;
+    seed = 23;
+  }
+
+type result = { write_traps : int; pages_copied : int }
+
+let run ?(params = default) sys =
+  let p = params in
+  let rng = Prng.create ~seed:p.seed in
+  let app = System_ops.new_domain sys in
+  let server = System_ops.new_domain sys in
+  let data = System_ops.new_segment sys ~name:"data" ~pages:p.data_pages () in
+  System_ops.attach sys app data Rights.rw;
+  System_ops.attach sys server data Rights.r;
+  let zipf = Zipf.create ~n:p.data_pages ~theta:p.theta in
+  let metrics = System_ops.metrics sys in
+  let cost = (System_ops.os sys).Os_core.cost in
+  let traps = ref 0 and copied_total = ref 0 in
+  let copied = Array.make p.data_pages true in
+  let app_ref () =
+    let idx = Zipf.sample zipf rng in
+    let kind =
+      if Prng.bernoulli rng p.write_frac then Access.Write else Access.Read
+    in
+    (idx, kind)
+  in
+  (* copy one page to stable storage, then reopen it to the application *)
+  let copy_page idx =
+    if not copied.(idx) then begin
+      System_ops.switch_domain sys server;
+      System_ops.must_ok sys Access.Read (Segment.page_va data idx);
+      metrics.Metrics.page_outs <- metrics.Metrics.page_outs + 1;
+      metrics.Metrics.cycles <- metrics.Metrics.cycles + cost.Cost_model.page_out;
+      System_ops.grant sys app (Segment.page_va data idx) Rights.rw;
+      copied.(idx) <- true;
+      incr copied_total;
+      System_ops.switch_domain sys app
+    end
+  in
+  System_ops.switch_domain sys app;
+  for _ck = 1 to p.checkpoints do
+    (* normal execution *)
+    for _ = 1 to p.refs_between do
+      let idx, kind = app_ref () in
+      System_ops.must_ok sys kind (Segment.page_va data idx)
+    done;
+    (* Restrict Access: one whole-segment rights change (Table 1) *)
+    System_ops.protect_segment sys app data Rights.r;
+    Array.fill copied 0 p.data_pages false;
+    (* application continues; writes to uncopied pages trap *)
+    let next_bg = ref 0 in
+    for r = 0 to p.refs_during - 1 do
+      if r mod p.slice = 0 then begin
+        let budget = ref p.copy_batch in
+        while !budget > 0 && !next_bg < p.data_pages do
+          if not copied.(!next_bg) then begin
+            copy_page !next_bg;
+            decr budget
+          end;
+          incr next_bg
+        done
+      end;
+      let idx, kind = app_ref () in
+      let va = Segment.page_va data idx in
+      System_ops.with_fault_handler sys kind va ~handler:(fun () ->
+          incr traps;
+          copy_page idx)
+    done;
+    (* finish the checkpoint: copy stragglers, restore full access *)
+    for idx = 0 to p.data_pages - 1 do
+      copy_page idx
+    done;
+    System_ops.protect_segment sys app data Rights.rw
+  done;
+  { write_traps = !traps; pages_copied = !copied_total }

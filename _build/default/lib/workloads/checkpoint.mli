@@ -1,0 +1,30 @@
+(** Concurrent checkpointing (Li, Naughton & Plank 1990) — Table 1's
+    "Concurrent Checkpoint" rows.
+
+    A checkpoint server periodically write-protects the application's data
+    segment in one operation ("Restrict Access"), then copies pages to disk
+    while the application keeps running. An application write to an
+    uncopied page traps; the handler copies that page first and restores
+    the application's write access to it. The server also copies pages in
+    the background until the checkpoint completes. *)
+
+type params = {
+  data_pages : int;
+  checkpoints : int;
+  refs_between : int;  (** application references between checkpoints *)
+  refs_during : int;  (** application references while a checkpoint runs *)
+  copy_batch : int;  (** background pages copied per slice *)
+  slice : int;
+  theta : float;
+  write_frac : float;
+  seed : int;
+}
+
+val default : params
+
+type result = {
+  write_traps : int;  (** copy-on-write faults taken *)
+  pages_copied : int;
+}
+
+val run : ?params:params -> Sasos_os.System_intf.packed -> result

@@ -1,0 +1,103 @@
+open Sasos_addr
+open Sasos_hw
+open Sasos_mem
+open Sasos_os
+open Sasos_util
+
+type params = {
+  data_pages : int;
+  refs : int;
+  resident_target : int;
+  theta : float;
+  write_frac : float;
+  seed : int;
+}
+
+let default =
+  {
+    data_pages = 256;
+    refs = 20_000;
+    resident_target = 64;
+    theta = 0.9;
+    write_frac = 0.3;
+    seed = 29;
+  }
+
+type result = { page_outs : int; page_ins : int; disk_bytes : int }
+
+let run ?(params = default) sys =
+  let p = params in
+  let rng = Prng.create ~seed:p.seed in
+  let os = System_ops.os sys in
+  let geometry = os.Os_core.geom in
+  let metrics = System_ops.metrics sys in
+  let app = System_ops.new_domain sys in
+  let server = System_ops.new_domain sys in
+  let data = System_ops.new_segment sys ~name:"data" ~pages:p.data_pages () in
+  (* pages start paged-out from the application's viewpoint *)
+  System_ops.attach sys app data Rights.none;
+  System_ops.attach sys server data Rights.rw;
+  let compressor =
+    Compressor.create ~page_bytes:(Geometry.page_size geometry) ()
+  in
+  let zipf = Zipf.create ~n:p.data_pages ~theta:p.theta in
+  let in_core : int Queue.t = Queue.create () in
+  let core_count = ref 0 in
+  let is_in = Array.make p.data_pages false in
+  let outs = ref 0 and ins = ref 0 in
+  let charge c = metrics.Metrics.cycles <- metrics.Metrics.cycles + c in
+  (* Page-out: make the page inaccessible to the client, compress it, write
+     it to the store and unmap it (Table 1). *)
+  let page_out idx =
+    let va = Segment.page_va data idx in
+    let vpn = Va.vpn_of_va geometry va in
+    System_ops.grant sys app va Rights.none;
+    System_ops.switch_domain sys server;
+    System_ops.must_ok sys Access.Read va;
+    charge (Compressor.compress_cycles compressor);
+    System_ops.unmap_page sys vpn;
+    (* the store keeps the compressed image, not the raw page *)
+    Backing_store.write os.Os_core.disk ~vpn
+      ~bytes_used:(Compressor.compressed_size compressor vpn);
+    System_ops.switch_domain sys app;
+    is_in.(idx) <- false;
+    incr outs
+  in
+  (* Page-in: server pulls the compressed image (machine page-in path),
+     decompresses, and opens the page to the client. *)
+  let page_in idx =
+    let va = Segment.page_va data idx in
+    System_ops.switch_domain sys server;
+    System_ops.must_ok sys Access.Write va;
+    charge (Compressor.decompress_cycles compressor);
+    System_ops.grant sys app va Rights.rw;
+    System_ops.switch_domain sys app;
+    is_in.(idx) <- true;
+    Queue.push idx in_core;
+    incr core_count;
+    incr ins;
+    if !core_count > p.resident_target then begin
+      (* evict the oldest in-core page *)
+      let rec victim () =
+        let v = Queue.pop in_core in
+        if is_in.(v) then v else victim ()
+      in
+      let v = victim () in
+      decr core_count;
+      page_out v
+    end
+  in
+  System_ops.switch_domain sys app;
+  for _ = 1 to p.refs do
+    let idx = Zipf.sample zipf rng in
+    let kind =
+      if Prng.bernoulli rng p.write_frac then Access.Write else Access.Read
+    in
+    let va = Segment.page_va data idx in
+    System_ops.with_fault_handler sys kind va ~handler:(fun () -> page_in idx)
+  done;
+  {
+    page_outs = !outs;
+    page_ins = !ins;
+    disk_bytes = Backing_store.bytes_used os.Os_core.disk;
+  }

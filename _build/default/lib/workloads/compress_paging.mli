@@ -1,0 +1,28 @@
+(** Compression paging (Appel & Li 1991) — Table 1's "Compression Paging"
+    rows.
+
+    A user-level compression server stands between the application and the
+    backing store. When the in-core page budget is exceeded, a victim page
+    is made inaccessible to the application, compressed by the server,
+    written to the store and unmapped. An application touch of a paged-out
+    page traps; the server reads the compressed image back (the machine's
+    page-in path), decompresses it and restores the application's access. *)
+
+type params = {
+  data_pages : int;
+  refs : int;
+  resident_target : int;  (** in-core page budget *)
+  theta : float;
+  write_frac : float;
+  seed : int;
+}
+
+val default : params
+
+type result = {
+  page_outs : int;
+  page_ins : int;
+  disk_bytes : int;  (** compressed footprint at the end of the run *)
+}
+
+val run : ?params:params -> Sasos_os.System_intf.packed -> result

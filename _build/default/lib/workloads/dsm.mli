@@ -1,0 +1,41 @@
+(** Distributed virtual memory (Li 1986 / Munin) — Table 1's "Distributed
+    VM" rows.
+
+    Each "node" of the distributed system is modelled as a protection
+    domain on the simulated machine; the coherence directory lives in the
+    workload. Pages start invalid everywhere. A read miss fetches a
+    readable copy (read-only rights); a write miss invalidates every other
+    copy and takes exclusive read-write rights; a remote write invalidates
+    the local copy. Network latency is charged equally in all models (it
+    does not differentiate them); the protection-manipulation traffic is
+    what the experiment measures. *)
+
+type protocol =
+  | Invalidate  (** write miss invalidates every other copy (Li) *)
+  | Update
+      (** writes propagate to reader copies (Munin-style write-update):
+          readers keep read access, every write to a shared page pays an
+          update message per remote copy *)
+
+type params = {
+  protocol : protocol;
+  nodes : int;
+  pages : int;
+  refs : int;
+  theta : float;
+  write_frac : float;
+  switch_period : int;
+  remote_fetch_cycles : int;
+  seed : int;
+}
+
+val default : params
+
+type result = {
+  read_faults : int;
+  write_faults : int;
+  invalidations : int;  (** copies shot down by write misses (Invalidate) *)
+  updates : int;  (** update messages pushed to remote copies (Update) *)
+}
+
+val run : ?params:params -> Sasos_os.System_intf.packed -> result

@@ -1,0 +1,97 @@
+open Sasos_addr
+open Sasos_os
+open Sasos_util
+
+type params = {
+  heap_pages : int;
+  collections : int;
+  mutator_refs : int;
+  theta : float;
+  write_frac : float;
+  scan_batch : int;
+  slice : int;
+  seed : int;
+}
+
+let default =
+  {
+    heap_pages = 128;
+    collections = 6;
+    mutator_refs = 15_000;
+    theta = 0.8;
+    write_frac = 0.3;
+    scan_batch = 2;
+    slice = 100;
+    seed = 13;
+  }
+
+type result = { faults_taken : int; pages_scanned : int }
+
+let run ?(params = default) sys =
+  let p = params in
+  let rng = Prng.create ~seed:p.seed in
+  let mutator = System_ops.new_domain sys in
+  let collector = System_ops.new_domain sys in
+  let zipf = Zipf.create ~n:p.heap_pages ~theta:p.theta in
+  let faults = ref 0 and scanned_total = ref 0 in
+  (* initial to-space: fully scanned, mutator has it read-write *)
+  let make_space () =
+    System_ops.new_segment sys ~name:"to-space" ~pages:p.heap_pages ()
+  in
+  let to_space = ref (make_space ()) in
+  System_ops.attach sys mutator !to_space Rights.rw;
+  System_ops.attach sys collector !to_space Rights.rw;
+  let scanned = Array.make p.heap_pages true in
+  (* the collector copies/scans one page: reads from-space, writes to-space,
+     then opens the page to the mutator *)
+  let scan_page from_space idx =
+    if not scanned.(idx) then begin
+      System_ops.switch_domain sys collector;
+      System_ops.must_ok sys Access.Read (Segment.page_va from_space idx);
+      System_ops.must_ok sys Access.Write (Segment.page_va !to_space idx);
+      System_ops.grant sys mutator (Segment.page_va !to_space idx) Rights.rw;
+      scanned.(idx) <- true;
+      incr scanned_total;
+      System_ops.switch_domain sys mutator
+    end
+  in
+  for _gc = 1 to p.collections do
+    (* --- flip spaces (Table 1) --- *)
+    let from_space = !to_space in
+    to_space := make_space ();
+    (* from-space: no mutator access; both spaces r/w for the collector *)
+    System_ops.protect_segment sys mutator from_space Rights.none;
+    System_ops.attach sys collector !to_space Rights.rw;
+    System_ops.attach sys mutator !to_space Rights.none;
+    Array.fill scanned 0 p.heap_pages false;
+    System_ops.switch_domain sys mutator;
+    (* --- concurrent phase --- *)
+    let next_bg = ref 0 in
+    for r = 0 to p.mutator_refs - 1 do
+      if r mod p.slice = 0 then begin
+        (* collector slice: scan a batch of unscanned pages *)
+        let budget = ref p.scan_batch in
+        while !budget > 0 && !next_bg < p.heap_pages do
+          if not scanned.(!next_bg) then begin
+            scan_page from_space !next_bg;
+            decr budget
+          end;
+          incr next_bg
+        done
+      end;
+      let idx = Zipf.sample zipf rng in
+      let kind =
+        if Prng.bernoulli rng p.write_frac then Access.Write else Access.Read
+      in
+      let va = Segment.page_va !to_space idx in
+      System_ops.with_fault_handler sys kind va ~handler:(fun () ->
+          incr faults;
+          scan_page from_space idx)
+    done;
+    (* --- finish the collection: scan stragglers, retire from-space --- *)
+    for idx = 0 to p.heap_pages - 1 do
+      scan_page from_space idx
+    done;
+    System_ops.destroy_segment sys from_space
+  done;
+  { faults_taken = !faults; pages_scanned = !scanned_total }

@@ -1,0 +1,30 @@
+(** Concurrent copying garbage collection (Appel, Ellis & Li 1988) — the
+    first application row of Table 1.
+
+    A mutator and a collector share a heap. On each collection the spaces
+    flip: the old to-space becomes from-space (inaccessible to the
+    mutator), a fresh to-space segment is created, readable/writable by the
+    collector only. Mutator accesses to unscanned to-space pages trap; the
+    handler "garbage collects" the page (collector reads from-space, writes
+    to-space) and then grants the mutator read-write access to it. The
+    collector also scans pages in the background. *)
+
+type params = {
+  heap_pages : int;
+  collections : int;
+  mutator_refs : int;  (** references per collection *)
+  theta : float;
+  write_frac : float;
+  scan_batch : int;  (** background pages scanned per scheduling slice *)
+  slice : int;  (** mutator references per collector slice *)
+  seed : int;
+}
+
+val default : params
+
+type result = {
+  faults_taken : int;  (** to-space access traps serviced *)
+  pages_scanned : int;
+}
+
+val run : ?params:params -> Sasos_os.System_intf.packed -> result

@@ -1,0 +1,67 @@
+type entry = {
+  name : string;
+  description : string;
+  table1_row : string option;
+  run : Sasos_os.System_intf.packed -> unit;
+}
+
+let all =
+  [
+    {
+      name = "attach";
+      description = "segment attach/detach churn";
+      table1_row = Some "Attach/Detach Segment";
+      run = (fun sys -> Attach_churn.run sys);
+    };
+    {
+      name = "gc";
+      description = "concurrent copying garbage collection (Appel-Ellis-Li)";
+      table1_row = Some "Concurrent Garbage Collection";
+      run = (fun sys -> ignore (Gc.run sys));
+    };
+    {
+      name = "dsm";
+      description = "distributed virtual memory (Li)";
+      table1_row = Some "Distributed VM";
+      run = (fun sys -> ignore (Dsm.run sys));
+    };
+    {
+      name = "txn";
+      description = "transactional virtual memory (IBM 801 style)";
+      table1_row = Some "Transactional VM";
+      run = (fun sys -> ignore (Txn.run sys));
+    };
+    {
+      name = "checkpoint";
+      description = "concurrent checkpointing (Li-Naughton-Plank)";
+      table1_row = Some "Concurrent Checkpoint";
+      run = (fun sys -> ignore (Checkpoint.run sys));
+    };
+    {
+      name = "compress";
+      description = "compression paging with a user-level server (Appel-Li)";
+      table1_row = Some "Compression Paging";
+      run = (fun sys -> ignore (Compress_paging.run sys));
+    };
+    {
+      name = "server-os";
+      description = "microkernel-style server-structured OS (clients, file/name servers, pager)";
+      table1_row = None;
+      run = (fun sys -> ignore (Server_os.run sys));
+    };
+    {
+      name = "rpc";
+      description = "cross-domain call ping-pong through shared memory";
+      table1_row = None;
+      run = (fun sys -> Rpc.run sys);
+    };
+    {
+      name = "synthetic";
+      description = "parameterized sharing/locality reference stream";
+      table1_row = None;
+      run = (fun sys -> Synthetic.run sys);
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+let names = List.map (fun e -> e.name) all

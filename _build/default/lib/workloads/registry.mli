@@ -1,0 +1,14 @@
+(** Name-indexed registry of the workloads, for the CLI and the bench
+    harness. Each entry runs the workload with its default parameters. *)
+
+type entry = {
+  name : string;
+  description : string;
+  table1_row : string option;
+      (** the Table 1 application class this workload reproduces, if any *)
+  run : Sasos_os.System_intf.packed -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+val names : string list

@@ -1,0 +1,73 @@
+open Sasos_addr
+open Sasos_os
+open Sasos_util
+
+type params = {
+  calls : int;
+  msg_pages : int;
+  client_pages : int;
+  server_pages : int;
+  work_refs : int;
+  theta : float;
+  seed : int;
+}
+
+let default =
+  {
+    calls = 2_000;
+    msg_pages = 2;
+    client_pages = 16;
+    server_pages = 16;
+    work_refs = 20;
+    theta = 0.8;
+    seed = 11;
+  }
+
+let run ?(params = default) sys =
+  let p = params in
+  let rng = Prng.create ~seed:p.seed in
+  let client = System_ops.new_domain sys in
+  let server = System_ops.new_domain sys in
+  let msg = System_ops.new_segment sys ~name:"msg" ~pages:p.msg_pages () in
+  let cws =
+    System_ops.new_segment sys ~name:"client-ws" ~pages:p.client_pages ()
+  in
+  let sws =
+    System_ops.new_segment sys ~name:"server-ws" ~pages:p.server_pages ()
+  in
+  System_ops.attach sys client msg Rights.rw;
+  System_ops.attach sys server msg Rights.rw;
+  System_ops.attach sys client cws Rights.rw;
+  System_ops.attach sys server sws Rights.rw;
+  let zc = Zipf.create ~n:p.client_pages ~theta:p.theta in
+  let zs = Zipf.create ~n:p.server_pages ~theta:p.theta in
+  let work seg zipf =
+    for _ = 1 to p.work_refs do
+      let kind =
+        if Prng.bernoulli rng 0.3 then Access.Write else Access.Read
+      in
+      System_ops.must_ok sys kind (Segment.page_va seg (Zipf.sample zipf rng))
+    done
+  in
+  System_ops.switch_domain sys client;
+  for _ = 1 to p.calls do
+    (* client marshals arguments *)
+    for i = 0 to p.msg_pages - 1 do
+      System_ops.must_ok sys Access.Write (Segment.page_va msg i)
+    done;
+    work cws zc;
+    System_ops.switch_domain sys server;
+    (* server reads arguments, does its work, writes results *)
+    for i = 0 to p.msg_pages - 1 do
+      System_ops.must_ok sys Access.Read (Segment.page_va msg i)
+    done;
+    work sws zs;
+    for i = 0 to p.msg_pages - 1 do
+      System_ops.must_ok sys Access.Write (Segment.page_va msg i)
+    done;
+    System_ops.switch_domain sys client;
+    (* client unmarshals results *)
+    for i = 0 to p.msg_pages - 1 do
+      System_ops.must_ok sys Access.Read (Segment.page_va msg i)
+    done
+  done

@@ -1,0 +1,21 @@
+(** Cross-domain call (RPC) workload.
+
+    A client and a server domain exchange requests through a shared message
+    segment, as in LRPC-style systems built on shared memory — the paper's
+    motivating scenario for frequent protection-domain switches (§2.1,
+    §4.1.4). Each call is two domain switches plus argument/result
+    traffic. *)
+
+type params = {
+  calls : int;
+  msg_pages : int;  (** argument/result area touched per call *)
+  client_pages : int;  (** client working set *)
+  server_pages : int;  (** server working set *)
+  work_refs : int;  (** private references per side per call *)
+  theta : float;
+  seed : int;
+}
+
+val default : params
+
+val run : ?params:params -> Sasos_os.System_intf.packed -> unit

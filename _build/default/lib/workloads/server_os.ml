@@ -1,0 +1,135 @@
+open Sasos_addr
+open Sasos_os
+open Sasos_util
+
+type params = {
+  clients : int;
+  calls : int;
+  buffer_pages : int;
+  msg_pages : int;
+  client_pages : int;
+  server_pages : int;
+  name_lookups : int;
+  evict_period : int;
+  theta : float;
+  seed : int;
+}
+
+let default =
+  {
+    clients = 4;
+    calls = 2_000;
+    buffer_pages = 64;
+    msg_pages = 1;
+    client_pages = 16;
+    server_pages = 24;
+    name_lookups = 1;
+    evict_period = 25;
+    theta = 0.8;
+    seed = 37;
+  }
+
+type result = { switches : int; evictions : int }
+
+let run ?(params = default) sys =
+  let p = params in
+  let rng = Prng.create ~seed:p.seed in
+  (* domains *)
+  let clients = Array.init p.clients (fun _ -> System_ops.new_domain sys) in
+  let fs = System_ops.new_domain sys in
+  let name_server = System_ops.new_domain sys in
+  let pager = System_ops.new_domain sys in
+  (* segments *)
+  let buffer =
+    System_ops.new_segment sys ~name:"buffer-cache" ~pages:p.buffer_pages ()
+  in
+  System_ops.attach sys fs buffer Rights.rw;
+  System_ops.attach sys pager buffer Rights.rw;
+  Array.iter (fun c -> System_ops.attach sys c buffer Rights.r) clients;
+  let fs_heap =
+    System_ops.new_segment sys ~name:"fs-heap" ~pages:p.server_pages ()
+  in
+  System_ops.attach sys fs fs_heap Rights.rw;
+  let names = System_ops.new_segment sys ~name:"names" ~pages:8 () in
+  System_ops.attach sys name_server names Rights.rw;
+  System_ops.attach sys fs names Rights.r;
+  let msg =
+    Array.map
+      (fun c ->
+        let seg =
+          System_ops.new_segment sys ~name:"msg" ~pages:p.msg_pages ()
+        in
+        System_ops.attach sys c seg Rights.rw;
+        System_ops.attach sys fs seg Rights.rw;
+        seg)
+      clients
+  in
+  let heap =
+    Array.map
+      (fun c ->
+        let seg =
+          System_ops.new_segment sys ~name:"heap" ~pages:p.client_pages ()
+        in
+        System_ops.attach sys c seg Rights.rw;
+        seg)
+      clients
+  in
+  let zipf_buf = Zipf.create ~n:p.buffer_pages ~theta:p.theta in
+  let zipf_heap = Zipf.create ~n:p.client_pages ~theta:p.theta in
+  let zipf_srv = Zipf.create ~n:p.server_pages ~theta:p.theta in
+  let switches = ref 0 and evictions = ref 0 in
+  let switch pd =
+    incr switches;
+    System_ops.switch_domain sys pd
+  in
+  (* the pager steals a buffer-cache page: exclusive access during the
+     page-out, then the page returns to general availability *)
+  let evict () =
+    incr evictions;
+    let idx = Zipf.sample zipf_buf rng in
+    let va = Segment.page_va buffer idx in
+    let vpn = Va.vpn_of_va (System_ops.os sys).Os_core.geom va in
+    switch pager;
+    (* everyone else loses access during the operation (Table 1 paging) *)
+    System_ops.protect_all sys va Rights.none;
+    System_ops.grant sys pager va Rights.rw;
+    System_ops.must_ok sys Access.Read va;
+    System_ops.unmap_page sys vpn;
+    (* restore: server read-write, clients read-only *)
+    System_ops.grant sys pager va Rights.none;
+    System_ops.grant sys fs va Rights.rw;
+    Array.iter (fun c -> System_ops.grant sys c va Rights.r) clients
+  in
+  for call = 0 to p.calls - 1 do
+    let ci = call mod p.clients in
+    let client = clients.(ci) in
+    (* client marshals a request and does some private work *)
+    switch client;
+    System_ops.must_ok sys Access.Write (Segment.page_va msg.(ci) 0);
+    System_ops.must_ok sys Access.Write
+      (Segment.page_va heap.(ci) (Zipf.sample zipf_heap rng));
+    (* file server handles it *)
+    switch fs;
+    System_ops.must_ok sys Access.Read (Segment.page_va msg.(ci) 0);
+    for _ = 1 to p.name_lookups do
+      (* name-server round trip *)
+      switch name_server;
+      System_ops.must_ok sys Access.Write (Segment.page_va names 0);
+      switch fs;
+      System_ops.must_ok sys Access.Read (Segment.page_va names 0)
+    done;
+    System_ops.must_ok sys Access.Write
+      (Segment.page_va fs_heap (Zipf.sample zipf_srv rng));
+    (* touch the buffer cache on the client's behalf *)
+    System_ops.must_ok sys Access.Write
+      (Segment.page_va buffer (Zipf.sample zipf_buf rng));
+    System_ops.must_ok sys Access.Write (Segment.page_va msg.(ci) 0);
+    (* client reads the reply and the buffer page directly (read-shared) *)
+    switch client;
+    System_ops.must_ok sys Access.Read (Segment.page_va msg.(ci) 0);
+    System_ops.must_ok sys Access.Read
+      (Segment.page_va buffer (Zipf.sample zipf_buf rng));
+    if p.evict_period > 0 && call mod p.evict_period = p.evict_period - 1
+    then evict ()
+  done;
+  { switches = !switches; evictions = !evictions }

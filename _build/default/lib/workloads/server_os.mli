@@ -1,0 +1,33 @@
+(** A server-structured (microkernel-style) operating system scenario — the
+    organization §2.1 cites as the reason domain switches and cross-domain
+    sharing are becoming frequent (Mach, Chorus, Amoeba, Windows NT).
+
+    Client applications call a file server through shared message
+    segments; the file server consults a name server and reads/writes a
+    buffer cache shared (read-only for clients) with everyone; a pager
+    domain occasionally steals buffer-cache pages for eviction (exclusive
+    access during page-out, Table 1's paging rows). Each client call is a
+    chain of protection-domain switches across many attached segments —
+    heavy pressure on the page-group cache and on PLB reach at once. *)
+
+type params = {
+  clients : int;
+  calls : int;  (** client requests in total *)
+  buffer_pages : int;  (** shared buffer cache *)
+  msg_pages : int;  (** per-client message area *)
+  client_pages : int;  (** per-client private heap *)
+  server_pages : int;  (** file-server private heap *)
+  name_lookups : int;  (** name-server round trips per call *)
+  evict_period : int;  (** calls between pager evictions *)
+  theta : float;
+  seed : int;
+}
+
+val default : params
+
+type result = {
+  switches : int;
+  evictions : int;
+}
+
+val run : ?params:params -> Sasos_os.System_intf.packed -> result

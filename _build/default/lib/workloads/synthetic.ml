@@ -1,0 +1,95 @@
+open Sasos_addr
+open Sasos_os
+open Sasos_util
+
+type params = {
+  domains : int;
+  shared_segments : int;
+  sharing : int;
+  private_pages : int;
+  shared_pages : int;
+  refs : int;
+  theta : float;
+  write_frac : float;
+  shared_frac : float;
+  switch_period : int;
+  seed : int;
+}
+
+let default =
+  {
+    domains = 8;
+    shared_segments = 4;
+    sharing = 4;
+    private_pages = 32;
+    shared_pages = 64;
+    refs = 50_000;
+    theta = 0.8;
+    write_frac = 0.3;
+    shared_frac = 0.5;
+    switch_period = 200;
+    seed = 7;
+  }
+
+let run ?(params = default) sys =
+  let p = params in
+  let rng = Prng.create ~seed:p.seed in
+  let domains = Array.init p.domains (fun _ -> System_ops.new_domain sys) in
+  let private_seg =
+    Array.map
+      (fun pd ->
+        let seg =
+          System_ops.new_segment sys ~name:"private" ~pages:p.private_pages ()
+        in
+        System_ops.attach sys pd seg Rights.rw;
+        seg)
+      domains
+  in
+  let shared_segs =
+    Array.init p.shared_segments (fun i ->
+        let seg =
+          System_ops.new_segment sys ~name:"shared" ~pages:p.shared_pages ()
+        in
+        (* attach a window of [sharing] domains, staggered per segment *)
+        for k = 0 to p.sharing - 1 do
+          let d = domains.((i + k) mod p.domains) in
+          System_ops.attach sys d seg Rights.rw
+        done;
+        seg)
+  in
+  (* which shared segments each domain can use *)
+  let shared_of = Array.make p.domains [] in
+  Array.iteri
+    (fun i seg ->
+      for k = 0 to p.sharing - 1 do
+        let di = (i + k) mod p.domains in
+        shared_of.(di) <- seg :: shared_of.(di)
+      done)
+    shared_segs;
+  let shared_of = Array.map Array.of_list shared_of in
+  let zipf_private = Zipf.create ~n:p.private_pages ~theta:p.theta in
+  let zipf_shared = Zipf.create ~n:p.shared_pages ~theta:p.theta in
+  let cur = ref 0 in
+  System_ops.switch_domain sys domains.(0);
+  for step = 0 to p.refs - 1 do
+    if p.switch_period > 0 && step > 0 && step mod p.switch_period = 0
+    then begin
+      cur := (!cur + 1) mod p.domains;
+      System_ops.switch_domain sys domains.(!cur)
+    end;
+    let d = !cur in
+    let use_shared =
+      Array.length shared_of.(d) > 0 && Prng.bernoulli rng p.shared_frac
+    in
+    let va =
+      if use_shared then begin
+        let seg = Prng.choose rng shared_of.(d) in
+        Segment.page_va seg (Zipf.sample zipf_shared rng)
+      end
+      else Segment.page_va private_seg.(d) (Zipf.sample zipf_private rng)
+    in
+    let kind =
+      if Prng.bernoulli rng p.write_frac then Access.Write else Access.Read
+    in
+    System_ops.must_ok sys kind va
+  done

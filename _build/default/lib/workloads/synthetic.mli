@@ -1,0 +1,27 @@
+(** Parameterized synthetic sharing workload.
+
+    Domains reference a mix of private and shared segments with Zipf
+    locality, switching periodically. The knobs sweep the regimes the paper
+    contrasts: degree of sharing (PLB duplication vs page-group single
+    entries, §3.1/§4), domain-switch frequency (§4.1.4) and working-set
+    size (structure reach). *)
+
+type params = {
+  domains : int;
+  shared_segments : int;
+  sharing : int;  (** domains attached to each shared segment *)
+  private_pages : int;  (** per-domain private segment size *)
+  shared_pages : int;  (** per shared segment *)
+  refs : int;
+  theta : float;  (** Zipf skew over pages *)
+  write_frac : float;
+  shared_frac : float;  (** probability a reference targets shared data *)
+  switch_period : int;  (** references between domain switches *)
+  seed : int;
+}
+
+val default : params
+
+val run : ?params:params -> Sasos_os.System_intf.packed -> unit
+(** Build the domain/segment population and replay the reference stream.
+    Every access is legal by construction. *)

@@ -1,0 +1,162 @@
+open Sasos_addr
+open Sasos_os
+open Sasos_util
+
+type params = {
+  txns : int;
+  pool : int;
+  db_pages : int;
+  ops : int;
+  write_frac : float;
+  quantum : int;
+  theta : float;
+  seed : int;
+}
+
+let default =
+  {
+    txns = 120;
+    pool = 4;
+    db_pages = 256;
+    ops = 40;
+    write_frac = 0.3;
+    quantum = 8;
+    theta = 0.8;
+    seed = 19;
+  }
+
+type result = {
+  read_locks : int;
+  write_locks : int;
+  conflicts : int;
+  commits : int;
+}
+
+type lock = Unlocked | Read_locked of int list | Write_locked of int
+
+type txn_state = {
+  slot : int;
+  mutable ops_done : int;
+  mutable held : (int * [ `R | `W ]) list; (* page index, mode *)
+}
+
+let run ?(params = default) sys =
+  let p = params in
+  let rng = Prng.create ~seed:p.seed in
+  let domains = Array.init p.pool (fun _ -> System_ops.new_domain sys) in
+  let db = System_ops.new_segment sys ~name:"db" ~pages:p.db_pages () in
+  Array.iter (fun d -> System_ops.attach sys d db Rights.none) domains;
+  let locks = Array.make p.db_pages Unlocked in
+  let zipf = Zipf.create ~n:p.db_pages ~theta:p.theta in
+  let read_locks = ref 0
+  and write_locks = ref 0
+  and conflicts = ref 0
+  and commits = ref 0 in
+  let started = ref 0 in
+  let active = Array.make p.pool None in
+  let start_txn slot =
+    if !started < p.txns then begin
+      incr started;
+      active.(slot) <- Some { slot; ops_done = 0; held = [] }
+    end
+    else active.(slot) <- None
+  in
+  Array.iteri (fun slot _ -> start_txn slot) active;
+  (* one page touch under two-phase locking; returns false on conflict *)
+  let try_op st idx kind =
+    let d = st.slot in
+    let va = Segment.page_va db idx in
+    let holds_w = List.mem (idx, `W) st.held in
+    let holds_r = List.mem (idx, `R) st.held in
+    match kind with
+    | Access.Read | Access.Execute -> begin
+        match locks.(idx) with
+        | Write_locked o when o <> d ->
+            incr conflicts;
+            false
+        | Unlocked | Read_locked _ | Write_locked _ ->
+            System_ops.with_fault_handler sys Access.Read va
+              ~handler:(fun () ->
+                (* Lock (read): shared read-only access (Table 1) *)
+                incr read_locks;
+                (match locks.(idx) with
+                | Unlocked -> locks.(idx) <- Read_locked [ d ]
+                | Read_locked ds -> locks.(idx) <- Read_locked (d :: ds)
+                | Write_locked _ -> () (* own write lock: keep *));
+                if not holds_w then begin
+                  System_ops.grant sys domains.(d) va Rights.r;
+                  st.held <- (idx, `R) :: st.held
+                end);
+            true
+      end
+    | Access.Write -> begin
+        match locks.(idx) with
+        | Write_locked o when o <> d ->
+            incr conflicts;
+            false
+        | Read_locked ds when List.exists (fun o -> o <> d) ds ->
+            incr conflicts;
+            false
+        | Unlocked | Read_locked _ | Write_locked _ ->
+            System_ops.with_fault_handler sys Access.Write va
+              ~handler:(fun () ->
+                (* Lock (write): private read-write access (Table 1) *)
+                incr write_locks;
+                locks.(idx) <- Write_locked d;
+                System_ops.grant sys domains.(d) va Rights.rw;
+                st.held <-
+                  (idx, `W) :: List.filter (fun (i, _) -> i <> idx) st.held;
+                if holds_r then ());
+            true
+      end
+  in
+  let commit st =
+    let d = st.slot in
+    System_ops.switch_domain sys domains.(d);
+    (* Commit: unlock everything; pages return to the inaccessible state *)
+    List.iter
+      (fun (idx, _) ->
+        let va = Segment.page_va db idx in
+        System_ops.grant sys domains.(d) va Rights.none;
+        match locks.(idx) with
+        | Write_locked o when o = d -> locks.(idx) <- Unlocked
+        | Read_locked ds -> begin
+            match List.filter (fun o -> o <> d) ds with
+            | [] -> locks.(idx) <- Unlocked
+            | ds' -> locks.(idx) <- Read_locked ds'
+          end
+        | Write_locked _ | Unlocked -> ())
+      st.held;
+    st.held <- [];
+    incr commits
+  in
+  let any_active () = Array.exists Option.is_some active in
+  while any_active () do
+    Array.iteri
+      (fun slot st_opt ->
+        match st_opt with
+        | None -> ()
+        | Some st ->
+            System_ops.switch_domain sys domains.(slot);
+            let budget = ref p.quantum in
+            while !budget > 0 && st.ops_done < p.ops do
+              let idx = Zipf.sample zipf rng in
+              let kind =
+                if Prng.bernoulli rng p.write_frac then Access.Write
+                else Access.Read
+              in
+              if try_op st idx kind then st.ops_done <- st.ops_done + 1;
+              decr budget
+            done;
+            if st.ops_done >= p.ops then begin
+              commit st;
+              start_txn slot
+            end)
+      active
+  done;
+  {
+    read_locks = !read_locks;
+    write_locks = !write_locks;
+    conflicts = !conflicts;
+    commits = !commits;
+  }

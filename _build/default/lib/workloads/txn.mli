@@ -1,0 +1,37 @@
+(** Transactional virtual memory in the style of the IBM 801 (Chang &
+    Mergen 1988) — Table 1's "Transactional VM" rows.
+
+    Each transaction runs in its own protection domain and starts with no
+    access to the shared database segment. Page touches trap; the handler
+    takes a read or write lock, granting the domain read-only or exclusive
+    read-write rights on the page. Read locks are shared between
+    transactions; write locks are exclusive (conflicting operations pick
+    another page — a simple conflict-avoidance discipline standing in for
+    blocking). Commit releases every lock, returning the pages to the
+    inaccessible state.
+
+    Transactions from a pool of domains are interleaved in quanta to
+    exercise domain switching with live locks — the regime where the paper
+    predicts page-group thrashing for shared read locks (§4.1.2). *)
+
+type params = {
+  txns : int;
+  pool : int;  (** concurrently active transactions / domains *)
+  db_pages : int;
+  ops : int;  (** page touches per transaction *)
+  write_frac : float;
+  quantum : int;  (** operations per scheduling slice *)
+  theta : float;
+  seed : int;
+}
+
+val default : params
+
+type result = {
+  read_locks : int;
+  write_locks : int;
+  conflicts : int;  (** operations redirected by a lock conflict *)
+  commits : int;
+}
+
+val run : ?params:params -> Sasos_os.System_intf.packed -> result

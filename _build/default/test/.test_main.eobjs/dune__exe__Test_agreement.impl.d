@@ -1,0 +1,1 @@
+test/test_agreement.ml: Access Array Config Geometry Hashtbl List Machines Printf QCheck2 QCheck_alcotest Rights Sasos Segment String System_ops Va

@@ -1,0 +1,1 @@
+test/test_assoc_cache.ml: Alcotest Assoc_cache List QCheck2 QCheck_alcotest Replacement Sasos

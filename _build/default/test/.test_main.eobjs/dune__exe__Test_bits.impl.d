@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits QCheck2 QCheck_alcotest Sasos

@@ -1,0 +1,1 @@
+test/test_capability.ml: Access Alcotest Cap_registry Capability Config Machines Option QCheck2 QCheck_alcotest Rights Sasos Segment System_ops

@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Config Geometry Hw Machines Metrics Os Rights Sasos

@@ -1,0 +1,1 @@
+test/test_data_cache.ml: Alcotest Data_cache List QCheck2 QCheck_alcotest Sasos

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Access Alcotest Array Config Experiments List Machines Metrics Rights Sasos Segment String System_ops Util Workloads

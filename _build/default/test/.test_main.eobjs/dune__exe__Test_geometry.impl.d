@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Geometry Rights Sasos

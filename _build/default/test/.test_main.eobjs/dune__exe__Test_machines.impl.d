@@ -1,0 +1,1 @@
+test/test_machines.ml: Access Alcotest Config Geometry Hw List Machines Mem Metrics Os_core Pd Printf Rights Sasos Segment System_intf System_ops Va

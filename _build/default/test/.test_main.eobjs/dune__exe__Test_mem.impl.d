@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Backing_store Compressor Frame_allocator Inverted_page_table Option Sasos

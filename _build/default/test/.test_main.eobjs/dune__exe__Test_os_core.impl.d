@@ -1,0 +1,1 @@
+test/test_os_core.ml: Alcotest Config Hw List Mem Os_core Pd Rights Sasos Segment Segment_table

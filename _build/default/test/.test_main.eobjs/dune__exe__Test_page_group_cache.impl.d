@@ -1,0 +1,1 @@
+test/test_page_group_cache.ml: Alcotest Page_group_cache Sasos

@@ -1,0 +1,1 @@
+test/test_plb.ml: Alcotest Hashtbl List Pd Plb QCheck2 QCheck_alcotest Rights Sasos

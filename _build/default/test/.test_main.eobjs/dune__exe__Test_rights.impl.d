@@ -1,0 +1,1 @@
+test/test_rights.ml: Alcotest List Rights Sasos

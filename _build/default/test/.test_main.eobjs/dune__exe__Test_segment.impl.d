@@ -1,0 +1,1 @@
+test/test_segment.ml: Alcotest Geometry List QCheck2 QCheck_alcotest Sasos Segment Segment_table

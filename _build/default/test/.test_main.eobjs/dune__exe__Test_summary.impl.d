@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest List QCheck2 QCheck_alcotest Sasos Summary

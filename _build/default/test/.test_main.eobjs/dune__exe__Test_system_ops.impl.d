@@ -1,0 +1,1 @@
+test/test_system_ops.ml: Access Alcotest Config List Machines Metrics Pd Rights Sasos Segment System_intf System_ops

@@ -1,0 +1,1 @@
+test/test_tlb.ml: Alcotest Rights Sasos Tlb

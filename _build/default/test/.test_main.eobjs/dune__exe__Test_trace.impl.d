@@ -1,0 +1,1 @@
+test/test_trace.ml: Access Alcotest Config Event Filename Fun List Machines Metrics Player QCheck2 QCheck_alcotest Recorder Rights Sasos Segment Stats Store String Sys System_intf System_ops

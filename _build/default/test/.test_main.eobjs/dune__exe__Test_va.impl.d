@@ -1,0 +1,1 @@
+test/test_va.ml: Alcotest Geometry List QCheck2 QCheck_alcotest Sasos Va

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Attach_churn Checkpoint Compress_paging Config Dsm Gc List Machines Mem Metrics Os Printf Registry Rpc Sasos Server_os Synthetic System_ops Txn

@@ -1,0 +1,218 @@
+(* The central cross-machine invariant (DESIGN.md §5.1): for any script of
+   OS operations and memory accesses, all four machine models agree on the
+   outcome of every access — they differ only in cost — and no machine's
+   hardware fast path ever over-allows relative to the OS truth. *)
+
+open Sasos
+open Sasos.Os
+
+type op =
+  | Destroy_domain of int
+  | Attach of int * int * int (* domain, segment, rights *)
+  | Detach of int * int
+  | Grant of int * int * int (* domain, page, rights *)
+  | Protect_all of int * int (* page, rights *)
+  | Protect_seg of int * int * int
+  | Switch of int
+  | Acc of bool * int (* write?, page *)
+  | Unmap of int
+
+let n_domains = 3
+let n_segments = 2
+let pages_per_seg = 4
+let n_pages = n_segments * pages_per_seg
+
+(* rights restricted to {none, r, rw}: within single-group expressibility,
+   so the page-group machine realizes patterns exactly (the general case
+   converges through regrouping but the restriction keeps scripts short) *)
+let rights_of_int = function
+  | 0 -> Rights.none
+  | 1 -> Rights.r
+  | _ -> Rights.rw
+
+let gen_op =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (2, map3 (fun d s r -> Attach (d, s, r))
+           (int_bound (n_domains - 1)) (int_bound (n_segments - 1)) (int_bound 2));
+      (1, map2 (fun d s -> Detach (d, s))
+           (int_bound (n_domains - 1)) (int_bound (n_segments - 1)));
+      (3, map3 (fun d p r -> Grant (d, p, r))
+           (int_bound (n_domains - 1)) (int_bound (n_pages - 1)) (int_bound 2));
+      (1, map2 (fun p r -> Protect_all (p, r))
+           (int_bound (n_pages - 1)) (int_bound 2));
+      (1, map3 (fun d s r -> Protect_seg (d, s, r))
+           (int_bound (n_domains - 1)) (int_bound (n_segments - 1)) (int_bound 2));
+      (2, map (fun d -> Switch d) (int_bound (n_domains - 1)));
+      (1, map (fun d -> Destroy_domain d) (int_bound (n_domains - 1)));
+      (8, map2 (fun w p -> Acc (w, p)) bool (int_bound (n_pages - 1)));
+      (1, map (fun p -> Unmap p) (int_bound (n_pages - 1)));
+    ]
+
+let gen_script = QCheck2.Gen.(list_size (int_range 1 60) gen_op)
+
+let show_op = function
+  | Destroy_domain d -> Printf.sprintf "DestroyDom(d%d)" d
+  | Attach (d, s, r) -> Printf.sprintf "Attach(d%d,s%d,%d)" d s r
+  | Detach (d, s) -> Printf.sprintf "Detach(d%d,s%d)" d s
+  | Grant (d, p, r) -> Printf.sprintf "Grant(d%d,p%d,%d)" d p r
+  | Protect_all (p, r) -> Printf.sprintf "ProtAll(p%d,%d)" p r
+  | Protect_seg (d, s, r) -> Printf.sprintf "ProtSeg(d%d,s%d,%d)" d s r
+  | Switch d -> Printf.sprintf "Switch(d%d)" d
+  | Acc (w, p) -> Printf.sprintf "Acc(%s,p%d)" (if w then "W" else "R") p
+  | Unmap p -> Printf.sprintf "Unmap(p%d)" p
+
+let show_script ops = String.concat "; " (List.map show_op ops)
+
+(* run a script; return the access outcomes in order *)
+let run_script variant script =
+  let sys = Machines.make variant Config.default in
+  let domains = Array.init n_domains (fun _ -> System_ops.new_domain sys) in
+  let segs =
+    Array.init n_segments (fun _ ->
+        System_ops.new_segment sys ~pages:pages_per_seg ())
+  in
+  let page_va p =
+    Segment.page_va segs.(p / pages_per_seg) (p mod pages_per_seg)
+  in
+  System_ops.switch_domain sys domains.(0);
+  let alive = Array.make n_domains true in
+  let cur = ref 0 in
+  let outcomes = ref [] in
+  List.iter
+    (fun op ->
+      (* ops that touch a destroyed domain are dropped deterministically,
+         mirroring the oracle *)
+      let dead = function d -> not alive.(d) in
+      match op with
+      | Destroy_domain d ->
+          if alive.(d) && d <> !cur then begin
+            alive.(d) <- false;
+            System_ops.destroy_domain sys domains.(d)
+          end
+      | (Attach (d, _, _) | Detach (d, _) | Grant (d, _, _)
+        | Protect_seg (d, _, _) | Switch d)
+        when dead d ->
+          ()
+      | Attach (d, s, r) ->
+          System_ops.attach sys domains.(d) segs.(s) (rights_of_int r)
+      | Detach (d, s) -> System_ops.detach sys domains.(d) segs.(s)
+      | Grant (d, p, r) ->
+          System_ops.grant sys domains.(d) (page_va p) (rights_of_int r)
+      | Protect_all (p, r) ->
+          System_ops.protect_all sys (page_va p) (rights_of_int r)
+      | Protect_seg (d, s, r) ->
+          System_ops.protect_segment sys domains.(d) segs.(s) (rights_of_int r)
+      | Switch d ->
+          cur := d;
+          System_ops.switch_domain sys domains.(d)
+      | Acc (w, p) ->
+          let kind = if w then Access.Write else Access.Read in
+          outcomes := System_ops.access sys kind (page_va p) :: !outcomes
+      | Unmap p ->
+          System_ops.unmap_page sys
+            (Va.vpn_of_va Geometry.default (page_va p)))
+    script;
+  let probes =
+    List.concat
+      (List.init n_domains (fun di ->
+           if alive.(di) then
+             List.init n_pages (fun p -> (domains.(di), page_va p))
+           else []))
+  in
+  (List.rev !outcomes, System_ops.hw_over_allows sys probes)
+
+let all_variants =
+  [ Machines.Plb; Machines.Page_group; Machines.Conv_asid; Machines.Conv_flush ]
+
+let prop_agreement =
+  QCheck2.Test.make ~count:300 ~print:show_script
+    ~name:"all machines agree on access outcomes" gen_script (fun script ->
+      match List.map (fun v -> run_script v script) all_variants with
+      | [] -> true
+      | (ref_outcomes, _) :: _ as results ->
+          List.for_all
+            (fun (outcomes, over_allows) ->
+              (not over_allows) && outcomes = ref_outcomes)
+            results)
+
+(* truth-based oracle: the PLB machine's outcomes must equal what the OS
+   tables alone predict *)
+let prop_truth_oracle =
+  QCheck2.Test.make ~count:300 ~print:show_script
+    ~name:"outcomes match a pure rights oracle" gen_script (fun script ->
+      (* replay the protection state functionally *)
+      let attach_tbl = Hashtbl.create 16 in
+      let override_tbl = Hashtbl.create 16 in
+      let seg_of_page p = p / pages_per_seg in
+      let truth d p =
+        match Hashtbl.find_opt override_tbl (d, p) with
+        | Some r -> r
+        | None -> (
+            match Hashtbl.find_opt attach_tbl (d, seg_of_page p) with
+            | Some r -> r
+            | None -> Rights.none)
+      in
+      let cur = ref 0 in
+      let alive = Array.make n_domains true in
+      let expected = ref [] in
+      List.iter
+        (fun op ->
+          let dead = function d -> not alive.(d) in
+          match op with
+          | Destroy_domain d ->
+              if alive.(d) && d <> !cur then begin
+                alive.(d) <- false;
+                for s = 0 to n_segments - 1 do
+                  Hashtbl.remove attach_tbl (d, s)
+                done;
+                for p = 0 to n_pages - 1 do
+                  Hashtbl.remove override_tbl (d, p)
+                done
+              end
+          | (Attach (d, _, _) | Detach (d, _) | Grant (d, _, _)
+            | Protect_seg (d, _, _) | Switch d)
+            when dead d ->
+              ()
+          | Attach (d, s, r) ->
+              Hashtbl.replace attach_tbl (d, s) (rights_of_int r)
+          | Detach (d, s) ->
+              Hashtbl.remove attach_tbl (d, s);
+              for p = s * pages_per_seg to ((s + 1) * pages_per_seg) - 1 do
+                Hashtbl.remove override_tbl (d, p)
+              done
+          | Grant (d, p, r) ->
+              Hashtbl.replace override_tbl (d, p) (rights_of_int r)
+          | Protect_all (p, r) ->
+              (* mirrors the machines: every attached domain, plus any
+                 domain holding rights through an override *)
+              for d = 0 to n_domains - 1 do
+                if
+                  Hashtbl.mem attach_tbl (d, seg_of_page p)
+                  || not (Rights.equal (truth d p) Rights.none)
+                then Hashtbl.replace override_tbl (d, p) (rights_of_int r)
+              done
+          | Protect_seg (d, s, r) ->
+              for p = s * pages_per_seg to ((s + 1) * pages_per_seg) - 1 do
+                Hashtbl.remove override_tbl (d, p)
+              done;
+              Hashtbl.replace attach_tbl (d, s) (rights_of_int r)
+          | Switch d -> cur := d
+          | Acc (w, p) ->
+              let needed = if w then Rights.w else Rights.r in
+              let ok = Rights.subset needed (truth !cur p) in
+              expected :=
+                (if ok then Access.Ok else Access.Protection_fault)
+                :: !expected
+          | Unmap _ -> ())
+        script;
+      let expected = List.rev !expected in
+      let got, _ = run_script Machines.Plb script in
+      got = expected)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_agreement;
+    QCheck_alcotest.to_alcotest prop_truth_oracle;
+  ]

@@ -1,0 +1,154 @@
+open Sasos.Hw
+
+module IntKey = struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash (x : int) = x
+end
+
+module C = Assoc_cache.Make (IntKey)
+
+let test_insert_find () =
+  let c = C.create ~sets:4 ~ways:2 () in
+  ignore (C.insert c 1 "one");
+  ignore (C.insert c 2 "two");
+  Alcotest.(check (option string)) "find 1" (Some "one") (C.find c 1);
+  Alcotest.(check (option string)) "find 2" (Some "two") (C.find c 2);
+  Alcotest.(check (option string)) "miss" None (C.find c 3);
+  Alcotest.(check int) "hits" 2 (C.hits c);
+  Alcotest.(check int) "misses" 1 (C.misses c)
+
+let test_capacity_bound () =
+  let c = C.create ~sets:2 ~ways:2 () in
+  for i = 0 to 99 do
+    ignore (C.insert c i i)
+  done;
+  Alcotest.(check bool) "length <= capacity" true (C.length c <= C.capacity c);
+  Alcotest.(check int) "capacity" 4 (C.capacity c)
+
+let test_lru_eviction () =
+  (* fully associative, 2 ways: touching A keeps it; B is the LRU victim *)
+  let c = C.create ~sets:1 ~ways:2 () in
+  ignore (C.insert c 1 "a");
+  ignore (C.insert c 2 "b");
+  ignore (C.find c 1);
+  let evicted = C.insert c 3 "c" in
+  Alcotest.(check bool) "evicted b" true
+    (match evicted with Some (2, "b") -> true | _ -> false);
+  Alcotest.(check bool) "a survives" true (C.mem c 1)
+
+let test_fifo_eviction () =
+  let c = C.create ~policy:Replacement.Fifo ~sets:1 ~ways:2 () in
+  ignore (C.insert c 1 "a");
+  ignore (C.insert c 2 "b");
+  ignore (C.find c 1);
+  (* touching does not matter under FIFO *)
+  let evicted = C.insert c 3 "c" in
+  Alcotest.(check bool) "evicted a (oldest)" true
+    (match evicted with Some (1, "a") -> true | _ -> false)
+
+let test_insert_existing_overwrites () =
+  let c = C.create ~sets:1 ~ways:2 () in
+  ignore (C.insert c 1 "a");
+  ignore (C.insert c 1 "a2");
+  Alcotest.(check int) "no duplicate" 1 (C.length c);
+  Alcotest.(check (option string)) "updated" (Some "a2") (C.peek c 1)
+
+let test_peek_no_stats () =
+  let c = C.create ~sets:1 ~ways:2 () in
+  ignore (C.insert c 1 "a");
+  ignore (C.peek c 1);
+  ignore (C.peek c 9);
+  Alcotest.(check int) "no hits" 0 (C.hits c);
+  Alcotest.(check int) "no misses" 0 (C.misses c)
+
+let test_remove_purge_clear () =
+  let c = C.create ~sets:2 ~ways:4 () in
+  for i = 0 to 7 do
+    ignore (C.insert c i i)
+  done;
+  Alcotest.(check bool) "remove present" true (C.remove c 3);
+  Alcotest.(check bool) "remove absent" false (C.remove c 3);
+  let inspected, removed = C.purge c (fun k _ -> k mod 2 = 0) in
+  Alcotest.(check int) "inspected all" 7 inspected;
+  Alcotest.(check int) "removed evens" 4 removed;
+  Alcotest.(check int) "cleared" 3 (C.clear c);
+  Alcotest.(check int) "empty" 0 (C.length c)
+
+let test_update () =
+  let c = C.create ~sets:1 ~ways:2 () in
+  ignore (C.insert c 1 10);
+  Alcotest.(check bool) "update hits" true (C.update c 1 (fun v -> v + 1));
+  Alcotest.(check (option int)) "updated" (Some 11) (C.peek c 1);
+  Alcotest.(check bool) "update miss" false (C.update c 2 (fun v -> v))
+
+let test_fold_iter () =
+  let c = C.create ~sets:4 ~ways:2 () in
+  for i = 0 to 5 do
+    ignore (C.insert c i (i * 10))
+  done;
+  let sum = C.fold (fun _ v acc -> acc + v) c 0 in
+  Alcotest.(check int) "fold sum" 150 sum;
+  let n = ref 0 in
+  C.iter (fun _ _ -> incr n) c;
+  Alcotest.(check int) "iter count" 6 !n
+
+(* Model-based test: a fully associative LRU cache must behave exactly like
+   a reference list-based LRU. *)
+let prop_lru_model =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 300) (pair (int_bound 20) bool))
+  in
+  QCheck2.Test.make ~name:"fully-associative LRU matches reference model" gen
+    (fun ops ->
+      let ways = 4 in
+      let c = C.create ~sets:1 ~ways () in
+      (* model: association list, most recent first *)
+      let model = ref [] in
+      let model_find k =
+        if List.mem_assoc k !model then begin
+          let v = List.assoc k !model in
+          model := (k, v) :: List.remove_assoc k !model;
+          Some v
+        end
+        else None
+      in
+      let model_insert k v =
+        if List.mem_assoc k !model then
+          model := List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) !model
+        else begin
+          model := (k, v) :: !model;
+          if List.length !model > ways then
+            model := List.filteri (fun i _ -> i < ways) !model
+        end
+      in
+      List.for_all
+        (fun (k, is_insert) ->
+          if is_insert then begin
+            ignore (C.insert c k k);
+            model_insert k k;
+            true
+          end
+          else begin
+            let real = C.find c k in
+            let expected = model_find k in
+            real = expected
+          end)
+        ops
+      && C.length c = List.length !model)
+
+let suite =
+  [
+    Alcotest.test_case "insert/find" `Quick test_insert_find;
+    Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+    Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "FIFO eviction" `Quick test_fifo_eviction;
+    Alcotest.test_case "insert existing overwrites" `Quick
+      test_insert_existing_overwrites;
+    Alcotest.test_case "peek leaves stats" `Quick test_peek_no_stats;
+    Alcotest.test_case "remove/purge/clear" `Quick test_remove_purge_clear;
+    Alcotest.test_case "update" `Quick test_update;
+    Alcotest.test_case "fold/iter" `Quick test_fold_iter;
+    QCheck_alcotest.to_alcotest prop_lru_model;
+  ]

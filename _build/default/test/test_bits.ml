@@ -1,0 +1,65 @@
+open Sasos.Util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_power_of_two () =
+  check_bool "1" true (Bits.is_power_of_two 1);
+  check_bool "2" true (Bits.is_power_of_two 2);
+  check_bool "1024" true (Bits.is_power_of_two 1024);
+  check_bool "0" false (Bits.is_power_of_two 0);
+  check_bool "3" false (Bits.is_power_of_two 3);
+  check_bool "-4" false (Bits.is_power_of_two (-4))
+
+let test_log2 () =
+  check_int "log2 1" 0 (Bits.log2 1);
+  check_int "log2 4096" 12 (Bits.log2 4096);
+  Alcotest.check_raises "log2 3" (Invalid_argument "Bits.log2: not a power of two")
+    (fun () -> ignore (Bits.log2 3))
+
+let test_ceil_log2 () =
+  check_int "1" 0 (Bits.ceil_log2 1);
+  check_int "2" 1 (Bits.ceil_log2 2);
+  check_int "3" 2 (Bits.ceil_log2 3);
+  check_int "4096" 12 (Bits.ceil_log2 4096);
+  check_int "4097" 13 (Bits.ceil_log2 4097)
+
+let test_ceil_div () =
+  check_int "10/3" 4 (Bits.ceil_div 10 3);
+  check_int "9/3" 3 (Bits.ceil_div 9 3);
+  check_int "0/3" 0 (Bits.ceil_div 0 3)
+
+let test_round_up () =
+  check_int "round 5 to 4" 8 (Bits.round_up 5 4);
+  check_int "round 8 to 4" 8 (Bits.round_up 8 4);
+  check_int "round 0 to 4096" 0 (Bits.round_up 0 4096)
+
+let test_mask () =
+  check_int "mask 0" 0 (Bits.mask 0);
+  check_int "mask 3" 7 (Bits.mask 3);
+  check_int "mask 12" 4095 (Bits.mask 12)
+
+let test_popcount () =
+  check_int "popcount 0" 0 (Bits.popcount 0);
+  check_int "popcount 7" 3 (Bits.popcount 7);
+  check_int "popcount 0x55" 4 (Bits.popcount 0x55)
+
+let prop_round_up_aligned =
+  QCheck2.Test.make ~name:"round_up result aligned and minimal"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 16))
+    (fun (x, k) ->
+      let align = 1 lsl k in
+      let r = Sasos.Util.Bits.round_up x align in
+      r >= x && r mod align = 0 && r - x < align)
+
+let suite =
+  [
+    Alcotest.test_case "is_power_of_two" `Quick test_power_of_two;
+    Alcotest.test_case "log2" `Quick test_log2;
+    Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+    Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "round_up" `Quick test_round_up;
+    Alcotest.test_case "mask" `Quick test_mask;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    QCheck_alcotest.to_alcotest prop_round_up_aligned;
+  ]

@@ -1,0 +1,149 @@
+open Sasos
+open Sasos.Os
+
+let outcome = Alcotest.testable Access.pp_outcome Access.outcome_equal
+
+let setup () =
+  let sys = Machines.make Machines.Plb Config.default in
+  let reg = Cap_registry.create () in
+  let d = System_ops.new_domain sys in
+  let seg = System_ops.new_segment sys ~name:"mail" ~pages:4 () in
+  (sys, reg, d, seg)
+
+let test_mint_validate () =
+  let _, reg, _, seg = setup () in
+  let cap = Cap_registry.mint reg seg Rights.rw in
+  Alcotest.(check bool) "valid" true (Cap_registry.validate reg cap);
+  Alcotest.(check bool) "rights bound" true
+    (Rights.equal (Capability.rights cap) Rights.rw);
+  Alcotest.(check bool) "names segment" true
+    (Segment.id_equal (Capability.segment cap) seg.Segment.id)
+
+let test_forgery_fails () =
+  let _, reg, _, seg = setup () in
+  let _real = Cap_registry.mint reg seg Rights.rw in
+  let forged =
+    Capability.make ~segment:seg.Segment.id ~rights:Rights.rw ~check:42L
+  in
+  Alcotest.(check bool) "forged check rejected" false
+    (Cap_registry.validate reg forged)
+
+let test_tampered_rights_fail () =
+  let _, reg, _, seg = setup () in
+  let cap = Cap_registry.mint reg seg Rights.r in
+  (* reuse the genuine check but claim wider rights *)
+  let tampered =
+    Capability.make ~segment:seg.Segment.id ~rights:Rights.rw
+      ~check:(Capability.check cap)
+  in
+  Alcotest.(check bool) "tampered bound rejected" false
+    (Cap_registry.validate reg tampered)
+
+let test_attach_via_capability () =
+  let sys, reg, d, seg = setup () in
+  let cap = Cap_registry.mint reg seg Rights.rw in
+  (match Cap_registry.attach reg sys d cap Rights.rw with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  System_ops.switch_domain sys d;
+  Alcotest.check outcome "attached and usable" Access.Ok
+    (System_ops.write sys (Segment.page_va seg 0))
+
+let test_attach_rights_clamped () =
+  let sys, reg, d, seg = setup () in
+  let cap = Cap_registry.mint reg seg Rights.r in
+  Alcotest.(check bool) "rw via ro capability rejected" true
+    (match Cap_registry.attach reg sys d cap Rights.rw with
+    | Error _ -> true
+    | Ok () -> false);
+  (match Cap_registry.attach reg sys d cap Rights.r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  System_ops.switch_domain sys d;
+  Alcotest.check outcome "read works" Access.Ok
+    (System_ops.read sys (Segment.page_va seg 0));
+  Alcotest.check outcome "write denied" Access.Protection_fault
+    (System_ops.write sys (Segment.page_va seg 0))
+
+let test_restrict () =
+  let _, reg, _, seg = setup () in
+  let cap = Cap_registry.mint reg seg Rights.rw in
+  (match Cap_registry.restrict reg cap Rights.r with
+  | Ok weaker ->
+      Alcotest.(check bool) "weaker valid" true (Cap_registry.validate reg weaker);
+      Alcotest.(check bool) "weaker bound" true
+        (Rights.equal (Capability.rights weaker) Rights.r);
+      Alcotest.(check bool) "distinct check" true
+        (Capability.check weaker <> Capability.check cap)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "widening rejected" true
+    (match Cap_registry.restrict reg cap Rights.rwx with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_revoke () =
+  let sys, reg, d, seg = setup () in
+  let cap = Cap_registry.mint reg seg Rights.rw in
+  let derived =
+    match Cap_registry.restrict reg cap Rights.r with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  Cap_registry.revoke reg cap;
+  Alcotest.(check bool) "revoked invalid" false (Cap_registry.validate reg cap);
+  Alcotest.(check bool) "derived survives" true
+    (Cap_registry.validate reg derived);
+  Alcotest.(check bool) "attach with revoked fails" true
+    (match Cap_registry.attach reg sys d cap Rights.r with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_name_service () =
+  let sys, reg, d, seg = setup () in
+  let rw = Cap_registry.mint reg seg Rights.rw in
+  let ro =
+    match Cap_registry.restrict reg rw Rights.r with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  Cap_registry.publish reg "mail/queue" ro;
+  Alcotest.(check bool) "lookup finds" true
+    (Cap_registry.lookup reg "mail/queue" <> None);
+  Alcotest.(check bool) "missing name" true
+    (Cap_registry.lookup reg "no/such" = None);
+  Alcotest.(check (list string)) "names" [ "mail/queue" ] (Cap_registry.names reg);
+  (* a client bootstraps through the name service *)
+  let client_cap = Option.get (Cap_registry.lookup reg "mail/queue") in
+  (match Cap_registry.attach reg sys d client_cap Rights.r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  System_ops.switch_domain sys d;
+  Alcotest.check outcome "published rights only" Access.Protection_fault
+    (System_ops.write sys (Segment.page_va seg 0));
+  Cap_registry.unpublish reg "mail/queue";
+  Alcotest.(check bool) "unpublished" true
+    (Cap_registry.lookup reg "mail/queue" = None)
+
+let prop_guessing_fails =
+  QCheck2.Test.make ~name:"guessed checks never validate" ~count:200
+    QCheck2.Gen.(int64)
+    (fun guess ->
+      let _, reg, _, seg = setup () in
+      let real = Cap_registry.mint reg seg Rights.rw in
+      let forged =
+        Capability.make ~segment:seg.Segment.id ~rights:Rights.rw ~check:guess
+      in
+      Capability.check real = guess || not (Cap_registry.validate reg forged))
+
+let suite =
+  [
+    Alcotest.test_case "mint and validate" `Quick test_mint_validate;
+    Alcotest.test_case "forgery fails" `Quick test_forgery_fails;
+    Alcotest.test_case "tampered rights fail" `Quick test_tampered_rights_fail;
+    Alcotest.test_case "attach via capability" `Quick test_attach_via_capability;
+    Alcotest.test_case "attach rights clamped" `Quick test_attach_rights_clamped;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "revoke" `Quick test_revoke;
+    Alcotest.test_case "name service" `Quick test_name_service;
+    QCheck_alcotest.to_alcotest prop_guessing_fails;
+  ]

@@ -1,0 +1,152 @@
+open Sasos.Hw
+
+let mk ?(org = Data_cache.Vivt) () =
+  Data_cache.create ~org ~size_bytes:1024 ~line_bytes:32 ~ways:2 ()
+
+let test_hit_after_fill () =
+  let c = mk () in
+  (match Data_cache.access c ~space:0 ~va:0x100 ~pa:0x9100 ~write:false with
+  | Data_cache.Miss { writeback = false } -> ()
+  | _ -> Alcotest.fail "cold miss expected");
+  (match Data_cache.access c ~space:0 ~va:0x100 ~pa:0x9100 ~write:false with
+  | Data_cache.Hit -> ()
+  | _ -> Alcotest.fail "hit expected");
+  (* same line, different byte *)
+  match Data_cache.access c ~space:0 ~va:0x11f ~pa:0x911f ~write:false with
+  | Data_cache.Hit -> ()
+  | _ -> Alcotest.fail "same-line hit expected"
+
+let test_writeback () =
+  let c = Data_cache.create ~org:Data_cache.Vivt ~size_bytes:64 ~line_bytes:32 ~ways:1 () in
+  (* direct-mapped, 2 sets; conflicting lines map to set 0: 0x0 and 0x40 *)
+  ignore (Data_cache.access c ~space:0 ~va:0x0 ~pa:0x1000 ~write:true);
+  (match Data_cache.access c ~space:0 ~va:0x40 ~pa:0x2040 ~write:false with
+  | Data_cache.Miss { writeback } ->
+      Alcotest.(check bool) "dirty victim written back" true writeback
+  | Data_cache.Hit -> Alcotest.fail "conflict miss expected");
+  Alcotest.(check int) "writeback counted" 1 (Data_cache.writebacks c)
+
+let test_space_tag_homonyms () =
+  let c = mk () in
+  (* same VA in two spaces with different physical pages: distinct lines *)
+  ignore (Data_cache.access c ~space:1 ~va:0x100 ~pa:0x1100 ~write:false);
+  (match Data_cache.access c ~space:2 ~va:0x100 ~pa:0x2100 ~write:false with
+  | Data_cache.Miss _ -> ()
+  | Data_cache.Hit -> Alcotest.fail "homonym must not hit across spaces");
+  match Data_cache.access c ~space:1 ~va:0x100 ~pa:0x1100 ~write:false with
+  | Data_cache.Hit -> ()
+  | _ -> Alcotest.fail "original space still hits"
+
+let test_synonym_detection () =
+  let c = mk () in
+  (* one physical line under two spaces (MAS sharing): synonym *)
+  ignore (Data_cache.access c ~space:1 ~va:0x100 ~pa:0x5100 ~write:false);
+  ignore (Data_cache.access c ~space:2 ~va:0x100 ~pa:0x5100 ~write:false);
+  Alcotest.(check int) "synonym counted" 1 (Data_cache.synonyms_detected c);
+  Alcotest.(check int) "two resident copies" 2
+    (Data_cache.resident_copies_of_pa c ~pa_line:(0x5100 lsr 5))
+
+let test_no_synonym_same_space () =
+  let c = mk () in
+  ignore (Data_cache.access c ~space:0 ~va:0x100 ~pa:0x5100 ~write:false);
+  ignore (Data_cache.access c ~space:0 ~va:0x100 ~pa:0x5100 ~write:true);
+  Alcotest.(check int) "no synonym" 0 (Data_cache.synonyms_detected c)
+
+let test_pipt_ignores_space () =
+  let c = mk ~org:Data_cache.Pipt () in
+  ignore (Data_cache.access c ~space:1 ~va:0x100 ~pa:0x5100 ~write:false);
+  (* physically tagged: same PA hits regardless of space or VA *)
+  match Data_cache.access c ~space:2 ~va:0x9100 ~pa:0x5100 ~write:false with
+  | Data_cache.Hit -> ()
+  | _ -> Alcotest.fail "PIPT must hit on same physical line"
+
+let test_vipt_same_index_tagged_physically () =
+  let c = mk ~org:Data_cache.Vipt () in
+  ignore (Data_cache.access c ~space:0 ~va:0x100 ~pa:0x5100 ~write:false);
+  (* same virtual index (same va), same physical tag: hit *)
+  match Data_cache.access c ~space:0 ~va:0x100 ~pa:0x5100 ~write:false with
+  | Data_cache.Hit -> ()
+  | _ -> Alcotest.fail "VIPT hit expected"
+
+let test_flush_va_range () =
+  let c = mk () in
+  ignore (Data_cache.access c ~space:0 ~va:0x1000 ~pa:0x1000 ~write:true);
+  ignore (Data_cache.access c ~space:0 ~va:0x1020 ~pa:0x1020 ~write:false);
+  ignore (Data_cache.access c ~space:0 ~va:0x2000 ~pa:0x2000 ~write:false);
+  let flushed, wb = Data_cache.flush_va_range c ~space:0 ~lo:0x1000 ~hi:0x2000 in
+  Alcotest.(check int) "two lines flushed" 2 flushed;
+  Alcotest.(check int) "one writeback" 1 wb;
+  (match Data_cache.access c ~space:0 ~va:0x1000 ~pa:0x1000 ~write:false with
+  | Data_cache.Miss _ -> ()
+  | Data_cache.Hit -> Alcotest.fail "flushed line must miss");
+  match Data_cache.access c ~space:0 ~va:0x2000 ~pa:0x2000 ~write:false with
+  | Data_cache.Hit -> ()
+  | _ -> Alcotest.fail "line outside range must survive"
+
+let test_flush_pa_page () =
+  let c = mk () in
+  ignore (Data_cache.access c ~space:1 ~va:0x1000 ~pa:0x7000 ~write:false);
+  ignore (Data_cache.access c ~space:2 ~va:0x3000 ~pa:0x7020 ~write:false);
+  let flushed, _ = Data_cache.flush_pa_page c ~pfn:7 ~page_shift:12 in
+  Alcotest.(check int) "both spaces' lines flushed" 2 flushed
+
+let test_flush_all () =
+  let c = mk () in
+  ignore (Data_cache.access c ~space:0 ~va:0x0 ~pa:0x0 ~write:true);
+  ignore (Data_cache.access c ~space:0 ~va:0x100 ~pa:0x100 ~write:false);
+  let flushed, wb = Data_cache.flush_all c in
+  Alcotest.(check int) "all flushed" 2 flushed;
+  Alcotest.(check int) "dirty written" 1 wb
+
+let test_geometry_validation () =
+  Alcotest.(check bool) "non-power-of-two rejected" true
+    (try
+       ignore
+         (Data_cache.create ~org:Data_cache.Vivt ~size_bytes:1000
+            ~line_bytes:32 ~ways:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* Model-based property: a fully associative LRU VIVT cache must hit
+   exactly when the line is among the last [ways] distinct lines touched. *)
+let prop_fa_lru_model =
+  QCheck2.Test.make ~count:200
+    ~name:"fully-associative VIVT matches an LRU-list model"
+    QCheck2.Gen.(list_size (int_range 1 300) (pair (int_bound 15) bool))
+    (fun ops ->
+      let ways = 4 in
+      let c =
+        Data_cache.create ~org:Data_cache.Vivt ~size_bytes:(32 * ways)
+          ~line_bytes:32 ~ways ()
+      in
+      let model = ref [] (* most recent first, at most [ways] lines *) in
+      List.for_all
+        (fun (line, write) ->
+          let va = line * 32 and pa = 0x10000 + (line * 32) in
+          let expected_hit = List.mem line !model in
+          model := line :: List.filter (( <> ) line) !model;
+          if List.length !model > ways then
+            model := List.filteri (fun i _ -> i < ways) !model;
+          match Data_cache.access c ~space:0 ~va ~pa ~write with
+          | Data_cache.Hit -> expected_hit
+          | Data_cache.Miss _ -> not expected_hit)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "hit after fill" `Quick test_hit_after_fill;
+    QCheck_alcotest.to_alcotest prop_fa_lru_model;
+    Alcotest.test_case "writeback on dirty eviction" `Quick test_writeback;
+    Alcotest.test_case "space tags prevent homonym hits" `Quick
+      test_space_tag_homonyms;
+    Alcotest.test_case "synonym detection across spaces" `Quick
+      test_synonym_detection;
+    Alcotest.test_case "no synonym within one space" `Quick
+      test_no_synonym_same_space;
+    Alcotest.test_case "PIPT ignores spaces" `Quick test_pipt_ignores_space;
+    Alcotest.test_case "VIPT behaviour" `Quick test_vipt_same_index_tagged_physically;
+    Alcotest.test_case "flush VA range" `Quick test_flush_va_range;
+    Alcotest.test_case "flush physical page" `Quick test_flush_pa_page;
+    Alcotest.test_case "flush all" `Quick test_flush_all;
+    Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
+  ]

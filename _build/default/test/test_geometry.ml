@@ -1,0 +1,65 @@
+open Sasos
+
+let test_figure1_widths () =
+  (* Figure 1: 64-bit addresses, 4 KB pages -> 52-bit VPN, 16-bit PD-ID,
+     3-bit rights *)
+  let g = Geometry.default in
+  Alcotest.(check int) "vpn bits" 52 (Geometry.vpn_bits g);
+  Alcotest.(check int) "pd-id bits" 16 g.Geometry.pd_id_bits;
+  Alcotest.(check int) "rights bits" 3 Rights.bits;
+  Alcotest.(check int) "plb entry" 71 (Geometry.plb_entry_bits g)
+
+let test_entry_size_claim () =
+  (* §4: PLB entries ~25% smaller than page-group TLB entries *)
+  let g = Geometry.default in
+  let plb = float_of_int (Geometry.plb_entry_bits g) in
+  let pg = float_of_int (Geometry.pg_tlb_entry_bits g) in
+  let saving = 1.0 -. (plb /. pg) in
+  Alcotest.(check bool) "~25% smaller" true (saving > 0.2 && saving < 0.35)
+
+let test_page_sizes () =
+  let g = Geometry.default in
+  Alcotest.(check int) "4K pages" 4096 (Geometry.page_size g);
+  let g2 = Geometry.v ~prot_shift:7 () in
+  Alcotest.(check int) "128B protection" 128 (Geometry.prot_page_size g2);
+  Alcotest.(check int) "translation still 4K" 4096 (Geometry.page_size g2)
+
+let test_validation () =
+  Alcotest.(check bool) "bad va_bits raises" true
+    (try
+       ignore (Geometry.v ~va_bits:8 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "pa > va raises" true
+    (try
+       ignore (Geometry.v ~va_bits:32 ~pa_bits:40 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_tag_bits () =
+  let g = Geometry.default in
+  (* 16KB direct-mapped, 32B lines: offset 5, index 9 -> vtag 50, ptag 22 *)
+  Alcotest.(check int) "vivt tag" 50
+    (Geometry.vivt_tag_bits g ~line_bytes:32 ~cache_bytes:(16 * 1024) ~ways:1);
+  Alcotest.(check int) "vipt tag" 22
+    (Geometry.vipt_tag_bits g ~line_bytes:32 ~cache_bytes:(16 * 1024) ~ways:1)
+
+let test_ten_pct_claim () =
+  (* §3.2.1 footnote: ~10% larger storage for virtual tags *)
+  let g = Geometry.default in
+  let v = Geometry.vivt_tag_bits g ~line_bytes:32 ~cache_bytes:(16 * 1024) ~ways:1 in
+  let p = Geometry.vipt_tag_bits g ~line_bytes:32 ~cache_bytes:(16 * 1024) ~ways:1 in
+  let line_overhead =
+    float_of_int (v - p) /. float_of_int (p + 2 + (8 * 32))
+  in
+  Alcotest.(check bool) "~10%" true (line_overhead > 0.08 && line_overhead < 0.12)
+
+let suite =
+  [
+    Alcotest.test_case "Figure 1 field widths" `Quick test_figure1_widths;
+    Alcotest.test_case "25% entry-size claim" `Quick test_entry_size_claim;
+    Alcotest.test_case "page sizes" `Quick test_page_sizes;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "tag bits" `Quick test_tag_bits;
+    Alcotest.test_case "10% VIVT overhead claim" `Quick test_ten_pct_claim;
+  ]

@@ -1,0 +1,53 @@
+open Sasos.Util
+
+let test_bucketing () =
+  let h = Histogram.create ~buckets:4 ~width:10 in
+  List.iter (Histogram.add h) [ 0; 5; 9; 10; 25; 39; 40; 1000 ];
+  Alcotest.(check int) "count" 8 (Histogram.count h);
+  Alcotest.(check int) "bucket 0" 3 (Histogram.bucket h 0);
+  Alcotest.(check int) "bucket 1" 1 (Histogram.bucket h 1);
+  Alcotest.(check int) "bucket 2" 1 (Histogram.bucket h 2);
+  Alcotest.(check int) "bucket 3" 1 (Histogram.bucket h 3);
+  Alcotest.(check int) "overflow" 2 (Histogram.bucket h 4)
+
+let test_percentile () =
+  let h = Histogram.create ~buckets:10 ~width:1 in
+  for v = 0 to 9 do
+    Histogram.add h v
+  done;
+  Alcotest.(check int) "p50 upper bound" 5 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p100" 10 (Histogram.percentile h 100.0);
+  Alcotest.(check int) "empty" 0
+    (Histogram.percentile (Histogram.create ~buckets:2 ~width:1) 50.0)
+
+let test_negative () =
+  let h = Histogram.create ~buckets:2 ~width:1 in
+  Alcotest.check_raises "negative" (Invalid_argument "Histogram.add: negative value")
+    (fun () -> Histogram.add h (-1))
+
+let test_render () =
+  let h = Histogram.create ~buckets:3 ~width:5 in
+  List.iter (Histogram.add h) [ 1; 1; 7 ];
+  Alcotest.(check bool) "non-empty render" true
+    (String.length (Histogram.render h) > 0)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentiles are monotone and bound the data"
+    QCheck2.Gen.(list_size (int_range 1 100) (int_bound 500))
+    (fun values ->
+      let h = Histogram.create ~buckets:20 ~width:16 in
+      List.iter (Histogram.add h) values;
+      let p50 = Histogram.percentile h 50.0 in
+      let p90 = Histogram.percentile h 90.0 in
+      let p100 = Histogram.percentile h 100.0 in
+      p50 <= p90 && p90 <= p100
+      && List.for_all (fun v -> v < p100 || v >= 20 * 16) values)
+
+let suite =
+  [
+    Alcotest.test_case "bucketing" `Quick test_bucketing;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "negative rejected" `Quick test_negative;
+    Alcotest.test_case "render" `Quick test_render;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+  ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "sasos"
+    [
+      ("bits", Test_bits.suite);
+      ("prng", Test_prng.suite);
+      ("zipf", Test_zipf.suite);
+      ("tablefmt", Test_tablefmt.suite);
+      ("summary", Test_summary.suite);
+      ("histogram", Test_histogram.suite);
+      ("rights", Test_rights.suite);
+      ("geometry", Test_geometry.suite);
+      ("va", Test_va.suite);
+      ("metrics", Test_metrics.suite);
+      ("assoc-cache", Test_assoc_cache.suite);
+      ("tlb", Test_tlb.suite);
+      ("plb", Test_plb.suite);
+      ("page-group-cache", Test_page_group_cache.suite);
+      ("data-cache", Test_data_cache.suite);
+      ("mem", Test_mem.suite);
+      ("segment", Test_segment.suite);
+      ("os-core", Test_os_core.suite);
+      ("config", Test_config.suite);
+      ("system-ops", Test_system_ops.suite);
+      ("capability", Test_capability.suite);
+      ("machines", Test_machines.suite);
+      ("agreement", Test_agreement.suite);
+      ("workloads", Test_workloads.suite);
+      ("trace", Test_trace.suite);
+      ("experiments", Test_experiments.suite);
+    ]

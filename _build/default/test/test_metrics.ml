@@ -1,0 +1,59 @@
+open Sasos
+
+let test_create_zero () =
+  let m = Metrics.create () in
+  List.iter
+    (fun (name, v) -> Alcotest.(check int) name 0 v)
+    (Metrics.fields m)
+
+let test_diff_add () =
+  let a = Metrics.create () and b = Metrics.create () in
+  a.Metrics.accesses <- 10;
+  a.Metrics.cycles <- 100;
+  b.Metrics.accesses <- 3;
+  b.Metrics.cycles <- 40;
+  let d = Metrics.diff a b in
+  Alcotest.(check int) "diff accesses" 7 d.Metrics.accesses;
+  Alcotest.(check int) "diff cycles" 60 d.Metrics.cycles;
+  Metrics.add_into b d;
+  Alcotest.(check int) "add restores" 10 b.Metrics.accesses
+
+let test_copy_independent () =
+  let a = Metrics.create () in
+  a.Metrics.tlb_misses <- 5;
+  let c = Metrics.copy a in
+  a.Metrics.tlb_misses <- 9;
+  Alcotest.(check int) "copy unchanged" 5 c.Metrics.tlb_misses
+
+let test_reset () =
+  let a = Metrics.create () in
+  a.Metrics.plb_hits <- 4;
+  a.Metrics.cycles <- 77;
+  Metrics.reset a;
+  Alcotest.(check int) "plb_hits" 0 a.Metrics.plb_hits;
+  Alcotest.(check int) "cycles" 0 a.Metrics.cycles
+
+let test_ratios () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 1e-9)) "empty ratio" 0.0 (Metrics.tlb_miss_ratio m);
+  m.Metrics.tlb_hits <- 3;
+  m.Metrics.tlb_misses <- 1;
+  Alcotest.(check (float 1e-9)) "25%" 0.25 (Metrics.tlb_miss_ratio m);
+  m.Metrics.plb_hits <- 1;
+  m.Metrics.plb_misses <- 1;
+  Alcotest.(check (float 1e-9)) "50%" 0.5 (Metrics.plb_miss_ratio m)
+
+let test_fields_complete () =
+  (* fields must enumerate every counter: diff of distinct records differs
+     somewhere *)
+  Alcotest.(check int) "34 counters" 34 (List.length (Metrics.fields (Metrics.create ())))
+
+let suite =
+  [
+    Alcotest.test_case "create zeroed" `Quick test_create_zero;
+    Alcotest.test_case "diff/add_into" `Quick test_diff_add;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "miss ratios" `Quick test_ratios;
+    Alcotest.test_case "fields complete" `Quick test_fields_complete;
+  ]

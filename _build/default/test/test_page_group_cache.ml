@@ -1,0 +1,70 @@
+open Sasos.Hw
+
+let test_public_group () =
+  let c = Page_group_cache.create ~entries:4 () in
+  (match Page_group_cache.check c ~aid:0 with
+  | Page_group_cache.Allowed { write_disabled } ->
+      Alcotest.(check bool) "aid 0 writes enabled" false write_disabled
+  | Page_group_cache.Denied -> Alcotest.fail "aid 0 must always be allowed");
+  Alcotest.(check int) "no probe counted" 0
+    (Page_group_cache.hits c + Page_group_cache.misses c)
+
+let test_load_check () =
+  let c = Page_group_cache.create ~entries:4 () in
+  Alcotest.(check bool) "denied before load" true
+    (Page_group_cache.check c ~aid:7 = Page_group_cache.Denied);
+  Page_group_cache.load c ~aid:7 ~write_disabled:false;
+  (match Page_group_cache.check c ~aid:7 with
+  | Page_group_cache.Allowed { write_disabled } ->
+      Alcotest.(check bool) "wd false" false write_disabled
+  | Page_group_cache.Denied -> Alcotest.fail "should be allowed")
+
+let test_write_disable () =
+  let c = Page_group_cache.create ~entries:4 () in
+  Page_group_cache.load c ~aid:3 ~write_disabled:true;
+  (match Page_group_cache.check c ~aid:3 with
+  | Page_group_cache.Allowed { write_disabled } ->
+      Alcotest.(check bool) "wd set" true write_disabled
+  | Page_group_cache.Denied -> Alcotest.fail "allowed");
+  Alcotest.(check bool) "flip wd" true
+    (Page_group_cache.set_write_disable c ~aid:3 false);
+  match Page_group_cache.check c ~aid:3 with
+  | Page_group_cache.Allowed { write_disabled } ->
+      Alcotest.(check bool) "wd cleared" false write_disabled
+  | Page_group_cache.Denied -> Alcotest.fail "allowed"
+
+let test_capacity_lru () =
+  (* the stock PA-RISC: 4 PID registers *)
+  let c = Page_group_cache.create ~entries:4 () in
+  for aid = 1 to 4 do
+    Page_group_cache.load c ~aid ~write_disabled:false
+  done;
+  (* touch 1 so it is most recent; loading a 5th evicts 2 *)
+  ignore (Page_group_cache.check c ~aid:1);
+  Page_group_cache.load c ~aid:5 ~write_disabled:false;
+  Alcotest.(check int) "still 4" 4 (Page_group_cache.length c);
+  Alcotest.(check bool) "1 survived" true (Page_group_cache.resident c ~aid:1);
+  Alcotest.(check bool) "2 evicted" false (Page_group_cache.resident c ~aid:2)
+
+let test_drop_flush () =
+  let c = Page_group_cache.create ~entries:8 () in
+  Page_group_cache.load c ~aid:1 ~write_disabled:false;
+  Page_group_cache.load c ~aid:2 ~write_disabled:false;
+  Alcotest.(check bool) "drop" true (Page_group_cache.drop c ~aid:1);
+  Alcotest.(check bool) "drop absent" false (Page_group_cache.drop c ~aid:1);
+  Alcotest.(check int) "flush rest" 1 (Page_group_cache.flush c)
+
+let test_load_zero_noop () =
+  let c = Page_group_cache.create ~entries:2 () in
+  Page_group_cache.load c ~aid:0 ~write_disabled:true;
+  Alcotest.(check int) "aid 0 not stored" 0 (Page_group_cache.length c)
+
+let suite =
+  [
+    Alcotest.test_case "public group (aid 0)" `Quick test_public_group;
+    Alcotest.test_case "load and check" `Quick test_load_check;
+    Alcotest.test_case "write-disable bit" `Quick test_write_disable;
+    Alcotest.test_case "capacity + LRU (4 PIDs)" `Quick test_capacity_lru;
+    Alcotest.test_case "drop and flush" `Quick test_drop_flush;
+    Alcotest.test_case "loading aid 0 is a no-op" `Quick test_load_zero_noop;
+  ]

@@ -1,0 +1,93 @@
+open Sasos.Util
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let sa = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+  let sb = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" false (sa = sb)
+
+let test_bounds () =
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "int_in range" true (v >= -5 && v <= 5)
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float rng 2.5 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_zero_seed () =
+  let rng = Prng.create ~seed:0 in
+  (* must not get stuck at zero *)
+  let all_same = ref true in
+  let first = Prng.int rng 1000 in
+  for _ = 1 to 20 do
+    if Prng.int rng 1000 <> first then all_same := false
+  done;
+  Alcotest.(check bool) "zero seed produces variation" false !all_same
+
+let test_shuffle_permutation () =
+  let rng = Prng.create ~seed:9 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_copy_independent () =
+  let a = Prng.create ~seed:5 in
+  ignore (Prng.int a 10);
+  let b = Prng.copy a in
+  let va = Prng.int a 1_000_000 in
+  let vb = Prng.int b 1_000_000 in
+  Alcotest.(check int) "copy continues identically" va vb
+
+let test_bernoulli_bias () =
+  let rng = Prng.create ~seed:11 in
+  let n = 10_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "bernoulli(0.3) near 0.3" true (p > 0.27 && p < 0.33)
+
+let test_invalid_args () =
+  let rng = Prng.create ~seed:3 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0));
+  Alcotest.check_raises "choose empty" (Invalid_argument "Prng.choose: empty array")
+    (fun () -> ignore (Prng.choose rng [||]))
+
+let test_split () =
+  let a = Prng.create ~seed:13 in
+  let b = Prng.split a in
+  let sa = List.init 10 (fun _ -> Prng.int a 1000) in
+  let sb = List.init 10 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check bool) "split streams differ" false (sa = sb)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "zero seed" `Quick test_zero_seed;
+    Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+    Alcotest.test_case "split" `Quick test_split;
+  ]

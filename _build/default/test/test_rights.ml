@@ -1,0 +1,77 @@
+open Sasos
+
+let rights = Alcotest.testable Rights.pp Rights.equal
+
+let test_constants () =
+  Alcotest.(check bool) "r reads" true (Rights.can_read Rights.r);
+  Alcotest.(check bool) "r not write" false (Rights.can_write Rights.r);
+  Alcotest.(check bool) "rw writes" true (Rights.can_write Rights.rw);
+  Alcotest.(check bool) "rx executes" true (Rights.can_execute Rights.rx);
+  Alcotest.(check bool) "none nothing" false
+    (Rights.can_read Rights.none || Rights.can_write Rights.none
+    || Rights.can_execute Rights.none)
+
+let test_make () =
+  Alcotest.check rights "make rw" Rights.rw
+    (Rights.make ~read:true ~write:true ~execute:false);
+  Alcotest.check rights "make none" Rights.none
+    (Rights.make ~read:false ~write:false ~execute:false)
+
+let test_subset () =
+  Alcotest.(check bool) "none <= all" true (Rights.subset Rights.none Rights.rwx);
+  Alcotest.(check bool) "r <= rw" true (Rights.subset Rights.r Rights.rw);
+  Alcotest.(check bool) "rw not<= r" false (Rights.subset Rights.rw Rights.r);
+  Alcotest.(check bool) "reflexive" true (Rights.subset Rights.rx Rights.rx)
+
+let test_remove () =
+  Alcotest.check rights "rw - w = r" Rights.r (Rights.remove Rights.rw Rights.w);
+  Alcotest.check rights "r - w = r" Rights.r (Rights.remove Rights.r Rights.w)
+
+let test_string () =
+  Alcotest.(check string) "rw" "rw-" (Rights.to_string Rights.rw);
+  Alcotest.(check string) "none" "---" (Rights.to_string Rights.none);
+  Alcotest.(check string) "rwx" "rwx" (Rights.to_string Rights.rwx)
+
+let test_of_int () =
+  List.iter
+    (fun r -> Alcotest.check rights "roundtrip" r (Rights.of_int (Rights.to_int r)))
+    Rights.all;
+  Alcotest.check_raises "out of range" (Invalid_argument "Rights.of_int: out of range")
+    (fun () -> ignore (Rights.of_int 8))
+
+(* lattice laws over the full (small) domain *)
+let test_lattice_laws () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          (* lub/glb bounds *)
+          Alcotest.(check bool) "a <= a∪b" true (Rights.subset a (Rights.union a b));
+          Alcotest.(check bool) "a∩b <= a" true (Rights.subset (Rights.inter a b) a);
+          (* subset antisymmetry *)
+          if Rights.subset a b && Rights.subset b a then
+            Alcotest.check rights "antisym" a b;
+          List.iter
+            (fun c ->
+              (* transitivity *)
+              if Rights.subset a b && Rights.subset b c then
+                Alcotest.(check bool) "trans" true (Rights.subset a c))
+            Rights.all)
+        Rights.all)
+    Rights.all
+
+let test_all_distinct () =
+  Alcotest.(check int) "eight values" 8
+    (List.length (List.sort_uniq Rights.compare Rights.all))
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "subset" `Quick test_subset;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "to_string" `Quick test_string;
+    Alcotest.test_case "of_int roundtrip" `Quick test_of_int;
+    Alcotest.test_case "lattice laws (exhaustive)" `Quick test_lattice_laws;
+    Alcotest.test_case "all distinct" `Quick test_all_distinct;
+  ]

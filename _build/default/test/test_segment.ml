@@ -1,0 +1,95 @@
+open Sasos
+open Sasos.Os
+
+let geom = Geometry.default
+
+let test_allocate_disjoint () =
+  let t = Segment_table.create geom in
+  let a = Segment_table.allocate t ~pages:4 () in
+  let b = Segment_table.allocate t ~pages:8 () in
+  Alcotest.(check bool) "disjoint" true
+    (Segment.limit a <= b.Segment.base || Segment.limit b <= a.Segment.base);
+  Alcotest.(check bool) "page aligned" true
+    (a.Segment.base mod Geometry.page_size geom = 0)
+
+let test_guard_page () =
+  let t = Segment_table.create geom in
+  let a = Segment_table.allocate t ~pages:1 () in
+  let b = Segment_table.allocate t ~pages:1 () in
+  Alcotest.(check bool) "gap between segments" true
+    (b.Segment.base >= Segment.limit a + Geometry.page_size geom)
+
+let test_find_by_va () =
+  let t = Segment_table.create geom in
+  let a = Segment_table.allocate t ~pages:4 () in
+  Alcotest.(check bool) "interior" true
+    (match Segment_table.find_by_va t (a.Segment.base + 100) with
+    | Some s -> Segment.id_equal s.Segment.id a.Segment.id
+    | None -> false);
+  Alcotest.(check bool) "guard page unmatched" true
+    (Segment_table.find_by_va t (Segment.limit a) = None);
+  Alcotest.(check bool) "before start unmatched" true
+    (Segment_table.find_by_va t (a.Segment.base - 1) = None)
+
+let test_destroy_no_reuse () =
+  let t = Segment_table.create geom in
+  let a = Segment_table.allocate t ~pages:4 () in
+  ignore (Segment_table.destroy t a.Segment.id);
+  Alcotest.(check bool) "gone" true (Segment_table.find t a.Segment.id = None);
+  let b = Segment_table.allocate t ~pages:4 () in
+  (* single address space: destroyed ranges are never reallocated *)
+  Alcotest.(check bool) "no address reuse" true (b.Segment.base > a.Segment.base)
+
+let test_alignment () =
+  let t = Segment_table.create geom in
+  let _ = Segment_table.allocate t ~pages:3 () in
+  let a = Segment_table.allocate t ~align_shift:22 ~pages:1024 () in
+  Alcotest.(check int) "4MB aligned" 0 (a.Segment.base mod (1 lsl 22));
+  Alcotest.(check bool) "align below page rejected" true
+    (try
+       ignore (Segment_table.allocate t ~align_shift:8 ~pages:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_segment_helpers () =
+  let t = Segment_table.create geom in
+  let s = Segment_table.allocate t ~name:"heap" ~pages:4 () in
+  Alcotest.(check int) "size" (4 * 4096) (Segment.size_bytes s);
+  Alcotest.(check int) "page_va 2" (s.Segment.base + 0x2000) (Segment.page_va s 2);
+  Alcotest.(check int) "vpns count" 4 (List.length (Segment.vpns s));
+  Alcotest.(check bool) "contains" true (Segment.contains s (s.Segment.base + 1));
+  Alcotest.(check bool) "not contains limit" false
+    (Segment.contains s (Segment.limit s));
+  Alcotest.(check bool) "page_va out of range" true
+    (try
+       ignore (Segment.page_va s 4);
+       false
+     with Invalid_argument _ -> true)
+
+(* property: any allocation sequence yields pairwise-disjoint live segments *)
+let prop_disjoint =
+  QCheck2.Test.make ~name:"segment ranges pairwise disjoint"
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 1 30))
+    (fun sizes ->
+      let t = Segment_table.create geom in
+      let segs = List.map (fun pages -> Segment_table.allocate t ~pages ()) sizes in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              Segment.id_equal a.Segment.id b.Segment.id
+              || Segment.limit a <= b.Segment.base
+              || Segment.limit b <= a.Segment.base)
+            segs)
+        segs)
+
+let suite =
+  [
+    Alcotest.test_case "allocate disjoint" `Quick test_allocate_disjoint;
+    Alcotest.test_case "guard page" `Quick test_guard_page;
+    Alcotest.test_case "find_by_va" `Quick test_find_by_va;
+    Alcotest.test_case "destroy retires addresses" `Quick test_destroy_no_reuse;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "segment helpers" `Quick test_segment_helpers;
+    QCheck_alcotest.to_alcotest prop_disjoint;
+  ]

@@ -1,0 +1,44 @@
+open Sasos.Util
+
+let feq msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let test_empty () =
+  let s = Summary.create () in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  feq "mean" 0.0 (Summary.mean s);
+  feq "variance" 0.0 (Summary.variance s)
+
+let test_single () =
+  let s = Summary.create () in
+  Summary.add s 5.0;
+  feq "mean" 5.0 (Summary.mean s);
+  feq "min" 5.0 (Summary.min s);
+  feq "max" 5.0 (Summary.max s);
+  feq "variance" 0.0 (Summary.variance s)
+
+let test_known_values () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  feq "mean" 5.0 (Summary.mean s);
+  feq "total" 40.0 (Summary.total s);
+  (* sample variance of this classic set: 32/7 *)
+  Alcotest.(check (float 1e-6)) "variance" (32.0 /. 7.0) (Summary.variance s);
+  feq "min" 2.0 (Summary.min s);
+  feq "max" 9.0 (Summary.max s)
+
+let prop_mean_in_range =
+  QCheck2.Test.make ~name:"mean within [min,max]"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) xs;
+      Summary.mean s >= Summary.min s -. 1e-9
+      && Summary.mean s <= Summary.max s +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "single value" `Quick test_single;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    QCheck_alcotest.to_alcotest prop_mean_in_range;
+  ]

@@ -1,0 +1,113 @@
+open Sasos
+open Sasos.Os
+
+let mk () = Machines.make Machines.Plb Config.default
+
+let test_read_write_helpers () =
+  let sys = mk () in
+  let d = System_ops.new_domain sys in
+  let seg = System_ops.new_segment sys ~pages:2 () in
+  System_ops.attach sys d seg Rights.rw;
+  System_ops.switch_domain sys d;
+  Alcotest.(check bool) "read" true
+    (System_ops.read sys (Segment.page_va seg 0) = Access.Ok);
+  Alcotest.(check bool) "write" true
+    (System_ops.write sys (Segment.page_va seg 0) = Access.Ok);
+  let m = System_ops.metrics sys in
+  Alcotest.(check int) "one read" 1 m.Metrics.reads;
+  Alcotest.(check int) "one write" 1 m.Metrics.writes
+
+let test_must_ok_raises () =
+  let sys = mk () in
+  let d = System_ops.new_domain sys in
+  let seg = System_ops.new_segment sys ~pages:1 () in
+  System_ops.switch_domain sys d;
+  Alcotest.(check bool) "raises on fault" true
+    (try
+       System_ops.must_ok sys Access.Read (Segment.page_va seg 0);
+       false
+     with Failure _ -> true)
+
+let test_with_fault_handler_retries () =
+  let sys = mk () in
+  let d = System_ops.new_domain sys in
+  let seg = System_ops.new_segment sys ~pages:1 () in
+  System_ops.attach sys d seg Rights.none;
+  System_ops.switch_domain sys d;
+  let handled = ref 0 in
+  System_ops.with_fault_handler sys Access.Write (Segment.page_va seg 0)
+    ~handler:(fun () ->
+      incr handled;
+      System_ops.grant sys d (Segment.page_va seg 0) Rights.rw);
+  Alcotest.(check int) "handler ran once" 1 !handled;
+  (* second access needs no handler *)
+  System_ops.with_fault_handler sys Access.Write (Segment.page_va seg 0)
+    ~handler:(fun () -> incr handled);
+  Alcotest.(check int) "no second fault" 1 !handled
+
+let test_with_fault_handler_gives_up () =
+  let sys = mk () in
+  let d = System_ops.new_domain sys in
+  let seg = System_ops.new_segment sys ~pages:1 () in
+  System_ops.switch_domain sys d;
+  Alcotest.(check bool) "raises when handler does not fix" true
+    (try
+       System_ops.with_fault_handler sys Access.Read (Segment.page_va seg 0)
+         ~handler:(fun () -> ());
+       false
+     with Failure _ -> true)
+
+let test_name_and_model () =
+  List.iter
+    (fun (label, v) ->
+      let sys = Machines.make v Config.default in
+      Alcotest.(check string) "name matches" label (System_ops.name sys))
+    [
+      ("plb", Machines.Plb);
+      ("page-group", Machines.Page_group);
+      ("conv-asid", Machines.Conv_asid);
+      ("conv-flush", Machines.Conv_flush);
+    ];
+  Alcotest.(check bool) "plb model" true
+    (System_ops.model (mk ()) = System_intf.Domain_page)
+
+let test_current_domain_tracking () =
+  let sys = mk () in
+  let d1 = System_ops.new_domain sys in
+  let d2 = System_ops.new_domain sys in
+  System_ops.switch_domain sys d1;
+  Alcotest.(check bool) "d1 current" true
+    (Pd.equal (System_ops.current_domain sys) d1);
+  System_ops.switch_domain sys d2;
+  Alcotest.(check bool) "d2 current" true
+    (Pd.equal (System_ops.current_domain sys) d2)
+
+let test_execute_access () =
+  let sys = mk () in
+  let d = System_ops.new_domain sys in
+  let code = System_ops.new_segment sys ~pages:1 () in
+  let data = System_ops.new_segment sys ~pages:1 () in
+  System_ops.attach sys d code Rights.rx;
+  System_ops.attach sys d data Rights.rw;
+  System_ops.switch_domain sys d;
+  Alcotest.(check bool) "execute code ok" true
+    (System_ops.access sys Access.Execute (Segment.page_va code 0) = Access.Ok);
+  Alcotest.(check bool) "execute data faults" true
+    (System_ops.access sys Access.Execute (Segment.page_va data 0)
+    = Access.Protection_fault);
+  Alcotest.(check bool) "write code faults" true
+    (System_ops.write sys (Segment.page_va code 0) = Access.Protection_fault)
+
+let suite =
+  [
+    Alcotest.test_case "read/write helpers" `Quick test_read_write_helpers;
+    Alcotest.test_case "must_ok raises" `Quick test_must_ok_raises;
+    Alcotest.test_case "with_fault_handler retries" `Quick
+      test_with_fault_handler_retries;
+    Alcotest.test_case "with_fault_handler gives up" `Quick
+      test_with_fault_handler_gives_up;
+    Alcotest.test_case "name and model" `Quick test_name_and_model;
+    Alcotest.test_case "current domain tracking" `Quick
+      test_current_domain_tracking;
+    Alcotest.test_case "execute accesses" `Quick test_execute_access;
+  ]

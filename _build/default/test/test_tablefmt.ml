@@ -1,0 +1,57 @@
+open Sasos.Util
+
+let test_render_basic () =
+  let t = Tablefmt.create [ ("a", Tablefmt.Left); ("b", Tablefmt.Right) ] in
+  Tablefmt.add_row t [ "x"; "1" ];
+  Tablefmt.add_row t [ "longer"; "22" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.index_opt s 'a' <> None);
+  (* all lines same width *)
+  let widths =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l <> "")
+    |> List.map String.length
+  in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_short_row_padded () =
+  let t = Tablefmt.create [ ("a", Tablefmt.Left); ("b", Tablefmt.Left) ] in
+  Tablefmt.add_row t [ "only" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_too_many_cells () =
+  let t = Tablefmt.create [ ("a", Tablefmt.Left) ] in
+  Alcotest.check_raises "too many" (Invalid_argument "Tablefmt.add_row: too many cells")
+    (fun () -> Tablefmt.add_row t [ "1"; "2" ])
+
+let test_cell_int () =
+  Alcotest.(check string) "thousands" "1,234,567" (Tablefmt.cell_int 1234567);
+  Alcotest.(check string) "negative" "-1,234" (Tablefmt.cell_int (-1234));
+  Alcotest.(check string) "small" "42" (Tablefmt.cell_int 42);
+  Alcotest.(check string) "zero" "0" (Tablefmt.cell_int 0)
+
+let test_cell_float () =
+  Alcotest.(check string) "default decimals" "3.14" (Tablefmt.cell_float 3.14159);
+  Alcotest.(check string) "dec 0" "3" (Tablefmt.cell_float ~dec:0 3.14159)
+
+let test_cell_ratio () =
+  Alcotest.(check string) "ratio" "2.00x" (Tablefmt.cell_ratio 4.0 2.0);
+  Alcotest.(check string) "div zero" "inf" (Tablefmt.cell_ratio 4.0 0.0)
+
+let test_cell_pct () =
+  Alcotest.(check string) "pct" "50.0%" (Tablefmt.cell_pct 1.0 2.0);
+  Alcotest.(check string) "zero whole" "0.0%" (Tablefmt.cell_pct 1.0 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "render alignment" `Quick test_render_basic;
+    Alcotest.test_case "short rows padded" `Quick test_short_row_padded;
+    Alcotest.test_case "too many cells" `Quick test_too_many_cells;
+    Alcotest.test_case "cell_int" `Quick test_cell_int;
+    Alcotest.test_case "cell_float" `Quick test_cell_float;
+    Alcotest.test_case "cell_ratio" `Quick test_cell_ratio;
+    Alcotest.test_case "cell_pct" `Quick test_cell_pct;
+  ]

@@ -1,0 +1,71 @@
+open Sasos
+open Sasos.Hw
+
+let entry pfn = { Tlb.pfn; rights = Rights.rwx; aid = 0; dirty = false; referenced = false }
+
+let test_install_lookup () =
+  let t = Tlb.create ~sets:1 ~ways:4 () in
+  Tlb.install t ~space:0 ~vpn:10 (entry 100);
+  (match Tlb.lookup t ~space:0 ~vpn:10 with
+  | Some e -> Alcotest.(check int) "pfn" 100 e.Tlb.pfn
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "other space misses" true
+    (Tlb.lookup t ~space:1 ~vpn:10 = None)
+
+let test_space_tagging () =
+  let t = Tlb.create ~sets:1 ~ways:8 () in
+  Tlb.install t ~space:1 ~vpn:5 (entry 11);
+  Tlb.install t ~space:2 ~vpn:5 (entry 11);
+  Tlb.install t ~space:3 ~vpn:5 (entry 11);
+  Alcotest.(check int) "3 copies of shared page" 3 (Tlb.entries_for_vpn t 5);
+  let inspected, removed = Tlb.invalidate_vpn_all_spaces t 5 in
+  Alcotest.(check int) "inspected" 3 inspected;
+  Alcotest.(check int) "removed" 3 removed;
+  Alcotest.(check int) "gone" 0 (Tlb.entries_for_vpn t 5)
+
+let test_purge_space () =
+  let t = Tlb.create ~sets:1 ~ways:8 () in
+  Tlb.install t ~space:1 ~vpn:5 (entry 1);
+  Tlb.install t ~space:1 ~vpn:6 (entry 2);
+  Tlb.install t ~space:2 ~vpn:5 (entry 1);
+  let _, removed = Tlb.purge_space t 1 in
+  Alcotest.(check int) "space 1 dropped" 2 removed;
+  Alcotest.(check int) "space 2 kept" 1 (Tlb.length t)
+
+let test_flush () =
+  let t = Tlb.create ~sets:2 ~ways:2 () in
+  Tlb.install t ~space:0 ~vpn:1 (entry 1);
+  Tlb.install t ~space:0 ~vpn:2 (entry 2);
+  Alcotest.(check int) "flush count" 2 (Tlb.flush t);
+  Alcotest.(check int) "empty" 0 (Tlb.length t)
+
+let test_mutation () =
+  let t = Tlb.create ~sets:1 ~ways:2 () in
+  Tlb.install t ~space:0 ~vpn:1 (entry 1);
+  (match Tlb.lookup t ~space:0 ~vpn:1 with
+  | Some e ->
+      e.Tlb.dirty <- true;
+      e.Tlb.rights <- Rights.r
+  | None -> Alcotest.fail "hit expected");
+  match Tlb.peek t ~space:0 ~vpn:1 with
+  | Some e ->
+      Alcotest.(check bool) "dirty persisted" true e.Tlb.dirty;
+      Alcotest.(check bool) "rights persisted" true (Rights.equal e.Tlb.rights Rights.r)
+  | None -> Alcotest.fail "peek expected"
+
+let test_eviction_bound () =
+  let t = Tlb.create ~sets:1 ~ways:4 () in
+  for vpn = 0 to 63 do
+    Tlb.install t ~space:0 ~vpn (entry vpn)
+  done;
+  Alcotest.(check int) "bounded" 4 (Tlb.length t)
+
+let suite =
+  [
+    Alcotest.test_case "install/lookup" `Quick test_install_lookup;
+    Alcotest.test_case "space tagging and shootdown" `Quick test_space_tagging;
+    Alcotest.test_case "purge space" `Quick test_purge_space;
+    Alcotest.test_case "flush" `Quick test_flush;
+    Alcotest.test_case "entry mutation" `Quick test_mutation;
+    Alcotest.test_case "eviction bound" `Quick test_eviction_bound;
+  ]

@@ -1,0 +1,51 @@
+open Sasos
+
+let test_vpn_basic () =
+  let g = Geometry.default in
+  Alcotest.(check int) "vpn of 0x5000" 5 (Va.vpn_of_va g 0x5000);
+  Alcotest.(check int) "vpn of 0x5fff" 5 (Va.vpn_of_va g 0x5fff);
+  Alcotest.(check int) "va of vpn 5" 0x5000 (Va.va_of_vpn g 5);
+  Alcotest.(check int) "offset" 0xabc (Va.offset g 0x5abc)
+
+let test_same_grain () =
+  let g = Geometry.default in
+  Alcotest.(check (list int)) "vpns_of_ppn" [ 7 ] (Va.vpns_of_ppn g 7);
+  Alcotest.(check (list int)) "ppns_of_vpn" [ 7 ] (Va.ppns_of_vpn g 7)
+
+let test_fine_protection () =
+  (* 128-byte protection pages inside 4K translation pages *)
+  let g = Geometry.v ~prot_shift:7 () in
+  let ppns = Va.ppns_of_vpn g 1 in
+  Alcotest.(check int) "32 units per page" 32 (List.length ppns);
+  Alcotest.(check int) "first unit" 32 (List.hd ppns);
+  (* each fine unit maps back to its page *)
+  List.iter
+    (fun ppn -> Alcotest.(check (list int)) "back to page" [ 1 ] (Va.vpns_of_ppn g ppn))
+    ppns
+
+let test_coarse_protection () =
+  (* 16K protection pages spanning four 4K translation pages *)
+  let g = Geometry.v ~prot_shift:14 () in
+  let vpns = Va.vpns_of_ppn g 1 in
+  Alcotest.(check (list int)) "four pages" [ 4; 5; 6; 7 ] vpns;
+  List.iter
+    (fun vpn -> Alcotest.(check (list int)) "back to unit" [ 1 ] (Va.ppns_of_vpn g vpn))
+    vpns
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"vpn/va roundtrip"
+    QCheck2.Gen.(int_bound 1_000_000_000)
+    (fun va ->
+      let g = Geometry.default in
+      let vpn = Va.vpn_of_va g va in
+      Va.va_of_vpn g vpn <= va
+      && va < Va.va_of_vpn g vpn + Geometry.page_size g)
+
+let suite =
+  [
+    Alcotest.test_case "vpn basics" `Quick test_vpn_basic;
+    Alcotest.test_case "equal grains" `Quick test_same_grain;
+    Alcotest.test_case "sub-page protection units" `Quick test_fine_protection;
+    Alcotest.test_case "super-page protection units" `Quick test_coarse_protection;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

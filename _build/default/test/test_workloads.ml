@@ -1,0 +1,170 @@
+open Sasos
+open Sasos.Workloads
+
+let variants =
+  [
+    ("plb", Machines.Plb);
+    ("page-group", Machines.Page_group);
+    ("conv-asid", Machines.Conv_asid);
+    ("conv-flush", Machines.Conv_flush);
+  ]
+
+let mk v = Machines.make v Config.default
+
+(* smaller parameter sets keep the full matrix fast *)
+let small_gc = { Gc.default with heap_pages = 32; collections = 2; mutator_refs = 2_000 }
+let small_dsm = { Dsm.default with pages = 32; refs = 4_000 }
+let small_txn = { Txn.default with txns = 20; db_pages = 64; ops = 15 }
+
+let small_ckpt =
+  { Checkpoint.default with data_pages = 32; checkpoints = 2;
+    refs_between = 1_000; refs_during = 1_000 }
+
+let small_cp =
+  { Compress_paging.default with data_pages = 48; refs = 2_000;
+    resident_target = 16 }
+
+let small_rpc = { Rpc.default with calls = 200 }
+let small_syn = { Synthetic.default with refs = 5_000 }
+let small_churn = { Attach_churn.default with iterations = 60; live_target = 10 }
+
+let for_all name f =
+  List.map
+    (fun (label, v) ->
+      Alcotest.test_case (Printf.sprintf "%s [%s]" name label) `Quick (fun () ->
+          f (mk v)))
+    variants
+
+let test_gc sys =
+  let r = Gc.run ~params:small_gc sys in
+  (* every collection scans the whole heap exactly once *)
+  Alcotest.(check int) "pages scanned = heap x collections"
+    (small_gc.Gc.heap_pages * small_gc.Gc.collections)
+    r.Gc.pages_scanned;
+  Alcotest.(check bool) "mutator took faults" true (r.Gc.faults_taken > 0);
+  Alcotest.(check bool) "faults bounded by scans" true
+    (r.Gc.faults_taken <= r.Gc.pages_scanned)
+
+let test_dsm sys =
+  let r = Dsm.run ~params:small_dsm sys in
+  Alcotest.(check bool) "read faults happened" true (r.Dsm.read_faults > 0);
+  Alcotest.(check bool) "write faults happened" true (r.Dsm.write_faults > 0);
+  (* every page's first write faults, so write faults >= pages written *)
+  Alcotest.(check bool) "invalidations only from writes" true
+    (r.Dsm.invalidations <= r.Dsm.write_faults * small_dsm.Dsm.nodes)
+
+let test_dsm_update sys =
+  let r =
+    Dsm.run ~params:{ small_dsm with Dsm.protocol = Dsm.Update } sys
+  in
+  Alcotest.(check int) "no invalidations under write-update" 0
+    r.Dsm.invalidations;
+  Alcotest.(check bool) "updates flow" true (r.Dsm.updates > 0)
+
+let test_txn sys =
+  let r = Txn.run ~params:small_txn sys in
+  Alcotest.(check int) "all transactions commit" small_txn.Txn.txns r.Txn.commits;
+  Alcotest.(check bool) "locks taken" true (r.Txn.read_locks + r.Txn.write_locks > 0)
+
+let test_checkpoint sys =
+  let r = Checkpoint.run ~params:small_ckpt sys in
+  Alcotest.(check int) "every page copied every checkpoint"
+    (small_ckpt.Checkpoint.data_pages * small_ckpt.Checkpoint.checkpoints)
+    r.Checkpoint.pages_copied;
+  Alcotest.(check bool) "copy-on-write traps bounded" true
+    (r.Checkpoint.write_traps <= r.Checkpoint.pages_copied)
+
+let test_compress sys =
+  let r = Compress_paging.run ~params:small_cp sys in
+  Alcotest.(check bool) "paging happened" true (r.Compress_paging.page_ins > 0);
+  Alcotest.(check bool) "page-outs happen under pressure" true
+    (r.Compress_paging.page_outs > 0);
+  (* compression: the store holds less than raw pages would take *)
+  let os = System_ops.os sys in
+  let raw =
+    Mem.Backing_store.pages os.Os.Os_core.disk * 4096
+  in
+  Alcotest.(check bool) "compressed smaller than raw" true
+    (r.Compress_paging.disk_bytes < raw);
+  Alcotest.(check bool) "in-core bound respected" true
+    (r.Compress_paging.page_ins - r.Compress_paging.page_outs
+    <= small_cp.Compress_paging.resident_target + 1)
+
+let test_rpc sys =
+  Rpc.run ~params:small_rpc sys;
+  let m = System_ops.metrics sys in
+  (* two per call plus the initial switch to the client *)
+  Alcotest.(check int) "two switches per call"
+    ((2 * small_rpc.Rpc.calls) + 1)
+    m.Metrics.domain_switches;
+  Alcotest.(check int) "no faults in RPC" 0 m.Metrics.protection_faults
+
+let test_synthetic sys =
+  Synthetic.run ~params:small_syn sys;
+  let m = System_ops.metrics sys in
+  Alcotest.(check int) "all refs issued" small_syn.Synthetic.refs m.Metrics.accesses;
+  Alcotest.(check int) "all legal" 0 m.Metrics.protection_faults
+
+let small_server =
+  { Server_os.default with clients = 2; calls = 200; buffer_pages = 16 }
+
+let test_server_os sys =
+  let r = Server_os.run ~params:small_server sys in
+  Alcotest.(check bool) "many switches" true
+    (r.Server_os.switches > 3 * small_server.Server_os.calls);
+  Alcotest.(check int) "evictions on schedule"
+    (small_server.Server_os.calls / small_server.Server_os.evict_period)
+    r.Server_os.evictions;
+  let m = System_ops.metrics sys in
+  Alcotest.(check int) "no residual faults" 0 m.Metrics.protection_faults
+
+let test_attach_churn sys =
+  Attach_churn.run ~params:small_churn sys;
+  let m = System_ops.metrics sys in
+  Alcotest.(check bool) "attaches >= iterations" true
+    (m.Metrics.attaches >= small_churn.Attach_churn.iterations);
+  Alcotest.(check int) "attach/detach balance" m.Metrics.attaches
+    m.Metrics.detaches;
+  let os = System_ops.os sys in
+  Alcotest.(check int) "no live segments at the end" 0
+    (Os.Segment_table.live_count os.Os.Os_core.segments)
+
+let test_determinism () =
+  (* same seed, same machine: identical metrics, for every workload *)
+  List.iter
+    (fun entry ->
+      let run () =
+        let sys = mk Machines.Plb in
+        entry.Registry.run sys;
+        Metrics.fields (System_ops.metrics sys)
+      in
+      Alcotest.(check bool)
+        (entry.Registry.name ^ " deterministic")
+        true
+        (run () = run ()))
+    Registry.all
+
+let test_registry () =
+  Alcotest.(check int) "nine workloads" 9 (List.length Registry.all);
+  Alcotest.(check bool) "find gc" true (Registry.find "gc" <> None);
+  Alcotest.(check bool) "find missing" true (Registry.find "nope" = None);
+  let t1 =
+    List.filter (fun e -> e.Registry.table1_row <> None) Registry.all
+  in
+  Alcotest.(check int) "six Table 1 classes" 6 (List.length t1)
+
+let suite =
+  for_all "gc invariants" test_gc
+  @ for_all "dsm invariants" test_dsm
+  @ for_all "dsm write-update invariants" test_dsm_update
+  @ for_all "txn invariants" test_txn
+  @ for_all "checkpoint invariants" test_checkpoint
+  @ for_all "compression paging invariants" test_compress
+  @ for_all "rpc invariants" test_rpc
+  @ for_all "synthetic invariants" test_synthetic
+  @ for_all "attach churn invariants" test_attach_churn
+  @ for_all "server-os invariants" test_server_os
+  @ [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "registry" `Quick test_registry;
+    ]

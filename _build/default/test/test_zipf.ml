@@ -1,0 +1,60 @@
+open Sasos.Util
+
+let test_bounds () =
+  let z = Zipf.create ~n:100 ~theta:0.9 in
+  let rng = Prng.create ~seed:21 in
+  for _ = 1 to 5000 do
+    let v = Zipf.sample z rng in
+    Alcotest.(check bool) "in [0,n)" true (v >= 0 && v < 100)
+  done
+
+let test_skew () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let rng = Prng.create ~seed:23 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 hotter than rank 50" true
+    (counts.(0) > counts.(50) * 5);
+  Alcotest.(check bool) "rank 0 hotter than rank 1" true
+    (counts.(0) > counts.(1))
+
+let test_uniform_theta_zero () =
+  let z = Zipf.create ~n:10 ~theta:0.0 in
+  let rng = Prng.create ~seed:25 in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let p = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "near 1/10" true (p > 0.08 && p < 0.12))
+    counts
+
+let test_singleton () =
+  let z = Zipf.create ~n:1 ~theta:0.9 in
+  let rng = Prng.create ~seed:27 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "only rank 0" 0 (Zipf.sample z rng)
+  done
+
+let test_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~theta:1.0));
+  Alcotest.check_raises "theta<0"
+    (Invalid_argument "Zipf.create: theta must be >= 0") (fun () ->
+      ignore (Zipf.create ~n:5 ~theta:(-1.0)))
+
+let suite =
+  [
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "skew" `Quick test_skew;
+    Alcotest.test_case "theta=0 uniform" `Quick test_uniform_theta_zero;
+    Alcotest.test_case "singleton population" `Quick test_singleton;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid;
+  ]
