@@ -330,6 +330,42 @@ let run_benchmarks () =
     rows;
   Util.Tablefmt.print t
 
+(* Part 1 runs the registry on a domain pool: same report text as the
+   serial run (the runner guarantees byte-identical output for any job
+   count), but wall-clock bounded by the slowest experiment chain. *)
+let run_report () =
+  let jobs =
+    max 1
+      (min
+         (List.length Experiments.Registry.all)
+         (Domain.recommended_domain_count ()))
+  in
+  let results = Runner.run ~jobs Experiments.Registry.all in
+  print_string (Runner.report_text results);
+  Printf.printf "\nPer-experiment wall-clock (jobs=%d):\n" jobs;
+  let t =
+    Util.Tablefmt.create
+      [
+        ("experiment", Util.Tablefmt.Left);
+        ("status", Util.Tablefmt.Left);
+        ("ms", Util.Tablefmt.Right);
+        ("minor Mwords", Util.Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Util.Tablefmt.add_row t
+        [
+          r.Runner.id;
+          (match Runner.error_message r with
+          | None -> "ok"
+          | Some e -> "FAILED: " ^ e);
+          Printf.sprintf "%.1f" (Int64.to_float r.Runner.wall_ns /. 1e6);
+          Printf.sprintf "%.1f" (r.Runner.minor_words /. 1e6);
+        ])
+    results;
+  Util.Tablefmt.print t
+
 let () =
   print_endline
     "================================================================";
@@ -338,7 +374,7 @@ let () =
   print_endline " Part 1 - every table and figure, regenerated";
   print_endline
     "================================================================\n";
-  print_string (Experiments.Registry.run_all ());
+  run_report ();
   print_endline
     "\n================================================================";
   print_endline " Part 2 - Bechamel micro-benchmarks (simulator wall-clock)";

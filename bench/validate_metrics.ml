@@ -1,0 +1,51 @@
+(* Shape validator for the --json metrics file, run by `dune runtest` after
+   exercising `sasos_cli report --jobs 2 --json` — keeps the parallel
+   reporting path under CI without pulling in a JSON library. *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let fail msg =
+  prerr_endline ("metrics validation failed: " ^ msg);
+  exit 1
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: validate_metrics METRICS.json" in
+  let json = read_all path in
+  if not (contains json "\"schema\": \"sasos-metrics/1\"") then
+    fail "missing schema marker";
+  if not (contains json "\"jobs\": 2") then fail "jobs field not 2";
+  if not (contains json "\"failed\": 0") then fail "expected zero failures";
+  List.iter
+    (fun id ->
+      if not (contains json (Printf.sprintf "\"id\": %S" id)) then
+        fail ("missing experiment " ^ id))
+    [ "micro_ops"; "tag_overhead" ];
+  if count_occurrences json "\"status\": \"ok\"" <> 2 then
+    fail "expected exactly two ok statuses";
+  List.iter
+    (fun field ->
+      if count_occurrences json (Printf.sprintf "\"%s\": " field) <> 2 then
+        fail ("expected field on each experiment: " ^ field))
+    [ "wall_ns"; "minor_words"; "major_words"; "output_bytes"; "index" ];
+  let braces c = count_occurrences json (String.make 1 c) in
+  if braces '{' <> braces '}' then fail "unbalanced braces";
+  if braces '[' <> braces ']' then fail "unbalanced brackets";
+  print_endline ("ok: " ^ path ^ " has the sasos-metrics/1 shape")

@@ -253,9 +253,18 @@ let trace_cmd =
   Cmd.group (Cmd.info "trace" ~doc)
     [ trace_record_cmd; trace_replay_cmd; trace_stats_cmd ]
 
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
 let report_cmd =
   let doc =
-    "Run every experiment and write the full reproduction report to a file."
+    "Run the experiment registry (in parallel with --jobs) and write the \
+     reproduction report to a file. A raising experiment is recorded as \
+     failed in place of its report section; the rest of the registry still \
+     completes. Report text is byte-identical for any --jobs value."
   in
   let out =
     Arg.(
@@ -263,17 +272,72 @@ let report_cmd =
       & opt string "report.txt"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Report output file.")
   in
-  let run out =
-    let report = Sasos.Experiments.Registry.run_all () in
-    let oc = open_out out in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc report);
-    Printf.printf "wrote %d experiments (%d bytes) to %s\n"
-      (List.length Sasos.Experiments.Registry.all)
-      (String.length report) out
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains running experiments concurrently.")
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ out)
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"ID1,ID2"
+          ~doc:"Comma-separated experiment ids; default is the whole registry.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write machine-readable metrics (per-experiment status, \
+             wall-clock time, allocation counters) to $(docv).")
+  in
+  let run out jobs only json =
+    if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else
+      let selection =
+        match only with
+        | None -> Ok Sasos.Experiments.Registry.all
+        | Some s -> (
+            match
+              String.split_on_char ',' s
+              |> List.map String.trim
+              |> List.filter (fun id -> id <> "")
+            with
+            | [] -> Error "--only requires at least one experiment id"
+            | ids -> Sasos.Experiments.Registry.select ids)
+      in
+      match selection with
+      | Error msg -> `Error (false, msg)
+      | Ok exps -> (
+          let results = Sasos.Runner.run ~jobs exps in
+          match
+            write_file out (Sasos.Runner.report_text results);
+            Option.iter
+              (fun path ->
+                write_file path (Sasos.Runner.json_of_results ~jobs results))
+              json
+          with
+          | exception Sys_error msg -> `Error (false, msg)
+          | () ->
+              List.iter
+                (fun r ->
+                  Printf.printf "  %-16s %8.1f ms  %s\n" r.Sasos.Runner.id
+                    (Int64.to_float r.Sasos.Runner.wall_ns /. 1e6)
+                    (match Sasos.Runner.error_message r with
+                    | None -> "ok"
+                    | Some e -> "FAILED: " ^ e))
+                results;
+              let failed = List.length (Sasos.Runner.failures results) in
+              Printf.printf
+                "wrote %d experiments (%d failed, jobs=%d) to %s%s\n"
+                (List.length results) failed jobs out
+                (match json with Some p -> ", metrics to " ^ p | None -> "");
+              `Ok ())
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ out $ jobs $ only $ json))
 
 let info_cmd =
   let doc = "Print the default geometry and cost model." in

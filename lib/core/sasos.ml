@@ -15,7 +15,9 @@
     - {!Machines}: the three protection-machine implementations
     - {!Workloads}: the Table 1 application classes and supporting streams
     - {!Trace}: portable operation traces (record / replay / store)
-    - {!Experiments}: one module per paper table/figure/claim *)
+    - {!Experiments}: one module per paper table/figure/claim
+    - {!Runner}: parallel, fault-isolated execution of the experiment
+      registry on a pool of OCaml 5 domains *)
 
 module Util = struct
   module Prng = Sasos_util.Prng
@@ -106,3 +108,5 @@ module Experiments = struct
   module Experiment = Sasos_experiments.Experiment
   module Registry = Sasos_experiments.Registry
 end
+
+module Runner = Sasos_runner.Runner

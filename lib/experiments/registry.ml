@@ -25,6 +25,12 @@ let all =
 let find id = List.find_opt (fun e -> e.Experiment.id = id) all
 let ids = List.map (fun e -> e.Experiment.id) all
 
+let select wanted =
+  match List.find_opt (fun id -> find id = None) wanted with
+  | Some id ->
+      Error (Printf.sprintf "unknown experiment %S (try 'sasos list')" id)
+  | None -> Ok (List.filter (fun e -> List.mem e.Experiment.id wanted) all)
+
 let run_all () =
   String.concat "\n"
     (List.map

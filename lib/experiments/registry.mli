@@ -4,6 +4,11 @@ val all : Experiment.t list
 val find : string -> Experiment.t option
 val ids : string list
 
+val select : string list -> (Experiment.t list, string) result
+(** The subset of [all] with the given ids, kept in registry order (so a
+    selection renders in the same order as the full report); [Error] names
+    the first unknown id. *)
+
 val run_all : unit -> string
 (** Run every experiment and concatenate the reports — the full
     reproduction of the paper's tables and figures. *)

@@ -75,7 +75,10 @@ module Make (K : KEY) : S with type key = K.t = struct
     let h = K.hash k in
     (* mix to avoid pathological low-bit aliasing of simple int keys *)
     let h = h lxor (h lsr 16) in
-    abs h mod sets t
+    (* [abs h] would be wrong here: [abs min_int = min_int], so a mixed
+       hash of [min_int] yields a negative set index. Masking the sign bit
+       keeps the index in [0, max_int]. *)
+    (h land max_int) mod sets t
 
   let find_slot t k =
     let row = t.table.(set_of t k) in
@@ -125,6 +128,9 @@ module Make (K : KEY) : S with type key = K.t = struct
     match find_slot t k with
     | Some s ->
         s.value <- v;
+        (* re-installing an entry is a touch under LRU; FIFO keeps the
+           original insertion order *)
+        if t.policy = Replacement.Lru then s.stamp <- tick t;
         None
     | None -> begin
         let row = t.table.(set_of t k) in

@@ -42,7 +42,8 @@ module type S = sig
   val insert : 'v t -> key -> 'v -> (key * 'v) option
   (** Fill an entry (replacing the victim chosen by the policy when the set
       is full); returns the evicted pair, if any. Inserting an existing key
-      overwrites its value in place. *)
+      overwrites its value in place and refreshes its recency under LRU
+      (under FIFO the original insertion order is kept). *)
 
   val update : 'v t -> key -> ('v -> 'v) -> bool
   (** Modify the value of a resident entry in place (no recency change);

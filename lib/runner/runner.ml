@@ -1,0 +1,152 @@
+open Sasos_experiments
+
+type status =
+  | Done
+  | Failed of { exn : exn; backtrace : Printexc.raw_backtrace }
+
+type result = {
+  index : int;
+  id : string;
+  title : string;
+  paper_ref : string;
+  status : status;
+  output : string;
+  wall_ns : int64;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+}
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let run_one index (e : Experiment.t) =
+  let g0 = Gc.quick_stat () in
+  let t0 = now_ns () in
+  let status, output =
+    match e.Experiment.run () with
+    | body -> (Done, Experiment.header e ^ body)
+    | exception exn ->
+        let backtrace = Printexc.get_raw_backtrace () in
+        ( Failed { exn; backtrace },
+          Experiment.header e ^ "EXPERIMENT FAILED: " ^ Printexc.to_string exn
+          ^ "\n" )
+  in
+  let t1 = now_ns () in
+  let g1 = Gc.quick_stat () in
+  {
+    index;
+    id = e.Experiment.id;
+    title = e.Experiment.title;
+    paper_ref = e.Experiment.paper_ref;
+    status;
+    output;
+    wall_ns = Int64.sub t1 t0;
+    minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+  }
+
+let run ?(jobs = 1) experiments =
+  if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
+  let tasks = Array.of_list experiments in
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    Printexc.record_backtrace true;
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (run_one i tasks.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let jobs = min jobs (max 1 n) in
+  if jobs = 1 then worker ()
+  else begin
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers
+  end;
+  Array.to_list (Array.map Option.get results)
+
+let report_text results =
+  String.concat "\n" (List.map (fun r -> r.output) results)
+
+let failures results =
+  List.filter (fun r -> match r.status with Failed _ -> true | Done -> false)
+    results
+
+let error_message r =
+  match r.status with
+  | Done -> None
+  | Failed { exn; _ } -> Some (Printexc.to_string exn)
+
+(* -- JSON emission (hand-rolled: the toolchain ships no JSON library) -- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_results ?(jobs = 1) results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"sasos-metrics/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_wall_ns\": %Ld,\n"
+       (List.fold_left (fun acc r -> Int64.add acc r.wall_ns) 0L results));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"failed\": %d,\n" (List.length (failures results)));
+  Buffer.add_string buf "  \"experiments\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    {\n";
+      Buffer.add_string buf (Printf.sprintf "      \"index\": %d,\n" r.index);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"id\": \"%s\",\n" (json_escape r.id));
+      Buffer.add_string buf
+        (Printf.sprintf "      \"title\": \"%s\",\n" (json_escape r.title));
+      Buffer.add_string buf
+        (Printf.sprintf "      \"paper_ref\": \"%s\",\n"
+           (json_escape r.paper_ref));
+      (match r.status with
+      | Done -> Buffer.add_string buf "      \"status\": \"ok\",\n"
+      | Failed { exn; backtrace } ->
+          Buffer.add_string buf "      \"status\": \"failed\",\n";
+          Buffer.add_string buf
+            (Printf.sprintf "      \"error\": \"%s\",\n"
+               (json_escape (Printexc.to_string exn)));
+          Buffer.add_string buf
+            (Printf.sprintf "      \"backtrace\": \"%s\",\n"
+               (json_escape (Printexc.raw_backtrace_to_string backtrace))));
+      Buffer.add_string buf
+        (Printf.sprintf "      \"wall_ns\": %Ld,\n" r.wall_ns);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"minor_words\": %.0f,\n" r.minor_words);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"major_words\": %.0f,\n" r.major_words);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"promoted_words\": %.0f,\n" r.promoted_words);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"output_bytes\": %d\n"
+           (String.length r.output));
+      Buffer.add_string buf "    }")
+    results;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

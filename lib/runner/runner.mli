@@ -1,0 +1,50 @@
+(** Parallel, fault-isolated experiment runner.
+
+    Executes a list of experiments on a fixed-size pool of OCaml 5 domains
+    pulling from a shared work queue. Each experiment runs to completion
+    inside one domain; a raising experiment is recorded as {!Failed} with
+    its exception and backtrace instead of aborting the run. Results are
+    returned in input (registry) order regardless of the number of jobs,
+    and every experiment builds its own machines and seeded PRNG state, so
+    [run ~jobs:1] and [run ~jobs:n] produce byte-identical report text. *)
+
+type status =
+  | Done
+  | Failed of { exn : exn; backtrace : Printexc.raw_backtrace }
+
+type result = {
+  index : int;  (** position in the input list (registry order) *)
+  id : string;
+  title : string;
+  paper_ref : string;
+  status : status;
+  output : string;
+      (** the rendered report section, [header ^ body]; on failure a
+          deterministic one-line failure note replaces the body *)
+  wall_ns : int64;  (** wall-clock time of the experiment alone *)
+  minor_words : float;  (** words allocated on the running domain's minor heap *)
+  major_words : float;
+  promoted_words : float;
+}
+
+val run : ?jobs:int -> Sasos_experiments.Experiment.t list -> result list
+(** [run ~jobs exps] executes every experiment and returns one result per
+    experiment, in input order. [jobs] defaults to 1 (run in the calling
+    domain, no spawning); values above the number of experiments are
+    clamped. @raise Invalid_argument when [jobs < 1]. *)
+
+val report_text : result list -> string
+(** Concatenated report sections joined with a blank line — for the full
+    registry with no failures this is byte-identical to
+    [Registry.run_all ()]. *)
+
+val failures : result list -> result list
+(** The subset of results that raised, in order. *)
+
+val error_message : result -> string option
+(** [Printexc.to_string] of the recorded exception, when failed. *)
+
+val json_of_results : ?jobs:int -> result list -> string
+(** Machine-readable metrics: schema [sasos-metrics/1], one object per
+    experiment carrying id/index/status plus wall-clock and allocation
+    counters. Timing fields aside, the emission is deterministic. *)

@@ -17,14 +17,21 @@ let add t v =
 let count t = t.total
 let bucket t i = t.counts.(i)
 
+let rank t p =
+  let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+  if target < 1 then 1 else target
+
+(* the overflow bucket is open-ended: the honest cap is its left edge,
+   [nbuckets * width] — not a fabricated right edge *)
+let cap t = nbuckets t * t.width
+
 let percentile t p =
   if t.total = 0 then 0
   else begin
-    let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
-    let target = if target < 1 then 1 else target in
-    let acc = ref 0 and result = ref ((nbuckets t + 1) * t.width) in
+    let target = rank t p in
+    let acc = ref 0 and result = ref (cap t) in
     (try
-       for i = 0 to nbuckets t do
+       for i = 0 to nbuckets t - 1 do
          acc := !acc + t.counts.(i);
          if !acc >= target then begin
            result := (i + 1) * t.width;
@@ -34,6 +41,9 @@ let percentile t p =
      with Exit -> ());
     !result
   end
+
+let is_saturated t p =
+  t.total > 0 && t.total - t.counts.(nbuckets t) < rank t p
 
 let render t =
   let buf = Buffer.create 256 in

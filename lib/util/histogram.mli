@@ -20,7 +20,13 @@ val bucket : t -> int -> int
 val percentile : t -> float -> int
 (** [percentile t p] with [p] in [0,100]: an upper bound on the value at the
     p-th percentile (the right edge of the bucket that contains it). 0 when
-    empty. *)
+    empty. When the percentile falls in the open-ended overflow bucket there
+    is no honest upper bound: the result saturates at [buckets * width] (the
+    overflow bucket's left edge) and {!is_saturated} reports true. *)
+
+val is_saturated : t -> float -> bool
+(** Whether [percentile t p] fell in the overflow bucket, i.e. the returned
+    value is the saturation cap rather than a true upper bound. *)
 
 val render : t -> string
 (** Small ASCII rendering, one line per non-empty bucket. *)

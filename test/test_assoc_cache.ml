@@ -55,6 +55,64 @@ let test_insert_existing_overwrites () =
   Alcotest.(check int) "no duplicate" 1 (C.length c);
   Alcotest.(check (option string)) "updated" (Some "a2") (C.peek c 1)
 
+let test_reinsert_refreshes_lru () =
+  (* re-installing an entry must count as a touch under LRU: after
+     re-inserting key 1, key 2 is the least recently used *)
+  let c = C.create ~sets:1 ~ways:2 () in
+  ignore (C.insert c 1 "a");
+  ignore (C.insert c 2 "b");
+  ignore (C.insert c 1 "a2");
+  let evicted = C.insert c 3 "c" in
+  Alcotest.(check bool) "evicted b (stale)" true
+    (match evicted with Some (2, "b") -> true | _ -> false);
+  Alcotest.(check (option string)) "refreshed entry survives" (Some "a2")
+    (C.peek c 1)
+
+let test_reinsert_keeps_fifo_order () =
+  (* under FIFO a re-install must NOT refresh: key 1 is still oldest *)
+  let c = C.create ~policy:Replacement.Fifo ~sets:1 ~ways:2 () in
+  ignore (C.insert c 1 "a");
+  ignore (C.insert c 2 "b");
+  ignore (C.insert c 1 "a2");
+  let evicted = C.insert c 3 "c" in
+  Alcotest.(check bool) "evicted a (oldest)" true
+    (match evicted with Some (1, "a2") -> true | _ -> false);
+  Alcotest.(check bool) "b survives" true (C.mem c 2)
+
+(* Regression: a key whose mixed hash equals min_int. [abs min_int =
+   min_int], so the old [abs h mod sets] produced a negative set index and
+   an out-of-bounds array access whenever sets does not divide 2^62. *)
+module EvilKey = struct
+  type t = int
+
+  let equal (a : int) b = a = b
+
+  (* preimage of min_int under the mix [h lxor (h lsr 16)]: iterate the
+     inverse map to a fixpoint *)
+  let evil =
+    let x = ref min_int in
+    for _ = 1 to 8 do
+      x := min_int lxor (!x lsr 16)
+    done;
+    !x
+
+  let hash _ = evil
+end
+
+module Evil = Assoc_cache.Make (EvilKey)
+
+let test_min_int_hash () =
+  Alcotest.(check int) "preimage mixes to min_int" min_int
+    (EvilKey.evil lxor (EvilKey.evil lsr 16));
+  (* sets = 3 does not divide 2^62, so min_int mod 3 < 0 before the fix *)
+  let c = Evil.create ~sets:3 ~ways:2 () in
+  ignore (Evil.insert c 1 "a");
+  ignore (Evil.insert c 2 "b");
+  Alcotest.(check (option string)) "find 1" (Some "a") (Evil.find c 1);
+  Alcotest.(check (option string)) "find 2" (Some "b") (Evil.find c 2);
+  Alcotest.(check bool) "remove" true (Evil.remove c 1);
+  Alcotest.(check (option string)) "gone" None (Evil.peek c 1)
+
 let test_peek_no_stats () =
   let c = C.create ~sets:1 ~ways:2 () in
   ignore (C.insert c 1 "a");
@@ -115,13 +173,10 @@ let prop_lru_model =
         else None
       in
       let model_insert k v =
-        if List.mem_assoc k !model then
-          model := List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) !model
-        else begin
-          model := (k, v) :: !model;
-          if List.length !model > ways then
-            model := List.filteri (fun i _ -> i < ways) !model
-        end
+        (* insert touches: existing keys move to the front too *)
+        model := (k, v) :: List.remove_assoc k !model;
+        if List.length !model > ways then
+          model := List.filteri (fun i _ -> i < ways) !model
       in
       List.for_all
         (fun (k, is_insert) ->
@@ -146,6 +201,11 @@ let suite =
     Alcotest.test_case "FIFO eviction" `Quick test_fifo_eviction;
     Alcotest.test_case "insert existing overwrites" `Quick
       test_insert_existing_overwrites;
+    Alcotest.test_case "reinsert refreshes LRU recency" `Quick
+      test_reinsert_refreshes_lru;
+    Alcotest.test_case "reinsert keeps FIFO order" `Quick
+      test_reinsert_keeps_fifo_order;
+    Alcotest.test_case "min_int hash regression" `Quick test_min_int_hash;
     Alcotest.test_case "peek leaves stats" `Quick test_peek_no_stats;
     Alcotest.test_case "remove/purge/clear" `Quick test_remove_purge_clear;
     Alcotest.test_case "update" `Quick test_update;

@@ -20,6 +20,29 @@ let test_percentile () =
   Alcotest.(check int) "empty" 0
     (Histogram.percentile (Histogram.create ~buckets:2 ~width:1) 50.0)
 
+let test_percentile_saturation () =
+  (* buckets:4 width:10 — cap is 40, the overflow bucket's left edge *)
+  let h = Histogram.create ~buckets:4 ~width:10 in
+  List.iter (Histogram.add h) [ 0; 5; 1000; 2000; 3000 ];
+  Alcotest.(check int) "p100 capped at 40, not 50" 40
+    (Histogram.percentile h 100.0);
+  Alcotest.(check bool) "p100 saturated" true (Histogram.is_saturated h 100.0);
+  Alcotest.(check bool) "p50 saturated (rank 3 is in overflow)" true
+    (Histogram.is_saturated h 50.0);
+  Alcotest.(check int) "p50 capped" 40 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p40 in range" 10 (Histogram.percentile h 40.0);
+  Alcotest.(check bool) "p40 not saturated" false
+    (Histogram.is_saturated h 40.0);
+  let empty = Histogram.create ~buckets:2 ~width:1 in
+  Alcotest.(check bool) "empty never saturated" false
+    (Histogram.is_saturated empty 100.0);
+  (* no overflow observations: p100 is a true bound, not saturated *)
+  let h2 = Histogram.create ~buckets:4 ~width:10 in
+  List.iter (Histogram.add h2) [ 0; 15; 39 ];
+  Alcotest.(check int) "p100 exact" 40 (Histogram.percentile h2 100.0);
+  Alcotest.(check bool) "not saturated" false
+    (Histogram.is_saturated h2 100.0)
+
 let test_negative () =
   let h = Histogram.create ~buckets:2 ~width:1 in
   Alcotest.check_raises "negative" (Invalid_argument "Histogram.add: negative value")
@@ -41,12 +64,17 @@ let prop_percentile_monotone =
       let p90 = Histogram.percentile h 90.0 in
       let p100 = Histogram.percentile h 100.0 in
       p50 <= p90 && p90 <= p100
-      && List.for_all (fun v -> v < p100 || v >= 20 * 16) values)
+      && p100 <= 20 * 16
+      && List.for_all
+           (fun v -> v < p100 || Histogram.is_saturated h 100.0)
+           values)
 
 let suite =
   [
     Alcotest.test_case "bucketing" `Quick test_bucketing;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile saturation" `Quick
+      test_percentile_saturation;
     Alcotest.test_case "negative rejected" `Quick test_negative;
     Alcotest.test_case "render" `Quick test_render;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;

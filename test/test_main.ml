@@ -27,4 +27,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("trace", Test_trace.suite);
       ("experiments", Test_experiments.suite);
+      ("runner", Test_runner.suite);
     ]
