@@ -339,6 +339,157 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ out $ jobs $ only $ json))
 
+let check_cmd =
+  let doc =
+    "Differential conformance check: replay seed-reproducible random \
+     operation scripts on every machine model and compare each machine's \
+     access outcomes against a pure reference oracle (plus each machine's \
+     hardware fast path against its own OS truth). Failing scripts are \
+     minimized deterministically; minimized counterexamples can be saved \
+     into the replay corpus (test/corpus/*.trace)."
+  in
+  let ops =
+    Arg.(value & opt int 200
+         & info [ "ops" ] ~docv:"N" ~doc:"Operations per script.")
+  in
+  let scripts =
+    Arg.(value & opt int 100
+         & info [ "scripts" ] ~docv:"M" ~doc:"Number of scripts.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Run seed.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"J"
+             ~doc:"Worker domains checking script batches concurrently.")
+  in
+  let domains =
+    Arg.(value & opt int Sasos.Check.Op.default_geom.Sasos.Check.Op.domains
+         & info [ "domains" ] ~docv:"D" ~doc:"Protection domains per script.")
+  in
+  let segments =
+    Arg.(value & opt int Sasos.Check.Op.default_geom.Sasos.Check.Op.segments
+         & info [ "segments" ] ~docv:"S" ~doc:"Segments per script.")
+  in
+  let pages =
+    Arg.(value
+         & opt int Sasos.Check.Op.default_geom.Sasos.Check.Op.pages_per_seg
+         & info [ "pages" ] ~docv:"P" ~doc:"Pages per segment.")
+  in
+  let mutate =
+    (* deliberately planted bug, used to validate that the harness detects
+       and shrinks divergences; hidden from the synopsis *)
+    Arg.(value & opt (some string) None
+         & info [ "mutate" ] ~docv:"NAME"
+             ~doc:
+               "Plant a deliberate semantic bug on the machine side (the \
+                oracle still sees the full script); the run must FAIL. \
+                Known names: skip-detach, skip-grant-revoke, \
+                skip-protect-all, skip-protect-segment, skip-switch.")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE"
+             ~doc:
+               "Write the first minimized counterexample as a corpus trace \
+                to $(docv).")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:
+               "Instead of generating scripts, replay every *.trace corpus \
+                file in $(docv) on all machines and compare against the \
+                recorded outcomes.")
+  in
+  let run ops scripts seed jobs domains segments pages mutate save corpus =
+    match corpus with
+    | Some dir -> begin
+        match Sys.readdir dir with
+        | exception Sys_error msg -> `Error (false, msg)
+        | entries ->
+            let files =
+              Array.to_list entries
+              |> List.filter (fun f -> Filename.check_suffix f ".trace")
+              |> List.sort compare
+              |> List.map (Filename.concat dir)
+            in
+            let bad =
+              List.filter_map
+                (fun f ->
+                  match Sasos.Check.Corpus.replay_file f with
+                  | Ok () ->
+                      Printf.printf "  ok   %s\n" f;
+                      None
+                  | Error msg ->
+                      Printf.printf "  FAIL %s: %s\n" f msg;
+                      Some f)
+                files
+            in
+            Printf.printf "corpus: %d file(s), %d failing\n"
+              (List.length files) (List.length bad);
+            if bad = [] then `Ok () else Stdlib.exit 1
+      end
+    | None ->
+        if jobs < 1 then `Error (false, "--jobs must be >= 1")
+        else begin
+          match
+            match mutate with
+            | None -> Ok None
+            | Some name -> (
+                match Sasos.Check.Mutate.find name with
+                | Some m -> Ok (Some m)
+                | None ->
+                    Error
+                      (Printf.sprintf "unknown mutation %S (known: %s)" name
+                         (String.concat ", " (Sasos.Check.Mutate.names ()))))
+          with
+          | Error msg -> `Error (false, msg)
+          | Ok mutation ->
+          let geom =
+            {
+              Sasos.Check.Op.domains;
+              segments;
+              pages_per_seg = pages;
+            }
+          in
+          let report =
+            Sasos.Check.Harness.run ~jobs ?mutation ~geom ~ops ~scripts ~seed
+              ()
+          in
+          print_string (Sasos.Check.Harness.report_text report);
+          (match (save, report.Sasos.Check.Harness.counterexamples) with
+          | Some path, cex :: _ ->
+              Sasos.Check.Corpus.save ~path
+                ~note:
+                  (Printf.sprintf
+                     "script %d, run seed %d, script seed %d%s; failure: %s"
+                     cex.Sasos.Check.Harness.script_index seed
+                     cex.Sasos.Check.Harness.script_seed
+                     (match mutate with
+                     | Some m -> ", mutation " ^ m
+                     | None -> "")
+                     (match cex.Sasos.Check.Harness.failure with
+                     | Sasos.Check.Harness.Outcome_mismatch { machine; _ }
+                     | Sasos.Check.Harness.Machine_crash { machine; _ }
+                     | Sasos.Check.Harness.Hw_over_allow { machine } ->
+                         machine))
+                geom cex.Sasos.Check.Harness.script
+                ~expected:cex.Sasos.Check.Harness.expected;
+              Printf.printf "saved counterexample to %s\n" path
+          | Some _, [] -> ()
+          | None, _ -> ());
+          if Sasos.Check.Harness.failed report then Stdlib.exit 1
+          else `Ok ()
+        end
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const run $ ops $ scripts $ seed $ jobs $ domains $ segments $ pages
+        $ mutate $ save $ corpus))
+
 let info_cmd =
   let doc = "Print the default geometry and cost model." in
   let run () =
@@ -368,4 +519,4 @@ let () =
      (Koldinger, Chase & Eggers, ASPLOS 1992)"
   in
   let info = Cmd.info "sasos" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; workload_cmd; trace_cmd; report_cmd; info_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; workload_cmd; trace_cmd; report_cmd; check_cmd; info_cmd ]))

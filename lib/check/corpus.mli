@@ -1,0 +1,41 @@
+(** Persisted failure corpus.
+
+    Every counterexample the harness minimizes can be saved as a
+    [test/corpus/*.trace] file: a standard {!Sasos_trace.Store} trace
+    (creation prologue + operations in the portable event encoding)
+    whose header records the oracle-predicted outcome of every access.
+    Each corpus file is replayed against all machine models on every
+    [dune runtest], so a divergence the harness caught once can never
+    silently return. *)
+
+open Sasos_addr
+
+val outcomes_string : Access.outcome list -> string
+(** One char per access: ['o'] for [Ok], ['f'] for [Protection_fault];
+    ["-"] when there are no accesses. *)
+
+val parse_outcomes : string -> (Access.outcome list, string) result
+
+val save :
+  path:string ->
+  ?note:string ->
+  Op.geom ->
+  Op.t list ->
+  expected:Access.outcome list ->
+  unit
+(** Write the script (with its prologue) and the expected outcomes. *)
+
+val load :
+  string -> (Sasos_trace.Event.t list * Access.outcome list, string) result
+(** Events plus the recorded expected outcomes of the [# expect] header. *)
+
+val replay_events :
+  Sasos_trace.Event.t list ->
+  expected:Access.outcome list ->
+  (unit, string) result
+(** Replay on every machine model ({!Sasos_machine.Sys_select.all}) and
+    compare access outcomes against [expected]; the error names the first
+    diverging machine and access. *)
+
+val replay_file : string -> (unit, string) result
+(** [load] + [replay_events]. *)

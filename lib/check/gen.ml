@@ -1,0 +1,107 @@
+open Sasos_addr
+module Prng = Sasos_util.Prng
+
+(* Weighted operation mix: references dominate (they are the observable
+   channel every other operation is judged through), grants and attaches
+   keep the rights tables churning, destruction is rare but present. *)
+let w_access = 40
+let w_grant = 15
+let w_attach = 12
+let w_switch = 8
+let w_detach = 6
+let w_protect_all = 5
+let w_protect_seg = 5
+let w_unmap = 4
+let w_destroy_dom = 2
+let w_destroy_seg = 1
+
+let total_weight =
+  w_access + w_grant + w_attach + w_switch + w_detach + w_protect_all
+  + w_protect_seg + w_unmap + w_destroy_dom + w_destroy_seg
+
+let script prng (geom : Op.geom) ~ops =
+  if geom.Op.domains < 1 || geom.Op.segments < 1 || geom.Op.pages_per_seg < 1
+  then invalid_arg "Gen.script: geometry must be positive";
+  let dom_alive = Array.make geom.Op.domains true in
+  let seg_alive = Array.make geom.Op.segments true in
+  let live_doms = ref geom.Op.domains in
+  let live_segs = ref geom.Op.segments in
+  let cur = ref 0 in
+  let nth_live alive n =
+    let i = ref 0 and seen = ref 0 and found = ref (-1) in
+    while !found < 0 && !i < Array.length alive do
+      if alive.(!i) then begin
+        if !seen = n then found := !i;
+        incr seen
+      end;
+      incr i
+    done;
+    !found
+  in
+  let pick_dom () = nth_live dom_alive (Prng.int prng !live_doms) in
+  let pick_seg () = nth_live seg_alive (Prng.int prng !live_segs) in
+  let pick_page () =
+    let s = pick_seg () in
+    (s * geom.Op.pages_per_seg) + Prng.int prng geom.Op.pages_per_seg
+  in
+  let pick_rights () = Rights.of_int (Prng.int prng 8) in
+  let pick_kind () =
+    match Prng.int prng 8 with
+    | 0 | 1 | 2 -> Access.Read
+    | 3 | 4 | 5 -> Access.Write
+    | _ -> Access.Execute
+  in
+  let access () = Op.Acc { kind = pick_kind (); p = pick_page () } in
+  let rec draw () =
+    let w = Prng.int prng total_weight in
+    if w < w_access then access ()
+    else if w < w_access + w_grant then
+      Op.Grant { d = pick_dom (); p = pick_page (); r = pick_rights () }
+    else if w < w_access + w_grant + w_attach then
+      Op.Attach { d = pick_dom (); s = pick_seg (); r = pick_rights () }
+    else if w < w_access + w_grant + w_attach + w_switch then begin
+      let d = pick_dom () in
+      cur := d;
+      Op.Switch { d }
+    end
+    else if w < w_access + w_grant + w_attach + w_switch + w_detach then
+      Op.Detach { d = pick_dom (); s = pick_seg () }
+    else if
+      w < w_access + w_grant + w_attach + w_switch + w_detach + w_protect_all
+    then Op.Protect_all { p = pick_page (); r = pick_rights () }
+    else if
+      w
+      < w_access + w_grant + w_attach + w_switch + w_detach + w_protect_all
+        + w_protect_seg
+    then Op.Protect_segment { d = pick_dom (); s = pick_seg (); r = pick_rights () }
+    else if
+      w
+      < w_access + w_grant + w_attach + w_switch + w_detach + w_protect_all
+        + w_protect_seg + w_unmap
+    then Op.Unmap { p = pick_page () }
+    else if
+      w
+      < w_access + w_grant + w_attach + w_switch + w_detach + w_protect_all
+        + w_protect_seg + w_unmap + w_destroy_dom
+    then begin
+      (* destroy a live non-current domain, if one exists *)
+      if !live_doms < 2 then draw ()
+      else begin
+        let d = ref (pick_dom ()) in
+        while !d = !cur do
+          d := pick_dom ()
+        done;
+        dom_alive.(!d) <- false;
+        decr live_doms;
+        Op.Destroy_domain { d = !d }
+      end
+    end
+    else if !live_segs < 2 then draw () (* keep one segment for accesses *)
+    else begin
+      let s = pick_seg () in
+      seg_alive.(s) <- false;
+      decr live_segs;
+      Op.Destroy_segment { s }
+    end
+  in
+  List.init ops (fun _ -> draw ())

@@ -1,0 +1,13 @@
+(** Seed-reproducible script generator.
+
+    Driven entirely by {!Sasos_util.Prng}, so a (seed, geometry, length)
+    triple always produces the same script, on any machine and any number
+    of jobs. Only well-formed scripts are produced ({!Op.valid}): the
+    generator tracks domain/segment liveness and the current domain, never
+    references destroyed state, never destroys the running domain, and
+    keeps at least one segment alive so accesses remain generable. *)
+
+val script : Sasos_util.Prng.t -> Op.geom -> ops:int -> Op.t list
+(** [script prng geom ~ops] draws a script of exactly [ops] operations
+    over the full operation vocabulary and the full rights lattice
+    (execute bit included). *)

@@ -1,0 +1,214 @@
+open Sasos_addr
+module Prng = Sasos_util.Prng
+module Sys_select = Sasos_machine.Sys_select
+
+type failure =
+  | Outcome_mismatch of {
+      machine : string;
+      at : int;
+      got : Access.outcome;
+      want : Access.outcome;
+    }
+  | Machine_crash of { machine : string; exn : string }
+  | Hw_over_allow of { machine : string }
+
+type counterexample = {
+  script_index : int;
+  script_seed : int;
+  original_ops : int;
+  script : Op.t list;
+  expected : Access.outcome list;
+  failure : failure;
+}
+
+type batch = { index : int; scripts : int; divergent : int; over_allows : int }
+
+type report = {
+  geom : Op.geom;
+  ops : int;
+  scripts : int;
+  seed : int;
+  jobs : int;
+  mutation : string option;
+  batches : batch list;
+  divergent : int;
+  over_allows : int;
+  counterexamples : counterexample list;
+}
+
+(* Distinct, deterministic per-script seeds: batching and job count never
+   change which script a given index denotes. *)
+let script_seed ~seed i = seed + ((i + 1) * 0x9e3779b9)
+
+let first_mismatch machine ~got ~want =
+  let rec go i got want =
+    match (got, want) with
+    | g :: got, w :: want ->
+        if Access.outcome_equal g w then go (i + 1) got want
+        else Some (Outcome_mismatch { machine; at = i; got = g; want = w })
+    | [], [] -> None
+    | _ ->
+        (* length skew cannot happen: both sides count the same Acc ops *)
+        Some
+          (Outcome_mismatch
+             { machine; at = i; got = Access.Ok; want = Access.Ok })
+  in
+  go 0 got want
+
+(* Evaluate one concrete script against the oracle on every machine. *)
+let failures_of_script ?mutation geom script =
+  let keep =
+    match mutation with None -> fun _ -> true | Some m -> m.Mutate.keep
+  in
+  let want = Oracle.run geom script in
+  List.concat_map
+    (fun (machine, variant) ->
+      match Exec.run ~keep geom script variant with
+      | { Exec.outcomes; over_allow } ->
+          let mismatch =
+            match first_mismatch machine ~got:outcomes ~want with
+            | Some f -> [ f ]
+            | None -> []
+          in
+          mismatch @ (if over_allow then [ Hw_over_allow { machine } ] else [])
+      | exception exn ->
+          [ Machine_crash { machine; exn = Printexc.to_string exn } ])
+    Sys_select.all
+
+let check_script ?mutation geom ~ops ~seed =
+  let script = Gen.script (Prng.create ~seed) geom ~ops in
+  failures_of_script ?mutation geom script
+
+let is_divergence = function
+  | Outcome_mismatch _ | Machine_crash _ -> true
+  | Hw_over_allow _ -> false
+
+let minimize_counterexample ?mutation geom ~script_index ~script_seed script =
+  let failing s = failures_of_script ?mutation geom s <> [] in
+  let shrunk =
+    Shrink.minimize ~valid:(Op.valid geom) ~failing script
+  in
+  match failures_of_script ?mutation geom shrunk with
+  | [] -> None (* cannot happen: minimize preserves [failing] *)
+  | failure :: _ ->
+      Some
+        {
+          script_index;
+          script_seed;
+          original_ops = List.length script;
+          script = shrunk;
+          expected = Oracle.run geom shrunk;
+          failure;
+        }
+
+(* Fixed partition: at most 16 batches, independent of the job count, so
+   per-batch numbers are stable across --jobs values. *)
+let batch_count ~scripts = max 1 (min 16 scripts)
+
+let batch_bounds ~scripts b =
+  let nb = batch_count ~scripts in
+  let base = scripts / nb and extra = scripts mod nb in
+  let lo = (b * base) + min b extra in
+  let len = base + if b < extra then 1 else 0 in
+  (lo, len)
+
+let run ?(jobs = 1) ?mutation ?(geom = Op.default_geom) ~ops ~scripts ~seed ()
+    =
+  if ops < 1 then invalid_arg "Harness.run: ops must be >= 1";
+  if scripts < 1 then invalid_arg "Harness.run: scripts must be >= 1";
+  let nb = batch_count ~scripts in
+  let run_batch b =
+    let lo, len = batch_bounds ~scripts b in
+    let divergent = ref 0 and over_allows = ref 0 in
+    let counterexamples = ref [] in
+    for i = lo to lo + len - 1 do
+      let sseed = script_seed ~seed i in
+      let script = Gen.script (Prng.create ~seed:sseed) geom ~ops in
+      let failures = failures_of_script ?mutation geom script in
+      if failures <> [] then begin
+        if List.exists is_divergence failures then incr divergent;
+        if List.exists (fun f -> not (is_divergence f)) failures then
+          incr over_allows;
+        (* shrink only the batch's first failure: minimization replays the
+           script many times, and one counterexample per batch is enough
+           to act on *)
+        if !counterexamples = [] then
+          Option.iter
+            (fun cex -> counterexamples := [ cex ])
+            (minimize_counterexample ?mutation geom ~script_index:i
+               ~script_seed:sseed script)
+      end
+    done;
+    ( { index = b; scripts = len; divergent = !divergent; over_allows = !over_allows },
+      List.rev !counterexamples )
+  in
+  let results =
+    Sasos_runner.Runner.map_pool ~jobs run_batch (List.init nb Fun.id)
+  in
+  let batches = List.map fst results in
+  {
+    geom;
+    ops;
+    scripts;
+    seed;
+    jobs;
+    mutation = Option.map (fun m -> m.Mutate.name) mutation;
+    batches;
+    divergent =
+      List.fold_left (fun a (b : batch) -> a + b.divergent) 0 batches;
+    over_allows =
+      List.fold_left (fun a (b : batch) -> a + b.over_allows) 0 batches;
+    counterexamples = List.concat_map snd results;
+  }
+
+let failed r = r.divergent > 0 || r.over_allows > 0
+
+let failure_text = function
+  | Outcome_mismatch { machine; at; got; want } ->
+      Printf.sprintf "%s: access %d is %s, oracle says %s" machine at
+        (Format.asprintf "%a" Access.pp_outcome got)
+        (Format.asprintf "%a" Access.pp_outcome want)
+  | Machine_crash { machine; exn } ->
+      Printf.sprintf "%s: raised %s" machine exn
+  | Hw_over_allow { machine } ->
+      Printf.sprintf "%s: hardware fast path over-allows vs the OS truth"
+        machine
+
+let report_text r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (* [jobs] is deliberately not printed: the text is byte-identical for
+       every job count *)
+    (Printf.sprintf
+       "sasos check: %d scripts x %d ops, seed %d, geometry %dd/%ds/%dp%s\n"
+       r.scripts r.ops r.seed r.geom.Op.domains r.geom.Op.segments
+       r.geom.Op.pages_per_seg
+       (match r.mutation with
+       | None -> ""
+       | Some m -> Printf.sprintf ", mutation %s" m));
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  batch %2d: %3d scripts  %3d divergent  %3d over-allow\n" b.index
+           b.scripts b.divergent b.over_allows))
+    r.batches;
+  List.iter
+    (fun cex ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "counterexample: script %d (seed %d) shrunk %d -> %d ops\n"
+           cex.script_index cex.script_seed cex.original_ops
+           (List.length cex.script));
+      Buffer.add_string buf
+        (Printf.sprintf "  script:   %s\n" (Op.show_script cex.script));
+      Buffer.add_string buf
+        (Printf.sprintf "  expected: %s\n" (Corpus.outcomes_string cex.expected));
+      Buffer.add_string buf
+        (Printf.sprintf "  failure:  %s\n" (failure_text cex.failure)))
+    r.counterexamples;
+  Buffer.add_string buf
+    (Printf.sprintf "check: %d scripts, %d divergent, %d over-allow -> %s\n"
+       r.scripts r.divergent r.over_allows
+       (if failed r then "FAIL" else "ok"));
+  Buffer.contents buf

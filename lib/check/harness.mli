@@ -1,0 +1,73 @@
+(** Differential conformance harness: many scripts, every machine, one
+    oracle.
+
+    [run] draws [scripts] independent scripts of [ops] operations (each
+    from its own seed derived deterministically from the run seed), plays
+    every script on all machine models, and compares each machine's
+    access outcomes against the pure {!Oracle} plus its hardware fast
+    path against its own OS truth. Scripts are partitioned into fixed
+    batches fanned across the {!Sasos_runner.Runner.map_pool} domain
+    pool; the report — batch partition included — is identical for every
+    [jobs] value. The first divergent script of each batch is minimized
+    with {!Shrink} into a counterexample ready for the {!Corpus}. *)
+
+open Sasos_addr
+
+type failure =
+  | Outcome_mismatch of {
+      machine : string;
+      at : int;  (** index of the first diverging access *)
+      got : Access.outcome;
+      want : Access.outcome;  (** the oracle's verdict *)
+    }
+  | Machine_crash of { machine : string; exn : string }
+  | Hw_over_allow of { machine : string }
+
+type counterexample = {
+  script_index : int;
+  script_seed : int;
+  original_ops : int;
+  script : Op.t list;  (** minimized *)
+  expected : Access.outcome list;  (** oracle outcomes of the minimized script *)
+  failure : failure;  (** failure of the minimized script *)
+}
+
+type batch = { index : int; scripts : int; divergent : int; over_allows : int }
+
+type report = {
+  geom : Op.geom;
+  ops : int;
+  scripts : int;
+  seed : int;
+  jobs : int;
+  mutation : string option;
+  batches : batch list;
+  divergent : int;  (** scripts with any outcome mismatch or crash *)
+  over_allows : int;  (** scripts where some machine's hardware over-allowed *)
+  counterexamples : counterexample list;
+}
+
+val script_seed : seed:int -> int -> int
+(** The seed of script [i] under run seed [seed] — independent of batching
+    and jobs, so any script can be regenerated in isolation. *)
+
+val check_script :
+  ?mutation:Mutate.t -> Op.geom -> ops:int -> seed:int -> failure list
+(** Generate and evaluate one script; [[]] means full agreement. *)
+
+val run :
+  ?jobs:int ->
+  ?mutation:Mutate.t ->
+  ?geom:Op.geom ->
+  ops:int ->
+  scripts:int ->
+  seed:int ->
+  unit ->
+  report
+
+val failed : report -> bool
+(** True when any divergence, crash or over-allow was found. *)
+
+val report_text : report -> string
+(** Per-batch counts, minimized counterexamples, and a one-line summary;
+    byte-identical for every [jobs] value. *)

@@ -1,0 +1,42 @@
+open Sasos_addr
+
+type t = { name : string; description : string; keep : Op.t -> bool }
+
+let all =
+  [
+    {
+      name = "skip-detach";
+      description =
+        "detach leaves the domain's rights in place (no downgrade on \
+         detach — the over-allow failure mode)";
+      keep = (function Op.Detach _ -> false | _ -> true);
+    };
+    {
+      name = "skip-grant-revoke";
+      description = "a grant of no rights is ignored (revocations are lost)";
+      keep =
+        (function
+        | Op.Grant { r; _ } when Rights.equal r Rights.none -> false
+        | _ -> true);
+    };
+    {
+      name = "skip-protect-all";
+      description = "protect_all is a no-op (global rights changes lost)";
+      keep = (function Op.Protect_all _ -> false | _ -> true);
+    };
+    {
+      name = "skip-protect-segment";
+      description =
+        "protect_segment is a no-op (checkpoint restrict / GC flip lost)";
+      keep = (function Op.Protect_segment _ -> false | _ -> true);
+    };
+    {
+      name = "skip-switch";
+      description =
+        "domain switches are dropped (accesses run as the stale domain)";
+      keep = (function Op.Switch _ -> false | _ -> true);
+    };
+  ]
+
+let find name = List.find_opt (fun m -> m.name = name) all
+let names () = List.map (fun m -> m.name) all

@@ -1,0 +1,18 @@
+(** Deliberate semantic mutations, for validating the harness itself.
+
+    A mutation drops a class of operations on the machine side while the
+    oracle still interprets the full script — modelling an implementation
+    bug ("forgot to downgrade rights on detach"). `sasos check --mutate
+    <name>` must then detect a divergence and shrink it to a short
+    script; a harness that cannot see a planted bug cannot be trusted to
+    see a real one. *)
+
+type t = {
+  name : string;
+  description : string;
+  keep : Op.t -> bool;  (** [false] = the machine never sees the op *)
+}
+
+val all : t list
+val find : string -> t option
+val names : unit -> string list

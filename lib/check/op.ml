@@ -1,0 +1,113 @@
+open Sasos_addr
+
+type geom = { domains : int; segments : int; pages_per_seg : int }
+
+let default_geom = { domains = 4; segments = 3; pages_per_seg = 4 }
+let pages g = g.segments * g.pages_per_seg
+let seg_of_page g p = p / g.pages_per_seg
+let page_in_seg g p = p mod g.pages_per_seg
+
+type t =
+  | Attach of { d : int; s : int; r : Rights.t }
+  | Detach of { d : int; s : int }
+  | Grant of { d : int; p : int; r : Rights.t }
+  | Protect_all of { p : int; r : Rights.t }
+  | Protect_segment of { d : int; s : int; r : Rights.t }
+  | Switch of { d : int }
+  | Destroy_domain of { d : int }
+  | Destroy_segment of { s : int }
+  | Unmap of { p : int }
+  | Acc of { kind : Access.kind; p : int }
+
+let show = function
+  | Attach { d; s; r } -> Printf.sprintf "attach(d%d,s%d,%s)" d s (Rights.to_string r)
+  | Detach { d; s } -> Printf.sprintf "detach(d%d,s%d)" d s
+  | Grant { d; p; r } -> Printf.sprintf "grant(d%d,p%d,%s)" d p (Rights.to_string r)
+  | Protect_all { p; r } -> Printf.sprintf "protect-all(p%d,%s)" p (Rights.to_string r)
+  | Protect_segment { d; s; r } ->
+      Printf.sprintf "protect-seg(d%d,s%d,%s)" d s (Rights.to_string r)
+  | Switch { d } -> Printf.sprintf "switch(d%d)" d
+  | Destroy_domain { d } -> Printf.sprintf "destroy-domain(d%d)" d
+  | Destroy_segment { s } -> Printf.sprintf "destroy-segment(s%d)" s
+  | Unmap { p } -> Printf.sprintf "unmap(p%d)" p
+  | Acc { kind; p } ->
+      Printf.sprintf "%s(p%d)"
+        (match kind with
+        | Access.Read -> "read"
+        | Access.Write -> "write"
+        | Access.Execute -> "exec")
+        p
+
+let show_script ops = String.concat "; " (List.map show ops)
+
+(* Walk the script tracking liveness and the current domain; an operation
+   referencing dead state (or out-of-bounds indices) makes it invalid. *)
+let valid g ops =
+  let dom_ok = Array.make (max 1 g.domains) true in
+  let seg_ok = Array.make (max 1 g.segments) true in
+  let cur = ref 0 in
+  let dom d = d >= 0 && d < g.domains && dom_ok.(d) in
+  let seg s = s >= 0 && s < g.segments && seg_ok.(s) in
+  let page p = p >= 0 && p < pages g && seg (seg_of_page g p) in
+  g.domains > 0 && g.segments > 0 && g.pages_per_seg > 0
+  && List.for_all
+       (fun op ->
+         match op with
+         | Attach { d; s; _ } | Detach { d; s } | Protect_segment { d; s; _ }
+           ->
+             dom d && seg s
+         | Grant { d; p; _ } -> dom d && page p
+         | Protect_all { p; _ } | Unmap { p } | Acc { p; _ } -> page p
+         | Switch { d } ->
+             if dom d then begin
+               cur := d;
+               true
+             end
+             else false
+         | Destroy_domain { d } ->
+             if dom d && d <> !cur then begin
+               dom_ok.(d) <- false;
+               true
+             end
+             else false
+         | Destroy_segment { s } ->
+             if seg s then begin
+               seg_ok.(s) <- false;
+               true
+             end
+             else false)
+       ops
+
+let to_events ?(page_shift = Geometry.default.Geometry.page_shift) g ops =
+  let off p = page_in_seg g p lsl page_shift in
+  let module E = Sasos_trace.Event in
+  let prologue =
+    List.init g.domains (fun _ -> E.New_domain)
+    @ List.init g.segments (fun _ ->
+          E.New_segment
+            { pages = g.pages_per_seg; align_shift = None; name = "" })
+    @ [ E.Switch { pd = 0 } ]
+  in
+  prologue
+  @ List.map
+      (fun op ->
+        match op with
+        | Attach { d; s; r } -> E.Attach { pd = d; seg = s; rights = r }
+        | Detach { d; s } -> E.Detach { pd = d; seg = s }
+        | Grant { d; p; r } ->
+            E.Grant { pd = d; seg = seg_of_page g p; off = off p; rights = r }
+        | Protect_all { p; r } ->
+            E.Protect_all { seg = seg_of_page g p; off = off p; rights = r }
+        | Protect_segment { d; s; r } ->
+            E.Protect_segment { pd = d; seg = s; rights = r }
+        | Switch { d } -> E.Switch { pd = d }
+        | Destroy_domain { d } -> E.Destroy_domain { pd = d }
+        | Destroy_segment { s } -> E.Destroy_segment { seg = s }
+        | Unmap { p } ->
+            E.Unmap { seg = seg_of_page g p; page = page_in_seg g p }
+        | Acc { kind; p } ->
+            E.Access { kind; seg = seg_of_page g p; off = off p })
+      ops
+
+let accesses ops =
+  List.length (List.filter (function Acc _ -> true | _ -> false) ops)

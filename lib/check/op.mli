@@ -1,0 +1,59 @@
+(** Conformance-script operations.
+
+    A script is a list of operations over a fixed index space: [domains]
+    protection domains and [segments] segments of [pages_per_seg] pages
+    each, all created in a prologue before the first operation runs.
+    Pages are named by a global index [p] in [0, pages geom); the segment
+    containing page [p] is [seg_of_page geom p].
+
+    Scripts are the common language of the conformance subsystem: the
+    generator ({!Gen}) produces them, the pure oracle ({!Oracle}) and the
+    machine executor ({!Exec}) interpret them, the shrinker ({!Shrink})
+    minimizes them, and {!Corpus} serializes them through the portable
+    {!Sasos_trace.Event} encoding. *)
+
+open Sasos_addr
+
+type geom = { domains : int; segments : int; pages_per_seg : int }
+
+val default_geom : geom
+(** 4 domains, 3 segments, 4 pages per segment. *)
+
+val pages : geom -> int
+(** Total pages, [segments * pages_per_seg]. *)
+
+val seg_of_page : geom -> int -> int
+val page_in_seg : geom -> int -> int
+
+type t =
+  | Attach of { d : int; s : int; r : Rights.t }
+  | Detach of { d : int; s : int }
+  | Grant of { d : int; p : int; r : Rights.t }
+  | Protect_all of { p : int; r : Rights.t }
+  | Protect_segment of { d : int; s : int; r : Rights.t }
+  | Switch of { d : int }
+  | Destroy_domain of { d : int }
+  | Destroy_segment of { s : int }
+  | Unmap of { p : int }
+  | Acc of { kind : Access.kind; p : int }
+
+val show : t -> string
+val show_script : t list -> string
+
+val valid : geom -> t list -> bool
+(** Well-formedness: every index in bounds; no operation references a
+    destroyed domain or a page/segment of a destroyed segment; a domain is
+    never destroyed while current (the script starts in domain 0). The
+    generator only emits valid scripts and the shrinker only proposes
+    valid candidates, so every script the harness evaluates — and every
+    corpus file — replays cleanly through {!Sasos_trace.Player}. *)
+
+val to_events : ?page_shift:int -> geom -> t list -> Sasos_trace.Event.t list
+(** The script as a portable trace: a creation prologue ([domains] ×
+    [New_domain], [segments] × [New_segment], [Switch 0]) followed by one
+    event per operation. [page_shift] (default
+    {!Sasos_addr.Geometry.default}) fixes the byte offset encoding of page
+    indices. *)
+
+val accesses : t list -> int
+(** Number of [Acc] operations (= number of outcomes a run produces). *)

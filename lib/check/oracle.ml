@@ -1,0 +1,143 @@
+open Sasos_addr
+
+module IS = Set.Make (Int)
+
+module PM = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = {
+  geom : Op.geom;
+  current : int;
+  doms : IS.t;  (** live domains *)
+  segs : IS.t;  (** live segments *)
+  attach : Rights.t PM.t;  (** (domain, segment) -> attachment rights *)
+  over : Rights.t PM.t;  (** (domain, page) -> per-page override *)
+}
+
+let create (geom : Op.geom) =
+  {
+    geom;
+    current = 0;
+    doms = IS.of_list (List.init geom.Op.domains Fun.id);
+    segs = IS.of_list (List.init geom.Op.segments Fun.id);
+    attach = PM.empty;
+    over = PM.empty;
+  }
+
+let current t = t.current
+
+(* Override first, then the attachment of the page's segment — the exact
+   lookup of Os_core.rights. An override can outlive its segment (only for
+   a domain that was never attached), again as in the OS tables. *)
+let rights t ~d ~p =
+  match PM.find_opt (d, p) t.over with
+  | Some r -> r
+  | None ->
+      if IS.mem (Op.seg_of_page t.geom p) t.segs then
+        Option.value
+          (PM.find_opt (d, Op.seg_of_page t.geom p) t.attach)
+          ~default:Rights.none
+      else Rights.none
+
+let drop_seg_overrides t d s =
+  let lo = s * t.geom.Op.pages_per_seg in
+  let hi = lo + t.geom.Op.pages_per_seg - 1 in
+  PM.filter (fun (d', p) _ -> not (d' = d && p >= lo && p <= hi)) t.over
+
+let dom_live t d = d >= 0 && d < t.geom.Op.domains && IS.mem d t.doms
+let seg_live t s = s >= 0 && s < t.geom.Op.segments && IS.mem s t.segs
+let page_live t p =
+  p >= 0 && p < Op.pages t.geom && seg_live t (Op.seg_of_page t.geom p)
+
+let step t (op : Op.t) =
+  match op with
+  | Op.Attach { d; s; r } ->
+      if dom_live t d && seg_live t s then
+        ({ t with attach = PM.add (d, s) r t.attach }, None)
+      else (t, None)
+  | Op.Detach { d; s } ->
+      if dom_live t d && seg_live t s then
+        ( {
+            t with
+            attach = PM.remove (d, s) t.attach;
+            over = drop_seg_overrides t d s;
+          },
+          None )
+      else (t, None)
+  | Op.Grant { d; p; r } ->
+      if dom_live t d && page_live t p then
+        ({ t with over = PM.add (d, p) r t.over }, None)
+      else (t, None)
+  | Op.Protect_all { p; r } ->
+      if page_live t p then begin
+        let s = Op.seg_of_page t.geom p in
+        let over =
+          IS.fold
+            (fun d over ->
+              if
+                PM.mem (d, s) t.attach
+                || not (Rights.equal (rights t ~d ~p) Rights.none)
+              then PM.add (d, p) r over
+              else over)
+            t.doms t.over
+        in
+        ({ t with over }, None)
+      end
+      else (t, None)
+  | Op.Protect_segment { d; s; r } ->
+      if dom_live t d && seg_live t s then
+        ( {
+            t with
+            over = drop_seg_overrides t d s;
+            attach = PM.add (d, s) r t.attach;
+          },
+          None )
+      else (t, None)
+  | Op.Switch { d } -> if dom_live t d then ({ t with current = d }, None) else (t, None)
+  | Op.Destroy_domain { d } ->
+      if dom_live t d && d <> t.current then
+        ( {
+            t with
+            doms = IS.remove d t.doms;
+            attach = PM.filter (fun (d', _) _ -> d' <> d) t.attach;
+            over = PM.filter (fun (d', _) _ -> d' <> d) t.over;
+          },
+          None )
+      else (t, None)
+  | Op.Destroy_segment { s } ->
+      if seg_live t s then begin
+        (* detach every live attached domain; overrides held without an
+           attachment survive (they are unreachable afterwards) *)
+        let t =
+          IS.fold
+            (fun d t ->
+              if PM.mem (d, s) t.attach then
+                {
+                  t with
+                  attach = PM.remove (d, s) t.attach;
+                  over = drop_seg_overrides t d s;
+                }
+              else t)
+            t.doms t
+        in
+        ({ t with segs = IS.remove s t.segs }, None)
+      end
+      else (t, None)
+  | Op.Unmap _ -> (t, None)
+  | Op.Acc { kind; p } ->
+      let needed = Access.rights_needed kind in
+      let ok = Rights.subset needed (rights t ~d:t.current ~p) in
+      (t, Some (if ok then Access.Ok else Access.Protection_fault))
+
+let run geom ops =
+  let _, outcomes =
+    List.fold_left
+      (fun (t, acc) op ->
+        let t, o = step t op in
+        (t, match o with Some o -> o :: acc | None -> acc))
+      (create geom, []) ops
+  in
+  List.rev outcomes

@@ -1,0 +1,42 @@
+(** Pure reference oracle for protection semantics.
+
+    Models the OS protection truth that every machine implementation must
+    agree with, as plain immutable maps from (domain, page) to rights —
+    no caches, no page groups, no TLB, no cost model. Where machine
+    semantics come from {!Sasos_os.Os_core} plus hardware structures that
+    must be kept coherent with it, the oracle is the table alone, so it
+    cannot be wrong in the same way an implementation can.
+
+    Semantics mirrored (DESIGN.md §5.1, Table 1):
+    - a domain's rights on a page are its per-page override when one
+      exists, else its segment attachment, else nothing;
+    - [Detach] and [Destroy_domain] drop overrides with the attachment;
+    - [Protect_all] rewrites the page's rights for every live domain that
+      is attached to the segment or currently holds rights on the page;
+    - [Protect_segment] replaces the attachment and clears the domain's
+      overrides inside the segment;
+    - [Destroy_segment] detaches every live attached domain (an override
+      held without an attachment survives, exactly as in the OS tables);
+    - [Unmap] never changes protection truth. *)
+
+open Sasos_addr
+
+type t
+(** Immutable oracle state; [step] returns a new state. *)
+
+val create : Op.geom -> t
+(** All domains and segments live, no attachments, current domain 0. *)
+
+val current : t -> int
+
+val rights : t -> d:int -> p:int -> Rights.t
+(** The ground truth: domain [d]'s rights on page [p]. *)
+
+val step : t -> Op.t -> t * Access.outcome option
+(** Interpret one operation. [Acc] produces [Some outcome]; every other
+    operation produces [None]. Operations referencing destroyed or
+    out-of-bounds state are ignored (scripts from {!Gen} and {!Shrink}
+    never contain any — see {!Op.valid}). *)
+
+val run : Op.geom -> Op.t list -> Access.outcome list
+(** The access outcomes of a whole script, in order. *)

@@ -1,0 +1,97 @@
+open Sasos_addr
+
+(* Strictly-decreasing candidate values, so every accepted rewrite shrinks
+   a finite measure and the fixpoint loop needs no fuel. *)
+let smaller_int v = if v <= 0 then [] else if v = 1 then [ 0 ] else [ 0; v / 2 ]
+
+let smaller_rights r =
+  List.map Rights.of_int (smaller_int (Rights.to_int r))
+
+let smaller_kind = function
+  | Access.Read -> []
+  | Access.Write -> [ Access.Read ]
+  | Access.Execute -> [ Access.Read; Access.Write ]
+
+let rewrites (op : Op.t) : Op.t list =
+  match op with
+  | Op.Attach { d; s; r } ->
+      List.map (fun d -> Op.Attach { d; s; r }) (smaller_int d)
+      @ List.map (fun s -> Op.Attach { d; s; r }) (smaller_int s)
+      @ List.map (fun r -> Op.Attach { d; s; r }) (smaller_rights r)
+  | Op.Detach { d; s } ->
+      List.map (fun d -> Op.Detach { d; s }) (smaller_int d)
+      @ List.map (fun s -> Op.Detach { d; s }) (smaller_int s)
+  | Op.Grant { d; p; r } ->
+      List.map (fun d -> Op.Grant { d; p; r }) (smaller_int d)
+      @ List.map (fun p -> Op.Grant { d; p; r }) (smaller_int p)
+      @ List.map (fun r -> Op.Grant { d; p; r }) (smaller_rights r)
+  | Op.Protect_all { p; r } ->
+      List.map (fun p -> Op.Protect_all { p; r }) (smaller_int p)
+      @ List.map (fun r -> Op.Protect_all { p; r }) (smaller_rights r)
+  | Op.Protect_segment { d; s; r } ->
+      List.map (fun d -> Op.Protect_segment { d; s; r }) (smaller_int d)
+      @ List.map (fun s -> Op.Protect_segment { d; s; r }) (smaller_int s)
+      @ List.map (fun r -> Op.Protect_segment { d; s; r }) (smaller_rights r)
+  | Op.Switch { d } -> List.map (fun d -> Op.Switch { d }) (smaller_int d)
+  | Op.Destroy_domain { d } ->
+      List.map (fun d -> Op.Destroy_domain { d }) (smaller_int d)
+  | Op.Destroy_segment { s } ->
+      List.map (fun s -> Op.Destroy_segment { s }) (smaller_int s)
+  | Op.Unmap { p } -> List.map (fun p -> Op.Unmap { p }) (smaller_int p)
+  | Op.Acc { kind; p } ->
+      List.map (fun kind -> Op.Acc { kind; p }) (smaller_kind kind)
+      @ List.map (fun p -> Op.Acc { kind; p }) (smaller_int p)
+
+let without script i len =
+  List.filteri (fun j _ -> j < i || j >= i + len) script
+
+let replace_at script i op' =
+  List.mapi (fun j op -> if j = i then op' else op) script
+
+(* One ddmin-style deletion attempt: the first (largest-chunk, leftmost)
+   deletion that still fails, or None when no single deletion works. *)
+let delete_pass ~valid ~failing script =
+  let n = List.length script in
+  let rec try_size size =
+    if size < 1 then None
+    else begin
+      let rec try_at i =
+        if i >= n then try_size (size / 2)
+        else begin
+          let cand = without script i size in
+          if valid cand && failing cand then Some cand else try_at (i + size)
+        end
+      in
+      try_at 0
+    end
+  in
+  try_size (max 1 (n / 2))
+
+(* First parameter rewrite that keeps the script failing, or None. *)
+let param_pass ~valid ~failing script =
+  let rec go i = function
+    | [] -> None
+    | op :: rest -> begin
+        let rec try_rw = function
+          | [] -> go (i + 1) rest
+          | op' :: more -> begin
+              let cand = replace_at script i op' in
+              if valid cand && failing cand then Some cand else try_rw more
+            end
+        in
+        try_rw (rewrites op)
+      end
+  in
+  go 0 script
+
+let minimize ~valid ~failing script =
+  let rec fix script =
+    match delete_pass ~valid ~failing script with
+    | Some smaller -> fix smaller
+    | None -> begin
+        match param_pass ~valid ~failing script with
+        | Some smaller -> fix smaller
+        | None -> script
+      end
+  in
+  fix script

@@ -1,0 +1,26 @@
+(** Deterministic counterexample shrinker.
+
+    Minimizes a failing script with two interleaved passes, iterated to a
+    fixpoint:
+    - {b op deletion}: ddmin-style chunk removal, halving the chunk size
+      from n/2 down to single operations;
+    - {b parameter shrinking}: per-operation rewrites toward smaller
+      values — indices toward 0, rights toward [none], access kinds
+      toward [Read].
+
+    Every candidate strictly decreases a size measure, so termination
+    needs no fuel; candidates are filtered through [valid] before the
+    (expensive) failure predicate runs, so a shrunk script is always
+    well-formed and replayable. The process is fully deterministic: the
+    same failing script and predicate always minimize to the same
+    script. *)
+
+val minimize :
+  valid:(Op.t list -> bool) ->
+  failing:(Op.t list -> bool) ->
+  Op.t list ->
+  Op.t list
+(** [minimize ~valid ~failing script] assumes [failing script]; returns a
+    script that still satisfies [valid] and [failing] and from which no
+    single chunk deletion or parameter shrink produces a smaller failing
+    script. *)

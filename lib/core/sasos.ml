@@ -17,7 +17,10 @@
     - {!Trace}: portable operation traces (record / replay / store)
     - {!Experiments}: one module per paper table/figure/claim
     - {!Runner}: parallel, fault-isolated execution of the experiment
-      registry on a pool of OCaml 5 domains *)
+      registry on a pool of OCaml 5 domains
+    - {!Check}: differential conformance harness — a pure reference
+      oracle, seed-reproducible script generation, deterministic
+      shrinking and a persisted failure corpus (`sasos check`) *)
 
 module Util = struct
   module Prng = Sasos_util.Prng
@@ -110,3 +113,14 @@ module Experiments = struct
 end
 
 module Runner = Sasos_runner.Runner
+
+module Check = struct
+  module Op = Sasos_check.Op
+  module Oracle = Sasos_check.Oracle
+  module Gen = Sasos_check.Gen
+  module Exec = Sasos_check.Exec
+  module Mutate = Sasos_check.Mutate
+  module Shrink = Sasos_check.Shrink
+  module Corpus = Sasos_check.Corpus
+  module Harness = Sasos_check.Harness
+end

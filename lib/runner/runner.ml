@@ -46,9 +46,9 @@ let run_one index (e : Experiment.t) =
     promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
   }
 
-let run ?(jobs = 1) experiments =
-  if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
-  let tasks = Array.of_list experiments in
+let map_pool ?(jobs = 1) f items =
+  if jobs < 1 then invalid_arg "Runner.map_pool: jobs must be >= 1";
+  let tasks = Array.of_list items in
   let n = Array.length tasks in
   let results = Array.make n None in
   let next = Atomic.make 0 in
@@ -57,7 +57,7 @@ let run ?(jobs = 1) experiments =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        results.(i) <- Some (run_one i tasks.(i));
+        results.(i) <- Some (f tasks.(i));
         loop ()
       end
     in
@@ -71,6 +71,14 @@ let run ?(jobs = 1) experiments =
     Array.iter Domain.join helpers
   end;
   Array.to_list (Array.map Option.get results)
+
+let run ?jobs experiments =
+  (match jobs with
+  | Some j when j < 1 -> invalid_arg "Runner.run: jobs must be >= 1"
+  | _ -> ());
+  map_pool ?jobs
+    (fun (i, e) -> run_one i e)
+    (List.mapi (fun i e -> (i, e)) experiments)
 
 let report_text results =
   String.concat "\n" (List.map (fun r -> r.output) results)

@@ -27,6 +27,17 @@ type result = {
   promoted_words : float;
 }
 
+val map_pool : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_pool ~jobs f items] maps [f] over [items] on a fixed-size pool of
+    OCaml 5 domains pulling from a shared work queue, returning results in
+    input order regardless of [jobs]. [jobs] defaults to 1 (run in the
+    calling domain, no spawning) and is clamped to the item count. [f]
+    must be safe to call from several domains at once and should not
+    raise: an exception in a helper domain propagates out of the join and
+    loses the other items' results. This is the pool under both the
+    experiment registry ([run]) and the conformance harness
+    (`sasos check`). @raise Invalid_argument when [jobs < 1]. *)
+
 val run : ?jobs:int -> Sasos_experiments.Experiment.t list -> result list
 (** [run ~jobs exps] executes every experiment and returns one result per
     experiment, in input order. [jobs] defaults to 1 (run in the calling

@@ -1,0 +1,27 @@
+(* Replay every corpus trace named on the command line against all
+   machine models and compare access outcomes with the `# expect` header
+   recorded when the counterexample was minimized (see lib/check/corpus).
+   Runs under `dune runtest` over test/corpus/*.trace: once a divergence
+   has been caught and minimized, it can never silently return. *)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    print_endline "corpus: no trace files (add some under test/corpus/)";
+    exit 0
+  end;
+  let failed =
+    List.filter
+      (fun path ->
+        match Sasos.Check.Corpus.replay_file path with
+        | Ok () ->
+            Printf.printf "  ok   %s\n" (Filename.basename path);
+            false
+        | Error msg ->
+            Printf.printf "  FAIL %s: %s\n" (Filename.basename path) msg;
+            true)
+      files
+  in
+  Printf.printf "corpus: %d trace(s), %d failing\n" (List.length files)
+    (List.length failed);
+  if failed <> [] then exit 1

@@ -1,0 +1,40 @@
+(* Seed plumbing for the QCheck property tests.
+
+   Every property in the suite goes through {!to_alcotest}, so one seed
+   governs them all: [QCHECK_SEED] when set, a fresh random seed
+   otherwise. The seed is announced once at startup and repeated when a
+   property fails, so any failure is replayable with
+
+     QCHECK_SEED=<seed> dune runtest
+
+   (see README.md, "Reproducing property-test failures"). *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "QCHECK_SEED must be an integer, got %S\n%!" s;
+          exit 2)
+  | None ->
+      Random.self_init ();
+      Random.int 0x3FFFFFFF
+
+let announce () =
+  Printf.printf "qcheck seed: %d (replay with QCHECK_SEED=%d dune runtest)\n%!"
+    seed seed
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Printf.eprintf
+          "\n[qcheck] %S failed under seed %d; replay with QCHECK_SEED=%d\n%!"
+          name seed seed;
+        raise e )

@@ -210,5 +210,5 @@ let suite =
     Alcotest.test_case "remove/purge/clear" `Quick test_remove_purge_clear;
     Alcotest.test_case "update" `Quick test_update;
     Alcotest.test_case "fold/iter" `Quick test_fold_iter;
-    QCheck_alcotest.to_alcotest prop_lru_model;
+    Qprop.to_alcotest prop_lru_model;
   ]

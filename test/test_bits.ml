@@ -61,5 +61,5 @@ let suite =
     Alcotest.test_case "round_up" `Quick test_round_up;
     Alcotest.test_case "mask" `Quick test_mask;
     Alcotest.test_case "popcount" `Quick test_popcount;
-    QCheck_alcotest.to_alcotest prop_round_up_aligned;
+    Qprop.to_alcotest prop_round_up_aligned;
   ]

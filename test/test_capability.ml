@@ -145,5 +145,5 @@ let suite =
     Alcotest.test_case "restrict" `Quick test_restrict;
     Alcotest.test_case "revoke" `Quick test_revoke;
     Alcotest.test_case "name service" `Quick test_name_service;
-    QCheck_alcotest.to_alcotest prop_guessing_fails;
+    Qprop.to_alcotest prop_guessing_fails;
   ]

@@ -135,7 +135,7 @@ let prop_fa_lru_model =
 let suite =
   [
     Alcotest.test_case "hit after fill" `Quick test_hit_after_fill;
-    QCheck_alcotest.to_alcotest prop_fa_lru_model;
+    Qprop.to_alcotest prop_fa_lru_model;
     Alcotest.test_case "writeback on dirty eviction" `Quick test_writeback;
     Alcotest.test_case "space tags prevent homonym hits" `Quick
       test_space_tag_homonyms;

@@ -77,5 +77,5 @@ let suite =
       test_percentile_saturation;
     Alcotest.test_case "negative rejected" `Quick test_negative;
     Alcotest.test_case "render" `Quick test_render;
-    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    Qprop.to_alcotest prop_percentile_monotone;
   ]

@@ -1,4 +1,5 @@
 let () =
+  Qprop.announce ();
   Alcotest.run "sasos"
     [
       ("bits", Test_bits.suite);
@@ -26,6 +27,7 @@ let () =
       ("agreement", Test_agreement.suite);
       ("workloads", Test_workloads.suite);
       ("trace", Test_trace.suite);
+      ("check", Test_check.suite);
       ("experiments", Test_experiments.suite);
       ("runner", Test_runner.suite);
     ]

@@ -160,7 +160,7 @@ let prop_multigrain_model =
 let suite =
   [
     Alcotest.test_case "basic lookup" `Quick test_basic;
-    QCheck_alcotest.to_alcotest prop_multigrain_model;
+    Qprop.to_alcotest prop_multigrain_model;
     Alcotest.test_case "per-domain duplication" `Quick test_per_domain_entries;
     Alcotest.test_case "update rights in place" `Quick test_update_rights;
     Alcotest.test_case "purge_matching (detach)" `Quick test_purge_matching;

@@ -188,7 +188,7 @@ let suite =
   [
     Alcotest.test_case "jobs=1 vs jobs=4 byte-identical" `Quick
       test_jobs_equivalence;
-    QCheck_alcotest.to_alcotest prop_jobs_equivalence;
+    Qprop.to_alcotest prop_jobs_equivalence;
     Alcotest.test_case "fault isolation" `Quick test_fault_isolation;
     Alcotest.test_case "registry select" `Quick test_registry_select;
     Alcotest.test_case "real experiments in parallel" `Quick

@@ -91,5 +91,5 @@ let suite =
     Alcotest.test_case "destroy retires addresses" `Quick test_destroy_no_reuse;
     Alcotest.test_case "alignment" `Quick test_alignment;
     Alcotest.test_case "segment helpers" `Quick test_segment_helpers;
-    QCheck_alcotest.to_alcotest prop_disjoint;
+    Qprop.to_alcotest prop_disjoint;
   ]

@@ -40,5 +40,5 @@ let suite =
     Alcotest.test_case "empty" `Quick test_empty;
     Alcotest.test_case "single value" `Quick test_single;
     Alcotest.test_case "known values" `Quick test_known_values;
-    QCheck_alcotest.to_alcotest prop_mean_in_range;
+    Qprop.to_alcotest prop_mean_in_range;
   ]

@@ -216,11 +216,50 @@ let prop_record_replay_roundtrip =
             (Player.replay_exn loaded
                (Machines.make Machines.Conv_flush Config.default)))
 
+(* property (conformance scripts): a protection-heavy Check script — with
+   faults, grants, revocations and destroys — recorded through the
+   Recorder survives a Store write/read cycle and replays with identical
+   access outcomes on every machine model *)
+let prop_check_trace_roundtrip =
+  QCheck2.Test.make ~count:40
+    ~name:"check-script trace roundtrip on all machines"
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let geom = Sasos.Check.Op.default_geom in
+      let script = Sasos.Check.Gen.script (Util.Prng.create ~seed) geom ~ops:40 in
+      let inner = Machines.make Machines.Plb Config.default in
+      let r = Recorder.wrap inner in
+      let sys =
+        System_intf.Packed
+          ((module Recorder : System_intf.SYSTEM with type t = Recorder.t), r)
+      in
+      let recorded =
+        (Sasos.Check.Exec.run_packed geom script sys).Sasos.Check.Exec.outcomes
+      in
+      let path = Filename.temp_file "sasos_check" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Store.save path ~header:"roundtrip property" (Recorder.events r);
+          match Store.load path with
+          | Error _ -> false
+          | Ok loaded ->
+              List.for_all
+                (fun (_, v) ->
+                  let replayed =
+                    Player.replay_exn loaded (Machines.make v Config.default)
+                  in
+                  List.length replayed = List.length recorded
+                  && List.for_all2 Access.outcome_equal replayed recorded)
+                Machines.all))
+
 let suite =
   [
     Alcotest.test_case "record/replay on all machines" `Quick
       test_record_and_replay_all_machines;
-    QCheck_alcotest.to_alcotest prop_record_replay_roundtrip;
+    Qprop.to_alcotest prop_record_replay_roundtrip;
+    Qprop.to_alcotest prop_check_trace_roundtrip;
     Alcotest.test_case "event line roundtrip" `Quick test_line_roundtrip;
     Alcotest.test_case "event parse errors" `Quick test_of_line_errors;
     Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;

@@ -47,5 +47,5 @@ let suite =
     Alcotest.test_case "equal grains" `Quick test_same_grain;
     Alcotest.test_case "sub-page protection units" `Quick test_fine_protection;
     Alcotest.test_case "super-page protection units" `Quick test_coarse_protection;
-    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Qprop.to_alcotest prop_roundtrip;
   ]
