@@ -340,7 +340,7 @@ let run_report () =
          (List.length Experiments.Registry.all)
          (Domain.recommended_domain_count ()))
   in
-  let results = Runner.run ~jobs Experiments.Registry.all in
+  let results = Runner.run ~jobs ~profile:true Experiments.Registry.all in
   print_string (Runner.report_text results);
   Printf.printf "\nPer-experiment wall-clock (jobs=%d):\n" jobs;
   let t =
@@ -364,7 +364,38 @@ let run_report () =
           Printf.sprintf "%.1f" (r.Runner.minor_words /. 1e6);
         ])
     results;
-  Util.Tablefmt.print t
+  Util.Tablefmt.print t;
+  match Runner.merged_profile results with
+  | Some s ->
+      print_newline ();
+      print_string (Obs.render_table s)
+  | None -> ()
+
+(* Guardrail: the observability subsystem must cost nothing when disabled.
+   The no-op collector's entry points are plain closures over nothing, so
+   hammering them (plus the ambient lookup the machine factory performs)
+   must not allocate. A regression here would tax every unprofiled access
+   in every experiment, so fail the bench run outright. *)
+let obs_guardrail () =
+  let o = Obs.disabled in
+  (* warm up: populate the domain-local ambient slot once *)
+  ignore (Obs.enabled (Obs.ambient ()));
+  let iters = 100_000 in
+  let w0 = (Gc.quick_stat ()).Gc.minor_words in
+  for _ = 1 to iters do
+    Obs.phase_begin o "x";
+    Obs.phase_end o "x";
+    ignore (Obs.enabled (Obs.ambient ()))
+  done;
+  let dw = (Gc.quick_stat ()).Gc.minor_words -. w0 in
+  let per_op = dw /. float_of_int iters in
+  Printf.printf "obs disabled-path guardrail: %.4f words/op (%d iterations)\n"
+    per_op iters;
+  if per_op > 0.01 then begin
+    print_endline
+      "FAIL: disabled observability path allocates on the hot path";
+    exit 1
+  end
 
 let () =
   print_endline
@@ -375,6 +406,8 @@ let () =
   print_endline
     "================================================================\n";
   run_report ();
+  print_newline ();
+  obs_guardrail ();
   print_endline
     "\n================================================================";
   print_endline " Part 2 - Bechamel micro-benchmarks (simulator wall-clock)";

@@ -1,6 +1,9 @@
-(* Shape validator for the --json metrics file, run by `dune runtest` after
-   exercising `sasos_cli report --jobs 2 --json` — keeps the parallel
-   reporting path under CI without pulling in a JSON library. *)
+(* Shape validators for the machine-readable artifacts exercised by
+   `dune runtest`, kept JSON-library-free on purpose:
+
+     validate_metrics METRICS.json      -- sasos-metrics/1 from `sasos report`
+     validate_metrics --obs OBS.json    -- sasos-obs/1 from `sasos profile`
+     validate_metrics --chrome T.json   -- Chrome trace_event from --chrome-out *)
 
 let read_all path =
   let ic = open_in_bin path in
@@ -26,8 +29,12 @@ let fail msg =
   prerr_endline ("metrics validation failed: " ^ msg);
   exit 1
 
-let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: validate_metrics METRICS.json" in
+let check_balanced json =
+  let braces c = count_occurrences json (String.make 1 c) in
+  if braces '{' <> braces '}' then fail "unbalanced braces";
+  if braces '[' <> braces ']' then fail "unbalanced brackets"
+
+let validate_metrics path =
   let json = read_all path in
   if not (contains json "\"schema\": \"sasos-metrics/1\"") then
     fail "missing schema marker";
@@ -45,7 +52,45 @@ let () =
       if count_occurrences json (Printf.sprintf "\"%s\": " field) <> 2 then
         fail ("expected field on each experiment: " ^ field))
     [ "wall_ns"; "minor_words"; "major_words"; "output_bytes"; "index" ];
-  let braces c = count_occurrences json (String.make 1 c) in
-  if braces '{' <> braces '}' then fail "unbalanced braces";
-  if braces '[' <> braces ']' then fail "unbalanced brackets";
+  (* the report rule runs with --profile, so each experiment must carry an
+     embedded sasos-obs/1 attribution block *)
+  if count_occurrences json "\"profile\": " <> 2 then
+    fail "expected an embedded profile block on each experiment";
+  if count_occurrences json "\"sasos-obs/1\"" <> 2 then
+    fail "embedded profile blocks must carry the sasos-obs/1 schema";
+  check_balanced json;
   print_endline ("ok: " ^ path ^ " has the sasos-metrics/1 shape")
+
+let validate_obs path =
+  let json = read_all path in
+  if not (contains json "\"sasos-obs/1\"") then
+    fail "missing sasos-obs/1 schema marker";
+  List.iter
+    (fun field ->
+      if not (contains json (Printf.sprintf "\"%s\"" field)) then
+        fail ("missing field: " ^ field))
+    [
+      "total_cycles"; "machines"; "ops"; "phases"; "samples"; "cpa_hist";
+      "sample_every"; "ring_capacity";
+    ];
+  if not (contains json "\"op\"") then fail "expected at least one op row";
+  check_balanced json;
+  print_endline ("ok: " ^ path ^ " has the sasos-obs/1 shape")
+
+let validate_chrome path =
+  let json = read_all path in
+  if not (contains json "\"traceEvents\"") then
+    fail "missing traceEvents array";
+  if not (contains json "\"ph\":\"X\"") then
+    fail "expected at least one complete (X) event";
+  if not (contains json "\"ph\":\"M\"") then
+    fail "expected metadata (M) events";
+  check_balanced json;
+  print_endline ("ok: " ^ path ^ " is a Chrome trace_event file")
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--obs"; path ] -> validate_obs path
+  | [ _; "--chrome"; path ] -> validate_chrome path
+  | [ _; path ] -> validate_metrics path
+  | _ -> fail "usage: validate_metrics [--obs|--chrome] FILE.json"

@@ -259,6 +259,157 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+(* shared by profile/report/check: write the chosen observability exports *)
+let emit_profile ?(table = false) ?out ?json ?chrome summary =
+  (match (table, out) with
+  | _, Some path -> write_file path (Sasos.Obs.render_table summary)
+  | true, None -> print_string (Sasos.Obs.render_table summary)
+  | false, None -> ());
+  Option.iter
+    (fun path -> write_file path (Sasos.Obs.to_json ~indent:true summary))
+    json;
+  Option.iter (fun path -> write_file path (Sasos.Obs.to_chrome summary)) chrome
+
+let profile_cmd =
+  let doc =
+    "Profile a run: attribute simulated cycles to operations and \
+     experiment/trace phases per machine model, sample miss ratios and \
+     occupancy over simulated time, and export the result as a table, \
+     sasos-obs/1 JSON, or a Chrome trace_event file (load with Perfetto / \
+     chrome://tracing). Give either --experiment (registry ids, profiled \
+     through the parallel runner; output is byte-identical for any --jobs \
+     value) or --workload with --machine and the usual geometry flags. All \
+     timestamps are simulated cycles, so output is deterministic."
+  in
+  let experiments =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "experiment" ] ~docv:"ID1,ID2"
+          ~doc:"Comma-separated experiment ids to run under the profiler.")
+  in
+  let wname =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload to run under the profiler (see 'sasos list').")
+  in
+  let machine =
+    Arg.(
+      value
+      & opt machine_conv Sasos.Machines.Plb
+      & info [ "m"; "machine" ] ~docv:"MACHINE"
+          ~doc:"Machine model for --workload mode.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for --experiment mode.")
+  in
+  let sample =
+    Arg.(
+      value & opt int 1000
+      & info [ "sample" ] ~docv:"N"
+          ~doc:"Record one time-series sample every $(docv) accesses.")
+  in
+  let ring =
+    Arg.(
+      value & opt int 512
+      & info [ "ring" ] ~docv:"N"
+          ~doc:"Ring-buffer capacity: keep the last $(docv) samples.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the attribution table to $(docv) instead of stdout.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the sasos-obs/1 JSON summary to $(docv).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON file to $(docv) (open in \
+             Perfetto or chrome://tracing).")
+  in
+  let run experiments wname machine jobs sample ring out json chrome config =
+    if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else if sample < 1 then `Error (false, "--sample must be >= 1")
+    else if ring < 1 then `Error (false, "--ring must be >= 1")
+    else
+      let summary =
+        match (experiments, wname) with
+        | Some _, Some _ -> Error "give either --experiment or --workload, not both"
+        | None, None -> Error "give one of --experiment or --workload"
+        | Some ids, None -> (
+            match
+              String.split_on_char ',' ids
+              |> List.map String.trim
+              |> List.filter (fun id -> id <> "")
+            with
+            | [] -> Error "--experiment requires at least one id"
+            | ids -> (
+                match Sasos.Experiments.Registry.select ids with
+                | Error msg -> Error msg
+                | Ok exps -> (
+                    let results =
+                      Sasos.Runner.run ~jobs ~profile:true ~sample_every:sample
+                        ~ring_capacity:ring exps
+                    in
+                    match Sasos.Runner.failures results with
+                    | r :: _ ->
+                        Error
+                          (Printf.sprintf "experiment %s failed: %s"
+                             r.Sasos.Runner.id
+                             (Option.value ~default:"?"
+                                (Sasos.Runner.error_message r)))
+                    | [] -> (
+                        match Sasos.Runner.merged_profile results with
+                        | Some s -> Ok s
+                        | None -> Error "no profile collected"))))
+        | None, Some wname -> (
+            match Sasos.Workloads.Registry.find wname with
+            | None ->
+                Error
+                  (Printf.sprintf "unknown workload %S (try 'sasos list')"
+                     wname)
+            | Some w ->
+                let collector =
+                  Sasos.Obs.create ~sample_every:sample ~ring_capacity:ring ()
+                in
+                Sasos.Obs.with_ambient collector (fun () ->
+                    let sys = Sasos.Machines.make machine config in
+                    w.Sasos.Workloads.Registry.run sys);
+                Ok (Sasos.Obs.summarize collector))
+      in
+      match summary with
+      | Error msg -> `Error (false, msg)
+      | Ok s -> (
+          match emit_profile ~table:true ?out ?json ?chrome s with
+          | exception Sys_error msg -> `Error (false, msg)
+          | () ->
+              Option.iter (Printf.printf "wrote attribution table to %s\n") out;
+              Option.iter (Printf.printf "wrote obs JSON to %s\n") json;
+              Option.iter (Printf.printf "wrote Chrome trace to %s\n") chrome;
+              `Ok ())
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      ret
+        (const run $ experiments $ wname $ machine $ jobs $ sample $ ring $ out
+        $ json $ chrome $ config_term))
+
 let report_cmd =
   let doc =
     "Run the experiment registry (in parallel with --jobs) and write the \
@@ -294,7 +445,16 @@ let report_cmd =
             "Also write machine-readable metrics (per-experiment status, \
              wall-clock time, allocation counters) to $(docv).")
   in
-  let run out jobs only json =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Run each experiment under the observability collector, print \
+             the merged cycle-attribution table, and embed a per-experiment \
+             profile block in the --json metrics.")
+  in
+  let run out jobs only json profile =
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else
       let selection =
@@ -312,7 +472,7 @@ let report_cmd =
       match selection with
       | Error msg -> `Error (false, msg)
       | Ok exps -> (
-          let results = Sasos.Runner.run ~jobs exps in
+          let results = Sasos.Runner.run ~jobs ~profile exps in
           match
             write_file out (Sasos.Runner.report_text results);
             Option.iter
@@ -335,9 +495,13 @@ let report_cmd =
                 "wrote %d experiments (%d failed, jobs=%d) to %s%s\n"
                 (List.length results) failed jobs out
                 (match json with Some p -> ", metrics to " ^ p | None -> "");
+              Option.iter (fun s -> print_string (Sasos.Obs.render_table s))
+                (Sasos.Runner.merged_profile results);
               `Ok ())
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ out $ jobs $ only $ json))
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(ret (const run $ out $ jobs $ only $ json $ profile))
 
 let check_cmd =
   let doc =
@@ -403,7 +567,27 @@ let check_cmd =
                 file in $(docv) on all machines and compare against the \
                 recorded outcomes.")
   in
-  let run ops scripts seed jobs domains segments pages mutate save corpus =
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:
+               "Profile the differential pass (cycle attribution per machine \
+                and operation) and print the merged table after the report.")
+  in
+  let obs_json =
+    Arg.(value & opt (some string) None
+         & info [ "obs-json" ] ~docv:"FILE"
+             ~doc:"Write the sasos-obs/1 profile JSON to $(docv) \
+                   (implies profiling).")
+  in
+  let chrome =
+    Arg.(value & opt (some string) None
+         & info [ "chrome-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON of the profiled run to \
+                   $(docv) (implies profiling).")
+  in
+  let run ops scripts seed jobs domains segments pages mutate save corpus
+      profile obs_json chrome =
     match corpus with
     | Some dir -> begin
         match Sys.readdir dir with
@@ -454,11 +638,24 @@ let check_cmd =
               pages_per_seg = pages;
             }
           in
+          let profiling = profile || obs_json <> None || chrome <> None in
           let report =
-            Sasos.Check.Harness.run ~jobs ?mutation ~geom ~ops ~scripts ~seed
-              ()
+            Sasos.Check.Harness.run ~jobs ~profile:profiling ?mutation ~geom
+              ~ops ~scripts ~seed ()
           in
           print_string (Sasos.Check.Harness.report_text report);
+          (match report.Sasos.Check.Harness.profile with
+          | Some s -> (
+              match
+                emit_profile ~table:profile ?json:obs_json ?chrome:chrome s
+              with
+              | exception Sys_error msg -> prerr_endline msg
+              | () ->
+                  Option.iter (Printf.printf "wrote obs JSON to %s\n") obs_json;
+                  Option.iter
+                    (Printf.printf "wrote Chrome trace to %s\n")
+                    chrome)
+          | None -> ());
           (match (save, report.Sasos.Check.Harness.counterexamples) with
           | Some path, cex :: _ ->
               Sasos.Check.Corpus.save ~path
@@ -488,7 +685,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ ops $ scripts $ seed $ jobs $ domains $ segments $ pages
-        $ mutate $ save $ corpus))
+        $ mutate $ save $ corpus $ profile $ obs_json $ chrome))
 
 let info_cmd =
   let doc = "Print the default geometry and cost model." in
@@ -519,4 +716,16 @@ let () =
      (Koldinger, Chase & Eggers, ASPLOS 1992)"
   in
   let info = Cmd.info "sasos" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; workload_cmd; trace_cmd; report_cmd; check_cmd; info_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            workload_cmd;
+            trace_cmd;
+            profile_cmd;
+            report_cmd;
+            check_cmd;
+            info_cmd;
+          ]))

@@ -1,6 +1,7 @@
 open Sasos_addr
 module Prng = Sasos_util.Prng
 module Sys_select = Sasos_machine.Sys_select
+module Obs = Sasos_obs.Obs
 
 type failure =
   | Outcome_mismatch of {
@@ -34,6 +35,7 @@ type report = {
   divergent : int;
   over_allows : int;
   counterexamples : counterexample list;
+  profile : Obs.summary option;
 }
 
 (* Distinct, deterministic per-script seeds: batching and job count never
@@ -112,8 +114,8 @@ let batch_bounds ~scripts b =
   let len = base + if b < extra then 1 else 0 in
   (lo, len)
 
-let run ?(jobs = 1) ?mutation ?(geom = Op.default_geom) ~ops ~scripts ~seed ()
-    =
+let run ?(jobs = 1) ?(profile = false) ?mutation ?(geom = Op.default_geom)
+    ~ops ~scripts ~seed () =
   if ops < 1 then invalid_arg "Harness.run: ops must be >= 1";
   if scripts < 1 then invalid_arg "Harness.run: scripts must be >= 1";
   let nb = batch_count ~scripts in
@@ -121,10 +123,28 @@ let run ?(jobs = 1) ?mutation ?(geom = Op.default_geom) ~ops ~scripts ~seed ()
     let lo, len = batch_bounds ~scripts b in
     let divergent = ref 0 and over_allows = ref 0 in
     let counterexamples = ref [] in
+    let summaries = ref [] in
     for i = lo to lo + len - 1 do
       let sseed = script_seed ~seed i in
       let script = Gen.script (Prng.create ~seed:sseed) geom ~ops in
-      let failures = failures_of_script ?mutation geom script in
+      (* Profile only the initial differential pass; minimization replays
+         the script many times and would swamp the attribution. One
+         collector per script, merged in script order, keeps the profile
+         independent of jobs and batching. *)
+      let failures =
+        if profile then begin
+          let c = Obs.create () in
+          let fs =
+            Obs.with_ambient c (fun () ->
+                failures_of_script ?mutation geom script)
+          in
+          (match Obs.summarize c with
+          | s -> summaries := s :: !summaries
+          | exception _ -> ());
+          fs
+        end
+        else failures_of_script ?mutation geom script
+      in
       if failures <> [] then begin
         if List.exists is_divergence failures then incr divergent;
         if List.exists (fun f -> not (is_divergence f)) failures then
@@ -140,12 +160,14 @@ let run ?(jobs = 1) ?mutation ?(geom = Op.default_geom) ~ops ~scripts ~seed ()
       end
     done;
     ( { index = b; scripts = len; divergent = !divergent; over_allows = !over_allows },
-      List.rev !counterexamples )
+      List.rev !counterexamples,
+      List.rev !summaries )
   in
   let results =
     Sasos_runner.Runner.map_pool ~jobs run_batch (List.init nb Fun.id)
   in
-  let batches = List.map fst results in
+  let batches = List.map (fun (b, _, _) -> b) results in
+  let all_summaries = List.concat_map (fun (_, _, s) -> s) results in
   {
     geom;
     ops;
@@ -158,7 +180,9 @@ let run ?(jobs = 1) ?mutation ?(geom = Op.default_geom) ~ops ~scripts ~seed ()
       List.fold_left (fun a (b : batch) -> a + b.divergent) 0 batches;
     over_allows =
       List.fold_left (fun a (b : batch) -> a + b.over_allows) 0 batches;
-    counterexamples = List.concat_map snd results;
+    counterexamples = List.concat_map (fun (_, c, _) -> c) results;
+    profile =
+      (match all_summaries with [] -> None | l -> Some (Obs.merge l));
   }
 
 let failed r = r.divergent > 0 || r.over_allows > 0

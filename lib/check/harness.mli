@@ -45,6 +45,11 @@ type report = {
   divergent : int;  (** scripts with any outcome mismatch or crash *)
   over_allows : int;  (** scripts where some machine's hardware over-allowed *)
   counterexamples : counterexample list;
+  profile : Sasos_obs.Obs.summary option;
+      (** merged per-script observability summary when run with
+          [~profile:true]; covers only the initial differential pass of
+          each script (minimization replays are not profiled) and is
+          byte-identical across [jobs] values *)
 }
 
 val script_seed : seed:int -> int -> int
@@ -57,6 +62,7 @@ val check_script :
 
 val run :
   ?jobs:int ->
+  ?profile:bool ->
   ?mutation:Mutate.t ->
   ?geom:Op.geom ->
   ops:int ->

@@ -48,6 +48,7 @@ module Hw = struct
   module Data_cache = Sasos_hw.Data_cache
   module Metrics = Sasos_hw.Metrics
   module Cost_model = Sasos_hw.Cost_model
+  module Probe = Sasos_hw.Probe
 end
 
 module Mem = struct
@@ -112,6 +113,7 @@ module Experiments = struct
   module Registry = Sasos_experiments.Registry
 end
 
+module Obs = Sasos_obs.Obs
 module Runner = Sasos_runner.Runner
 
 module Check = struct

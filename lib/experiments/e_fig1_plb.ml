@@ -131,9 +131,9 @@ let associativity_report buf =
 
 let run () =
   let buf = Buffer.create 4096 in
-  entry_width_report buf;
-  sweep_report buf;
-  associativity_report buf;
+  Experiment.phase "fig1:entry_widths" (fun () -> entry_width_report buf);
+  Experiment.phase "fig1:sweep" (fun () -> sweep_report buf);
+  Experiment.phase "fig1:associativity" (fun () -> associativity_report buf);
   Buffer.contents buf
 
 let experiment =

@@ -19,6 +19,8 @@ let metrics_of_op sys op =
   op ();
   Metrics.diff (System_ops.metrics sys) before
 
+let phase name f = Sasos_obs.Obs.with_phase (Sasos_obs.Obs.ambient ()) name f
+
 let per num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 
 let header t =

@@ -24,6 +24,11 @@ val metrics_of_op : System_intf.packed -> (unit -> unit) -> Metrics.t
 (** Counter delta across one operation on a live machine — for
     micro-measuring a single attach/detach/switch. *)
 
+val phase : string -> (unit -> 'a) -> 'a
+(** Mark a named section of the experiment on the ambient
+    {!Sasos_obs.Obs} collector (a no-op when profiling is disabled) —
+    the sections show up in [sasos profile] output and Chrome traces. *)
+
 val per : int -> int -> float
 (** [per num den] = average with zero-guard. *)
 

@@ -25,6 +25,9 @@ type t = {
   table : line array array;
   (* residency count per physical line, for synonym detection *)
   pa_resident : (int, int) Hashtbl.t;
+  probe : Probe.t;
+  probe_as : Probe.structure;
+  mutable live : int; (* valid lines, for the occupancy gauge *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -35,8 +38,8 @@ type t = {
 let fresh_line () =
   { valid = false; space = 0; tag = 0; va_line = 0; pa_line = 0; dirty = false; stamp = 0 }
 
-let create ?(policy = Replacement.Lru) ?(seed = 0xcac4e) ~org ~size_bytes
-    ~line_bytes ~ways () =
+let create ?(policy = Replacement.Lru) ?(seed = 0xcac4e) ?(probe = Probe.null)
+    ?(probe_as = Probe.L1_cache) ~org ~size_bytes ~line_bytes ~ways () =
   let open Sasos_util in
   if not (Bits.is_power_of_two size_bytes && Bits.is_power_of_two line_bytes)
   then invalid_arg "Data_cache.create: sizes must be powers of two";
@@ -54,6 +57,9 @@ let create ?(policy = Replacement.Lru) ?(seed = 0xcac4e) ~org ~size_bytes
     rng = Prng.create ~seed;
     table = Array.init (nlines / ways) (fun _ -> Array.init ways (fun _ -> fresh_line ()));
     pa_resident = Hashtbl.create 1024;
+    probe;
+    probe_as;
+    live = 0;
     tick = 0;
     hits = 0;
     misses = 0;
@@ -81,6 +87,8 @@ let pa_decr t pa_line =
   | Some 1 -> Hashtbl.remove t.pa_resident pa_line
   | Some c -> Hashtbl.replace t.pa_resident pa_line (c - 1)
 
+let note_occupancy t = Probe.set_occupancy t.probe t.probe_as t.live
+
 let evict_line t l =
   if l.valid then begin
     pa_decr t l.pa_line;
@@ -88,7 +96,9 @@ let evict_line t l =
       t.writebacks <- t.writebacks + 1;
       l.dirty <- false
     end;
-    l.valid <- false
+    l.valid <- false;
+    t.live <- t.live - 1;
+    Probe.note_purged t.probe t.probe_as 1
   end
 
 type result = Hit | Miss of { writeback : bool }
@@ -141,6 +151,9 @@ let access t ~space ~va ~pa ~write =
       l.pa_line <- pa_line;
       l.dirty <- write;
       l.stamp <- next_tick t;
+      t.live <- t.live + 1;
+      Probe.note_fill t.probe t.probe_as;
+      note_occupancy t;
       if pa_incr t pa_line > 1 then t.synonyms <- t.synonyms + 1;
       Miss { writeback }
     end
@@ -159,6 +172,7 @@ let sweep t p =
         row)
     t.table;
   t.writebacks <- t.writebacks; (* writebacks already counted in evict_line *)
+  note_occupancy t;
   (!flushed, !wb)
 
 let flush_va_range t ~space ~lo ~hi =

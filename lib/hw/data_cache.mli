@@ -28,13 +28,18 @@ type t
 val create :
   ?policy:Replacement.t ->
   ?seed:int ->
+  ?probe:Probe.t ->
+  ?probe_as:Probe.structure ->
   org:org ->
   size_bytes:int ->
   line_bytes:int ->
   ways:int ->
   unit ->
   t
-(** @raise Invalid_argument unless sizes are powers of two and consistent. *)
+(** [probe] receives occupancy/fill/purge gauge writes under the
+    [probe_as] slot (default {!Probe.L1_cache}; an L2 instance passes
+    {!Probe.L2_cache}).
+    @raise Invalid_argument unless sizes are powers of two and consistent. *)
 
 val org : t -> org
 val lines : t -> int

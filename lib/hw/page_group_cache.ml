@@ -7,33 +7,53 @@ end
 
 module C = Assoc_cache.Make (Key)
 
-type t = bool C.t
+type t = { cache : bool C.t; probe : Probe.t }
 (* value = write_disabled *)
 
-let create ?policy ?seed ~entries () =
+let create ?policy ?seed ?(probe = Probe.null) ~entries () =
   if entries < 1 then invalid_arg "Page_group_cache.create: entries >= 1";
-  C.create ?policy ?seed ~sets:1 ~ways:entries ()
+  { cache = C.create ?policy ?seed ~sets:1 ~ways:entries (); probe }
 
-let capacity = C.capacity
-let length = C.length
+let note_occupancy t =
+  Probe.set_occupancy t.probe Probe.Pg_cache (C.length t.cache)
+
+let capacity t = C.capacity t.cache
+let length t = C.length t.cache
 
 type check = Denied | Allowed of { write_disabled : bool }
 
 let check t ~aid =
   if aid = 0 then Allowed { write_disabled = false }
   else
-    match C.find t aid with
+    match C.find t.cache aid with
     | Some write_disabled -> Allowed { write_disabled }
     | None -> Denied
 
 let load t ~aid ~write_disabled =
-  if aid <> 0 then ignore (C.insert t aid write_disabled)
+  if aid <> 0 then begin
+    ignore (C.insert t.cache aid write_disabled);
+    Probe.note_fill t.probe Probe.Pg_cache;
+    note_occupancy t
+  end
 
-let set_write_disable t ~aid d = C.update t aid (fun _ -> d)
-let drop t ~aid = C.remove t aid
-let flush = C.clear
-let resident t ~aid = aid = 0 || C.mem t aid
-let iter = C.iter
-let hits = C.hits
-let misses = C.misses
-let reset_stats = C.reset_stats
+let set_write_disable t ~aid d = C.update t.cache aid (fun _ -> d)
+
+let drop t ~aid =
+  let removed = C.remove t.cache aid in
+  if removed then begin
+    Probe.note_purged t.probe Probe.Pg_cache 1;
+    note_occupancy t
+  end;
+  removed
+
+let flush t =
+  let dropped = C.clear t.cache in
+  Probe.note_purged t.probe Probe.Pg_cache dropped;
+  note_occupancy t;
+  dropped
+
+let resident t ~aid = aid = 0 || C.mem t.cache aid
+let iter f t = C.iter f t.cache
+let hits t = C.hits t.cache
+let misses t = C.misses t.cache
+let reset_stats t = C.reset_stats t.cache

@@ -10,8 +10,11 @@
 
 type t
 
-val create : ?policy:Replacement.t -> ?seed:int -> entries:int -> unit -> t
-(** [entries = 4] models the stock PA-RISC PID registers. *)
+val create :
+  ?policy:Replacement.t -> ?seed:int -> ?probe:Probe.t -> entries:int ->
+  unit -> t
+(** [entries = 4] models the stock PA-RISC PID registers. [probe] receives
+    occupancy/fill/purge gauge writes (default {!Probe.null}). *)
 
 val capacity : t -> int
 val length : t -> int

@@ -11,9 +11,14 @@ end
 
 module C = Assoc_cache.Make (Key)
 
-type t = { shifts : int list (* ascending *); cache : Rights.t C.t }
+type t = {
+  shifts : int list; (* ascending *)
+  cache : Rights.t C.t;
+  probe : Probe.t;
+}
 
-let create ?policy ?seed ?(shifts = [ 12 ]) ~sets ~ways () =
+let create ?policy ?seed ?(probe = Probe.null) ?(shifts = [ 12 ]) ~sets ~ways
+    () =
   if shifts = [] then invalid_arg "Plb.create: no protection page sizes";
   List.iter
     (fun s -> if s < 4 || s > 62 then invalid_arg "Plb.create: bad shift")
@@ -21,7 +26,10 @@ let create ?policy ?seed ?(shifts = [ 12 ]) ~sets ~ways () =
   {
     shifts = List.sort_uniq compare shifts;
     cache = C.create ?policy ?seed ~sets ~ways ();
+    probe;
   }
+
+let note_occupancy t = Probe.set_occupancy t.probe Probe.Plb (C.length t.cache)
 
 let shifts t = t.shifts
 let capacity t = C.capacity t.cache
@@ -52,7 +60,9 @@ let lookup t ~pd ~va =
 let install t ~pd ~va ~shift rights =
   if not (List.mem shift t.shifts) then
     invalid_arg "Plb.install: unconfigured protection page size";
-  ignore (C.insert t.cache (key pd shift va) rights)
+  ignore (C.insert t.cache (key pd shift va) rights);
+  Probe.note_fill t.probe Probe.Plb;
+  note_occupancy t
 
 let update_rights t ~pd ~va rights =
   let rec go = function
@@ -64,13 +74,25 @@ let update_rights t ~pd ~va rights =
   go t.shifts
 
 let invalidate t ~pd ~va =
-  List.fold_left
-    (fun any shift -> C.remove t.cache (key pd shift va) || any)
-    false t.shifts
+  let any =
+    List.fold_left
+      (fun any shift -> C.remove t.cache (key pd shift va) || any)
+      false t.shifts
+  in
+  if any then begin
+    Probe.note_purged t.probe Probe.Plb 1;
+    note_occupancy t
+  end;
+  any
 
 let purge_matching t p =
-  C.purge t.cache (fun k r ->
-      p (Pd.of_int k.Key.pd) (k.Key.pn lsl k.Key.shift) r)
+  let inspected, removed =
+    C.purge t.cache (fun k r ->
+        p (Pd.of_int k.Key.pd) (k.Key.pn lsl k.Key.shift) r)
+  in
+  Probe.note_purged t.probe Probe.Plb removed;
+  note_occupancy t;
+  (inspected, removed)
 
 let update_matching t f =
   let inspected = ref 0 and updated = ref 0 in
@@ -88,7 +110,11 @@ let update_matching t f =
     !pending;
   (!inspected, !updated)
 
-let flush t = C.clear t.cache
+let flush t =
+  let dropped = C.clear t.cache in
+  Probe.note_purged t.probe Probe.Plb dropped;
+  note_occupancy t;
+  dropped
 
 let entries_for_va t va =
   C.fold

@@ -18,13 +18,16 @@ type t
 val create :
   ?policy:Replacement.t ->
   ?seed:int ->
+  ?probe:Probe.t ->
   ?shifts:int list ->
   sets:int ->
   ways:int ->
   unit ->
   t
 (** [shifts] lists the supported protection page sizes as log2 byte sizes;
-    default [[12]] (4 KB only). @raise Invalid_argument if empty. *)
+    default [[12]] (4 KB only). [probe] receives occupancy/fill/purge
+    gauge writes (default {!Probe.null}).
+    @raise Invalid_argument if empty. *)
 
 val shifts : t -> int list
 val capacity : t -> int

@@ -1,0 +1,35 @@
+type structure = Plb | Tlb | Pg_cache | L1_cache | L2_cache
+
+let n_structures = 5
+
+let index = function
+  | Plb -> 0
+  | Tlb -> 1
+  | Pg_cache -> 2
+  | L1_cache -> 3
+  | L2_cache -> 4
+
+let name = function
+  | Plb -> "plb"
+  | Tlb -> "tlb"
+  | Pg_cache -> "pg_cache"
+  | L1_cache -> "l1_cache"
+  | L2_cache -> "l2_cache"
+
+type t = { occupancy : int array; fills : int array; purged : int array }
+
+let create () =
+  {
+    occupancy = Array.make n_structures 0;
+    fills = Array.make n_structures 0;
+    purged = Array.make n_structures 0;
+  }
+
+let null = create ()
+
+let set_occupancy t s n = t.occupancy.(index s) <- n
+let note_fill t s = t.fills.(index s) <- t.fills.(index s) + 1
+let note_purged t s n = t.purged.(index s) <- t.purged.(index s) + n
+let occupancy t s = t.occupancy.(index s)
+let fills t s = t.fills.(index s)
+let purged t s = t.purged.(index s)

@@ -1,0 +1,39 @@
+(** Occupancy/fill/purge gauges written by the hardware structures.
+
+    The observability layer ([lib/obs]) needs to sample how full each
+    lookup structure is over time without reaching into machine internals.
+    A probe is a set of plain counter arrays, one slot per structure kind,
+    that the structures write on install/invalidate/flush; writing is a
+    couple of array stores, never an allocation, so the hooks can stay
+    compiled in unconditionally. Structures created without an explicit
+    probe share the {!null} sink, whose contents are meaningless and never
+    read. *)
+
+type structure = Plb | Tlb | Pg_cache | L1_cache | L2_cache
+
+val n_structures : int
+val index : structure -> int
+val name : structure -> string
+(** Stable snake_case name: ["plb"], ["tlb"], ["pg_cache"], ["l1_cache"],
+    ["l2_cache"]. *)
+
+type t = {
+  occupancy : int array;  (** current live entries (gauge), per structure *)
+  fills : int array;  (** cumulative installs *)
+  purged : int array;  (** cumulative entries dropped *)
+}
+
+val create : unit -> t
+
+val null : t
+(** Shared write-only sink for structures nobody is observing. Its
+    contents are garbage (many structures write to it concurrently);
+    never read it. *)
+
+val set_occupancy : t -> structure -> int -> unit
+val note_fill : t -> structure -> unit
+val note_purged : t -> structure -> int -> unit
+
+val occupancy : t -> structure -> int
+val fills : t -> structure -> int
+val purged : t -> structure -> int

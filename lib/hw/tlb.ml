@@ -17,29 +17,51 @@ end
 
 module C = Assoc_cache.Make (Key)
 
-type t = entry C.t
+type t = { cache : entry C.t; probe : Probe.t }
 
-let create ?policy ?seed ~sets ~ways () = C.create ?policy ?seed ~sets ~ways ()
-let capacity = C.capacity
-let length = C.length
-let lookup t ~space ~vpn = C.find t { Key.space; vpn }
-let peek t ~space ~vpn = C.peek t { Key.space; vpn }
+let create ?policy ?seed ?(probe = Probe.null) ~sets ~ways () =
+  { cache = C.create ?policy ?seed ~sets ~ways (); probe }
+
+let note_occupancy t = Probe.set_occupancy t.probe Probe.Tlb (C.length t.cache)
+let capacity t = C.capacity t.cache
+let length t = C.length t.cache
+let lookup t ~space ~vpn = C.find t.cache { Key.space; vpn }
+let peek t ~space ~vpn = C.peek t.cache { Key.space; vpn }
 
 let install t ~space ~vpn entry =
-  ignore (C.insert t { Key.space; vpn } entry)
+  ignore (C.insert t.cache { Key.space; vpn } entry);
+  Probe.note_fill t.probe Probe.Tlb;
+  note_occupancy t
 
-let invalidate t ~space ~vpn = C.remove t { Key.space; vpn }
+let invalidate t ~space ~vpn =
+  let removed = C.remove t.cache { Key.space; vpn } in
+  if removed then begin
+    Probe.note_purged t.probe Probe.Tlb 1;
+    note_occupancy t
+  end;
+  removed
+
+let purge_counted t p =
+  let inspected, removed = C.purge t.cache p in
+  Probe.note_purged t.probe Probe.Tlb removed;
+  note_occupancy t;
+  (inspected, removed)
 
 let invalidate_vpn_all_spaces t vpn =
-  C.purge t (fun k _ -> k.Key.vpn = vpn)
+  purge_counted t (fun k _ -> k.Key.vpn = vpn)
 
-let purge_space t space = C.purge t (fun k _ -> k.Key.space = space)
-let flush = C.clear
+let purge_space t space = purge_counted t (fun k _ -> k.Key.space = space)
+
+let flush t =
+  let dropped = C.clear t.cache in
+  Probe.note_purged t.probe Probe.Tlb dropped;
+  note_occupancy t;
+  dropped
 
 let entries_for_vpn t vpn =
-  C.fold (fun k _ acc -> if k.Key.vpn = vpn then acc + 1 else acc) t 0
+  C.fold (fun k _ acc -> if k.Key.vpn = vpn then acc + 1 else acc) t.cache 0
 
-let iter f t = C.iter (fun k e -> f k.Key.space k.Key.vpn e) t
-let hits = C.hits
-let misses = C.misses
-let reset_stats = C.reset_stats
+let iter f t = C.iter (fun k e -> f k.Key.space k.Key.vpn e) t.cache
+let hits t = C.hits t.cache
+let misses t = C.misses t.cache
+let reset_stats t = C.reset_stats t.cache

@@ -24,7 +24,15 @@ type entry = {
 type t
 
 val create :
-  ?policy:Replacement.t -> ?seed:int -> sets:int -> ways:int -> unit -> t
+  ?policy:Replacement.t ->
+  ?seed:int ->
+  ?probe:Probe.t ->
+  sets:int ->
+  ways:int ->
+  unit ->
+  t
+(** [probe] receives occupancy/fill/purge gauge writes (default
+    {!Probe.null}). *)
 
 val capacity : t -> int
 val length : t -> int

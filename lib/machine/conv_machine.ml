@@ -13,16 +13,19 @@ type state = {
 }
 
 let make_create variant (config : Config.t) =
+  let os = Os_core.create config in
+  let probe = os.Os_core.probe in
   {
-    os = Os_core.create config;
+    os;
     tlb =
-      Tlb.create ~policy:config.Config.policy ~seed:config.Config.seed
+      Tlb.create ~policy:config.Config.policy ~seed:config.Config.seed ~probe
         ~sets:config.Config.tlb_sets ~ways:config.Config.tlb_ways ();
     cache =
       Data_cache.create ~policy:config.Config.policy ~seed:config.Config.seed
-        ~org:config.Config.cache_org ~size_bytes:config.Config.cache_bytes
+        ~probe ~org:config.Config.cache_org
+        ~size_bytes:config.Config.cache_bytes
         ~line_bytes:config.Config.cache_line ~ways:config.Config.cache_ways ();
-    l2 = Machine_common.l2_of_config config;
+    l2 = Machine_common.l2_of_config ~probe config;
     variant;
   }
 

@@ -22,13 +22,14 @@ let charge_shootdown (os : Os_core.t) =
     Os_core.charge os (os.Os_core.cost.Cost_model.ipi * (cpus - 1))
   end
 
-let l2_of_config (config : Config.t) =
+let l2_of_config ?probe (config : Config.t) =
   if config.Config.l2_bytes = 0 then None
   else
     Some
       (Data_cache.create ~policy:config.Config.policy ~seed:config.Config.seed
-         ~org:Data_cache.Pipt ~size_bytes:config.Config.l2_bytes
-         ~line_bytes:config.Config.l2_line ~ways:config.Config.l2_ways ())
+         ?probe ~probe_as:Probe.L2_cache ~org:Data_cache.Pipt
+         ~size_bytes:config.Config.l2_bytes ~line_bytes:config.Config.l2_line
+         ~ways:config.Config.l2_ways ())
 
 (* Charge a level-1 fill: from the L2 when present and hit, else from
    memory. *)

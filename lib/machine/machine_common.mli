@@ -10,7 +10,7 @@ val charge_shootdown : Os_core.t -> unit
     shootdown and charge one IPI round per remote CPU. No-op on a
     uniprocessor. *)
 
-val l2_of_config : Config.t -> Data_cache.t option
+val l2_of_config : ?probe:Probe.t -> Config.t -> Data_cache.t option
 (** A physically indexed, physically tagged unified L2 when
     [Config.l2_bytes > 0]. Immune to address-space discipline: never
     flushed on switches, only when a physical page is reclaimed. *)

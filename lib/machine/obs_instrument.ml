@@ -1,0 +1,75 @@
+open Sasos_os
+module Obs = Sasos_obs.Obs
+
+module Make (S : System_intf.SYSTEM) = struct
+  type t = { inner : S.t; mh : Obs.machine }
+
+  let name = S.name
+  let model = S.model
+
+  let wrap obs inner =
+    let mh =
+      Obs.register_machine obs ~model:S.name ~metrics:(S.metrics inner)
+        ~probe:(S.os inner).Os_core.probe
+    in
+    { inner; mh }
+
+  let create config = wrap (Obs.ambient ()) (S.create config)
+  let inner t = t.inner
+
+  let[@inline] spanned t op f =
+    Obs.op_begin t.mh op;
+    match f () with
+    | v ->
+        Obs.op_end t.mh op;
+        v
+    | exception e ->
+        Obs.op_end t.mh op;
+        raise e
+
+  (* introspection: unspanned pass-through *)
+  let os t = S.os t.inner
+  let metrics t = S.metrics t.inner
+  let current_domain t = S.current_domain t.inner
+  let resident_prot_entries_for t va = S.resident_prot_entries_for t.inner va
+  let hw_over_allows t probes = S.hw_over_allows t.inner probes
+
+  (* mutating operations: one span each *)
+  let new_domain t = spanned t "new_domain" (fun () -> S.new_domain t.inner)
+
+  let switch_domain t pd =
+    spanned t "switch_domain" (fun () -> S.switch_domain t.inner pd)
+
+  let destroy_domain t pd =
+    spanned t "destroy_domain" (fun () -> S.destroy_domain t.inner pd)
+
+  let new_segment t ?name ?align_shift ~pages () =
+    spanned t "new_segment" (fun () ->
+        S.new_segment t.inner ?name ?align_shift ~pages ())
+
+  let destroy_segment t seg =
+    spanned t "destroy_segment" (fun () -> S.destroy_segment t.inner seg)
+
+  let attach t pd seg r = spanned t "attach" (fun () -> S.attach t.inner pd seg r)
+  let detach t pd seg = spanned t "detach" (fun () -> S.detach t.inner pd seg)
+  let grant t pd va r = spanned t "grant" (fun () -> S.grant t.inner pd va r)
+
+  let protect_all t va r =
+    spanned t "protect_all" (fun () -> S.protect_all t.inner va r)
+
+  let protect_segment t pd seg r =
+    spanned t "protect_segment" (fun () -> S.protect_segment t.inner pd seg r)
+
+  let unmap_page t vpn =
+    spanned t "unmap_page" (fun () -> S.unmap_page t.inner vpn)
+
+  let access t kind va =
+    let outcome = spanned t "access" (fun () -> S.access t.inner kind va) in
+    Obs.tick t.mh;
+    outcome
+end
+
+let wrap_packed obs (System_intf.Packed ((module S), inner)) =
+  let module I = Make (S) in
+  System_intf.Packed
+    ((module I : System_intf.SYSTEM with type t = I.t), I.wrap obs inner)

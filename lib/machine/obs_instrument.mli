@@ -1,0 +1,29 @@
+(** Span instrumentation for machine models.
+
+    [Make (S)] is a [SYSTEM] whose every mutating operation runs inside
+    an {!Sasos_obs.Obs} operation span, attributing the operation's
+    [Metrics] delta (cycles, misses, faults) to its name on the enclosing
+    collector. Introspection operations ([os], [metrics],
+    [current_domain], [resident_prot_entries_for], [hw_over_allows]) pass
+    through unspanned. [access] additionally drives the sampler via
+    [Obs.tick].
+
+    Wrappers exist only when a collector is enabled: [Sys_select.make]
+    consults the ambient collector and builds the plain machine when it
+    is disabled, so the uninstrumented access path is untouched. *)
+
+open Sasos_os
+
+module Make (S : System_intf.SYSTEM) : sig
+  include System_intf.SYSTEM
+
+  val wrap : Sasos_obs.Obs.t -> S.t -> t
+  (** Register [inner] on the collector and return the instrumented
+      machine. @raise Invalid_argument on a disabled collector. *)
+
+  val inner : t -> S.t
+end
+
+val wrap_packed : Sasos_obs.Obs.t -> System_intf.packed -> System_intf.packed
+(** Wrap an existing packed machine (registering it on the collector).
+    @raise Invalid_argument on a disabled collector. *)

@@ -19,7 +19,7 @@ let to_string = function
   | Conv_asid -> "conv-asid"
   | Conv_flush -> "conv-flush"
 
-let make variant config =
+let make_plain variant config =
   match variant with
   | Plb ->
       System_intf.Packed
@@ -39,6 +39,15 @@ let make variant config =
         ((module Conv_machine.Flush : System_intf.SYSTEM
             with type t = Conv_machine.Flush.t),
          Conv_machine.Flush.create config)
+
+(* When a collector is ambient, every machine built through here comes back
+   span-instrumented; otherwise the plain machine is returned unchanged, so
+   a disabled run pays nothing. *)
+let make variant config =
+  let packed = make_plain variant config in
+  let obs = Sasos_obs.Obs.ambient () in
+  if Sasos_obs.Obs.enabled obs then Obs_instrument.wrap_packed obs packed
+  else packed
 
 let make_all config = List.map (fun (_, v) -> make v config) all
 let sas_pair config = (make Plb config, make Page_group config)

@@ -11,7 +11,14 @@ val of_string : string -> variant option
 val to_string : variant -> string
 
 val make : variant -> Config.t -> System_intf.packed
-(** Instantiate a machine of the given model. *)
+(** Instantiate a machine of the given model. When the ambient
+    {!Sasos_obs.Obs} collector is enabled the machine comes back wrapped
+    with {!Obs_instrument}, so every [SYSTEM] operation is attributed;
+    when disabled, the plain machine is returned unchanged. *)
+
+val make_plain : variant -> Config.t -> System_intf.packed
+(** Instantiate without consulting the ambient collector (never
+    instrumented). *)
 
 val make_all : Config.t -> System_intf.packed list
 (** One fresh instance of every model, in the order of {!all}. *)

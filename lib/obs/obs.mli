@@ -1,0 +1,213 @@
+(** Cross-layer tracing and cycle attribution.
+
+    The paper's evaluation (Table 1) is a qualitative list of the
+    hardware/OS actions each protection model performs; the simulator's
+    [Hw.Metrics] only reports end-of-run aggregates. This subsystem turns
+    those counters into per-action evidence: every [SYSTEM] operation
+    executed on an instrumented machine becomes a {e span} whose
+    [Metrics] delta (cycles, misses, faults, …) is attributed to the
+    operation, a periodic sampler records time-series of miss ratios and
+    structure occupancy, and the result can be rendered as a table,
+    [sasos-obs/1] JSON, or a Chrome [trace_event] file loadable in
+    Perfetto / [chrome://tracing].
+
+    {2 Cost discipline}
+
+    Collection is always compiled in but strictly pay-for-use:
+
+    - the {!disabled} collector carries no state and its entry points are
+      no-op closures behind a function-pointer record, so a hot loop that
+      consults the ambient collector allocates nothing (verified by a
+      benchmark guardrail in [bench/main.exe]);
+    - machines are only wrapped with span instrumentation when the
+      ambient collector is enabled ([Sys_select.make]), so the disabled
+      access path is {e exactly} the uninstrumented one;
+    - when enabled, an operation span costs two counter snapshots (into
+      preallocated scratch, alloc-free) and one [Metrics.diff] per
+      completed operation.
+
+    {2 Time}
+
+    Spans are timestamped in {e simulated cycles} on a per-collector
+    virtual clock (the sum of completed-span cycle deltas), never in wall
+    time, so output is byte-identical across runs and [--jobs] values.
+    Wall time only appears in the [wall_ns] summary field via the
+    injectable [clock] (default: a constant-zero clock). *)
+
+type t
+(** A collector: either {!disabled} or the product of {!create}. *)
+
+val disabled : t
+(** The inert collector: all entry points are no-ops, no state is
+    retained, nothing allocates. This is the ambient default. *)
+
+val create :
+  ?sample_every:int ->
+  ?ring_capacity:int ->
+  ?max_phase_events:int ->
+  ?clock:(unit -> int64) ->
+  unit ->
+  t
+(** An enabled collector. [sample_every] (default 1000) is the number of
+    simulated accesses between sampler points; [ring_capacity] (default
+    512) bounds the retained samples (oldest evicted first);
+    [max_phase_events] (default 4096) bounds the retained per-instance
+    phase events (further events still aggregate, but are dropped from
+    the event log and counted in [phase_events_dropped]). [clock] is a
+    monotonic nanosecond clock used only for the [wall_ns] summary field;
+    it defaults to [fun () -> 0L] so that profile output is
+    byte-identical across runs.
+    @raise Invalid_argument on non-positive sizes. *)
+
+val enabled : t -> bool
+
+(** {2 Ambient collector}
+
+    Experiments and the conformance harness build their machines
+    internally, so the collector travels implicitly: [with_ambient]
+    installs a collector for the current domain (domain-local state, so
+    parallel runner workers don't interfere), and [Sys_select.make]
+    consults {!ambient} to decide whether to wrap the machine it
+    builds. *)
+
+val ambient : unit -> t
+(** The current domain's ambient collector; {!disabled} unless inside
+    {!with_ambient}. *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** [with_ambient t f] runs [f] with [t] as the ambient collector,
+    restoring the previous one on exit (also on exception). *)
+
+(** {2 Phase spans}
+
+    Phases are named, nestable regions of the run's timeline — an
+    experiment section ("sweep"), a replayed trace event kind
+    ("trace:access") — measured on the collector's virtual cycle clock.
+    On {!disabled} they are no-ops. *)
+
+val phase_begin : t -> string -> unit
+
+val phase_end : t -> string -> unit
+(** @raise Invalid_argument on misnesting: no phase open, or the name
+    does not match the innermost open phase. *)
+
+val with_phase : t -> string -> (unit -> 'a) -> 'a
+(** Exception-safe [phase_begin]/[phase_end] pair. *)
+
+(** {2 Operation spans}
+
+    A [machine] handle attributes [SYSTEM]-operation costs to one
+    simulated machine. Handles exist only for enabled collectors;
+    [Obs_instrument] (lib/machine) creates them when it wraps a machine,
+    so disabled runs never reach these entry points. *)
+
+type machine
+
+val register_machine :
+  t -> model:string -> metrics:Sasos_hw.Metrics.t -> probe:Sasos_hw.Probe.t ->
+  machine
+(** Register one machine instance. [metrics] is the machine's live
+    counter block (read, never written); [probe] its occupancy gauge
+    sink. @raise Invalid_argument on a disabled collector. *)
+
+val op_begin : machine -> string -> unit
+(** Open an operation span: snapshots the machine's counters into
+    preallocated scratch (no allocation).
+    @raise Invalid_argument if a span is already open on this machine. *)
+
+val op_end : machine -> string -> unit
+(** Close the span: attributes the counter delta since [op_begin] to the
+    named operation and advances the collector's virtual clock by the
+    cycle delta. @raise Invalid_argument on misnesting (no span open, or
+    a different name). *)
+
+val tick : machine -> unit
+(** One simulated access completed — the sampler heartbeat. Every
+    [sample_every] ticks the collector records a sample (windowed miss
+    ratios, occupancy gauges, cycles-per-access) into the ring buffer. *)
+
+(** {2 Summaries} *)
+
+type op_row = {
+  scope : string;  (** machine model name *)
+  op : string;  (** operation name, e.g. ["access"] *)
+  count : int;
+  delta : Sasos_hw.Metrics.t;  (** summed counter deltas of all spans *)
+}
+
+type phase_row = { phase : string; p_count : int; p_cycles : int }
+
+type phase_event = {
+  pname : string;
+  ts : int;  (** virtual-clock cycles at [phase_begin] *)
+  dur : int;  (** virtual-clock cycles spent inside *)
+  depth : int;  (** nesting depth, outermost = 0 *)
+}
+
+type sample = {
+  s_scope : string;  (** model of the machine that crossed the threshold *)
+  s_clock : int;  (** virtual clock when taken *)
+  s_accesses : int;  (** cumulative accesses on that machine *)
+  s_cycles : int;  (** cumulative cycles on that machine *)
+  d_accesses : int;  (** accesses in the window since the last sample *)
+  d_cycles : int;
+  cache_mr : float;  (** windowed miss ratios; 0 when no probes *)
+  plb_mr : float;
+  tlb_mr : float;
+  pg_mr : float;
+  occupancy : int array;  (** per {!Sasos_hw.Probe.structure} slot *)
+}
+
+type summary = {
+  sample_every : int;
+  ring_capacity : int;
+  machines : (string * int) list;  (** model → instances, sorted *)
+  total_cycles : int;
+      (** sum of the registered machines' final cycle counters; equals
+          the sum of [ops] cycle deltas when every operation ran under a
+          span *)
+  clock : int;  (** final virtual clock *)
+  ops : op_row list;  (** sorted by (scope, op) *)
+  phases : phase_row list;  (** sorted by name *)
+  phase_events : phase_event list;  (** chronological *)
+  phase_events_dropped : int;
+  samples : sample list;  (** oldest first; at most [ring_capacity] *)
+  samples_seen : int;  (** total taken, including evicted *)
+  cpa_hist : int array;
+      (** cycles-per-access histogram, deci-cycles in {!cpa_bucket_width}
+          buckets plus a final overflow bucket *)
+  wall_ns : int64;
+}
+
+val cpa_buckets : int
+val cpa_bucket_width : int
+(** The cycles-per-access histogram records [10 * d_cycles / d_accesses]
+    per sample into [cpa_buckets] buckets of [cpa_bucket_width]
+    deci-cycles plus one overflow bucket. *)
+
+val summarize : t -> summary
+(** Snapshot the collector. @raise Invalid_argument if disabled or if a
+    phase or operation span is still open. *)
+
+val merge : summary list -> summary
+(** Deterministic aggregation for parallel runs: merge worker summaries
+    {e in a fixed order} (registry/script order, not completion order).
+    Op rows and phases are summed by key; phase events and samples are
+    concatenated with timestamps rebased onto one virtual timeline (each
+    summary's clock starts where the previous one ended). Inputs are not
+    mutated. @raise Invalid_argument on an empty list. *)
+
+val render_table : summary -> string
+(** Human-readable attribution: per-op cycle breakdown (share of total,
+    key event counts), phase table, and sampler digest. *)
+
+val to_json : ?indent:bool -> summary -> string
+(** [sasos-obs/1] JSON document. Deterministic field order. *)
+
+val to_chrome : summary -> string
+(** Chrome [trace_event] JSON (the [{"traceEvents": [...]}] envelope)
+    loadable in Perfetto. Phase events appear on one track with their
+    virtual-clock extents (cycles rendered as microseconds); per-op
+    aggregate rows are laid end-to-end on one track per machine model,
+    so the sum of ["cat":"op"] durations equals [total_cycles]; sampler
+    series appear as counter events. *)

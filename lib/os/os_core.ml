@@ -20,6 +20,7 @@ type t = {
   mutable next_pd : int;
   mutable current : Pd.t;
   rng : Sasos_util.Prng.t;
+  probe : Probe.t;
 }
 
 let create (config : Config.t) =
@@ -41,6 +42,7 @@ let create (config : Config.t) =
     next_pd = 1;
     current = Pd.kernel;
     rng = Sasos_util.Prng.create ~seed:config.Config.seed;
+    probe = Probe.create ();
   }
 
 let new_domain t =

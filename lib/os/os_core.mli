@@ -33,6 +33,9 @@ type t = {
   mutable next_pd : int;
   mutable current : Pd.t;
   rng : Sasos_util.Prng.t;
+  probe : Probe.t;
+      (** gauge sink shared by this machine's hardware structures; read by
+          the observability sampler *)
 }
 
 val create : Config.t -> t

@@ -1,4 +1,5 @@
 open Sasos_experiments
+module Obs = Sasos_obs.Obs
 
 type status =
   | Done
@@ -11,6 +12,7 @@ type result = {
   paper_ref : string;
   status : status;
   output : string;
+  profile : Obs.summary option;
   wall_ns : int64;
   minor_words : float;
   major_words : float;
@@ -19,17 +21,29 @@ type result = {
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
-let run_one index (e : Experiment.t) =
+let run_one ?(profile = false) ?sample_every ?ring_capacity index
+    (e : Experiment.t) =
   let g0 = Gc.quick_stat () in
   let t0 = now_ns () in
+  (* One collector per experiment, merged later in registry order, so the
+     aggregated profile is independent of the job count. *)
+  let collector =
+    if profile then Obs.create ?sample_every ?ring_capacity ()
+    else Obs.disabled
+  in
   let status, output =
-    match e.Experiment.run () with
+    match Obs.with_ambient collector e.Experiment.run with
     | body -> (Done, Experiment.header e ^ body)
     | exception exn ->
         let backtrace = Printexc.get_raw_backtrace () in
         ( Failed { exn; backtrace },
           Experiment.header e ^ "EXPERIMENT FAILED: " ^ Printexc.to_string exn
           ^ "\n" )
+  in
+  let summary =
+    match status with
+    | Done when profile -> ( try Some (Obs.summarize collector) with _ -> None)
+    | Done | Failed _ -> None
   in
   let t1 = now_ns () in
   let g1 = Gc.quick_stat () in
@@ -40,6 +54,7 @@ let run_one index (e : Experiment.t) =
     paper_ref = e.Experiment.paper_ref;
     status;
     output;
+    profile = summary;
     wall_ns = Int64.sub t1 t0;
     minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
     major_words = g1.Gc.major_words -. g0.Gc.major_words;
@@ -72,13 +87,18 @@ let map_pool ?(jobs = 1) f items =
   end;
   Array.to_list (Array.map Option.get results)
 
-let run ?jobs experiments =
+let run ?jobs ?profile ?sample_every ?ring_capacity experiments =
   (match jobs with
   | Some j when j < 1 -> invalid_arg "Runner.run: jobs must be >= 1"
   | _ -> ());
   map_pool ?jobs
-    (fun (i, e) -> run_one i e)
+    (fun (i, e) -> run_one ?profile ?sample_every ?ring_capacity i e)
     (List.mapi (fun i e -> (i, e)) experiments)
+
+let merged_profile results =
+  match List.filter_map (fun r -> r.profile) results with
+  | [] -> None
+  | summaries -> Some (Obs.merge summaries)
 
 let report_text results =
   String.concat "\n" (List.map (fun r -> r.output) results)
@@ -151,6 +171,11 @@ let json_of_results ?(jobs = 1) results =
         (Printf.sprintf "      \"major_words\": %.0f,\n" r.major_words);
       Buffer.add_string buf
         (Printf.sprintf "      \"promoted_words\": %.0f,\n" r.promoted_words);
+      (match r.profile with
+      | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf "      \"profile\": %s,\n" (Obs.to_json s))
+      | None -> ());
       Buffer.add_string buf
         (Printf.sprintf "      \"output_bytes\": %d\n"
            (String.length r.output));

@@ -21,6 +21,9 @@ type result = {
   output : string;
       (** the rendered report section, [header ^ body]; on failure a
           deterministic one-line failure note replaces the body *)
+  profile : Sasos_obs.Obs.summary option;
+      (** per-experiment observability summary when run with
+          [~profile:true] (absent on failure) *)
   wall_ns : int64;  (** wall-clock time of the experiment alone *)
   minor_words : float;  (** words allocated on the running domain's minor heap *)
   major_words : float;
@@ -38,11 +41,25 @@ val map_pool : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     experiment registry ([run]) and the conformance harness
     (`sasos check`). @raise Invalid_argument when [jobs < 1]. *)
 
-val run : ?jobs:int -> Sasos_experiments.Experiment.t list -> result list
+val run :
+  ?jobs:int ->
+  ?profile:bool ->
+  ?sample_every:int ->
+  ?ring_capacity:int ->
+  Sasos_experiments.Experiment.t list ->
+  result list
 (** [run ~jobs exps] executes every experiment and returns one result per
     experiment, in input order. [jobs] defaults to 1 (run in the calling
     domain, no spawning); values above the number of experiments are
-    clamped. @raise Invalid_argument when [jobs < 1]. *)
+    clamped. With [~profile:true] (default false) each experiment runs
+    under its own {!Sasos_obs.Obs} collector; because collectors are
+    per-experiment and merged in registry order, profile output is
+    byte-identical across [jobs] values.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val merged_profile : result list -> Sasos_obs.Obs.summary option
+(** Merge the per-experiment summaries in registry (input) order;
+    [None] when no result carries a profile. *)
 
 val report_text : result list -> string
 (** Concatenated report sections joined with a blank line — for the full

@@ -41,6 +41,20 @@ let to_line = function
       Printf.sprintf "access %c %d %d" (kind_char kind) seg off
   | Unmap { seg; page } -> Printf.sprintf "unmap %d %d" seg page
 
+let label = function
+  | New_domain -> "domain"
+  | Destroy_domain _ -> "destroy-domain"
+  | New_segment _ -> "segment"
+  | Destroy_segment _ -> "destroy"
+  | Attach _ -> "attach"
+  | Detach _ -> "detach"
+  | Grant _ -> "grant"
+  | Protect_all _ -> "protect-all"
+  | Protect_segment _ -> "protect-segment"
+  | Switch _ -> "switch"
+  | Access _ -> "access"
+  | Unmap _ -> "unmap"
+
 let of_line line =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let int_of s ~what =

@@ -24,6 +24,10 @@ type t =
 val to_line : t -> string
 (** One-line textual encoding (whitespace-separated, stable). *)
 
+val label : t -> string
+(** The event's keyword (the first token of {!to_line}) — used as the
+    phase name when the player emits observability spans. *)
+
 val of_line : string -> (t, string) result
 (** Parse one line; [Error] explains the malformation. Blank lines and
     lines starting with ['#'] are rejected here — the {!Store} skips them. *)

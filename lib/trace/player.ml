@@ -70,6 +70,16 @@ let replay trace sys =
           raise (Bad (Printf.sprintf "page %d outside segment %d" page s));
         System_ops.unmap_page sys (Segment.first_vpn sg + page)
   in
+  (* When a collector is ambient, each replayed event becomes a phase span
+     named after its keyword; with_phase is exception-safe, so a Bad event
+     still closes its span before the error propagates. *)
+  let obs = Sasos_obs.Obs.ambient () in
+  let step event =
+    if Sasos_obs.Obs.enabled obs then
+      Sasos_obs.Obs.with_phase obs ("trace:" ^ Event.label event) (fun () ->
+          step event)
+    else step event
+  in
   let rec go i = function
     | [] -> Ok (List.rev !outcomes)
     | event :: rest -> begin

@@ -30,4 +30,5 @@ let () =
       ("check", Test_check.suite);
       ("experiments", Test_experiments.suite);
       ("runner", Test_runner.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -48,6 +48,47 @@ let test_fields_complete () =
      somewhere *)
   Alcotest.(check int) "34 counters" 34 (List.length (Metrics.fields (Metrics.create ())))
 
+(* Drift guard: adding a counter to the record without teaching [fields]
+   (and transitively diff/add_into/copy, exercised below) must fail here.
+   The record is all-immediate (mutable ints), so its runtime block size
+   is exactly the field count. *)
+let test_field_count_drift () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "runtime block size = |fields|"
+    (Obj.size (Obj.repr m))
+    (List.length (Metrics.fields m))
+
+(* Per-field coverage: poke each record slot in turn (they are all
+   immediate ints) and require diff, add_into and copy to carry exactly
+   that one counter. A counter forgotten by any of the three shows up as
+   a zero where 7 is expected. *)
+let test_per_field_coverage () =
+  let n = Obj.size (Obj.repr (Metrics.create ())) in
+  for i = 0 to n - 1 do
+    let a = Metrics.create () in
+    Obj.set_field (Obj.repr a) i (Obj.repr 7);
+    let nonzero m =
+      List.filter (fun (_, v) -> v <> 0) (Metrics.fields m)
+    in
+    let d = Metrics.diff a (Metrics.create ()) in
+    (match nonzero d with
+    | [ (_, 7) ] -> ()
+    | l ->
+        Alcotest.failf "diff misses record slot %d (%d nonzero fields)" i
+          (List.length l));
+    let b = Metrics.create () in
+    Metrics.add_into b d;
+    Alcotest.(check int)
+      (Printf.sprintf "add_into carries slot %d" i)
+      7
+      (Obj.obj (Obj.field (Obj.repr b) i));
+    let c = Metrics.copy a in
+    Alcotest.(check int)
+      (Printf.sprintf "copy carries slot %d" i)
+      7
+      (Obj.obj (Obj.field (Obj.repr c) i))
+  done
+
 let suite =
   [
     Alcotest.test_case "create zeroed" `Quick test_create_zero;
@@ -56,4 +97,6 @@ let suite =
     Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "miss ratios" `Quick test_ratios;
     Alcotest.test_case "fields complete" `Quick test_fields_complete;
+    Alcotest.test_case "field count drift" `Quick test_field_count_drift;
+    Alcotest.test_case "per-field coverage" `Quick test_per_field_coverage;
   ]
