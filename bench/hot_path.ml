@@ -1,0 +1,155 @@
+(* Hot-path benchmark for the protection-structure backends.
+
+   Runs the same mixed access loop — PLB probe, TLB lookup + used/dirty
+   bookkeeping or install, page-group check — against the reference
+   (Assoc_cache) backend and the packed int-lane backend, reports
+   accesses/sec for each and the packed/ref speedup, then enforces the
+   zero-allocation guardrail on the packed loop: minor-heap words per
+   access must stay under 0.01 (the obs disabled-path threshold), else
+   exit 1.
+
+     hot_path [--iters N] [--json FILE] [--min-speedup X]
+
+   --min-speedup defaults to 0 (report only): wall-clock ratios are too
+   noisy on shared CI runners to gate unconditionally, so the CI smoke
+   job opts into a conservative floor while the allocation guardrail is
+   always enforced. LRU is used on purpose: the Random policy draws from
+   a boxed-Int64 xorshift state on full-row evictions, which is not part
+   of the fast path under measurement. *)
+
+open Sasos
+
+type rig = {
+  plb : Hw.Plb.t;
+  tlb : Hw.Tlb.t;
+  pgc : Hw.Page_group_cache.t;
+  pds : Addr.Pd.t array;
+}
+
+let make_rig backend =
+  let plb = Hw.Plb.create ~backend ~sets:16 ~ways:4 () in
+  let tlb = Hw.Tlb.create ~backend ~sets:16 ~ways:4 () in
+  let pgc = Hw.Page_group_cache.create ~backend ~entries:8 () in
+  let pds = Array.init 8 (fun i -> Addr.Pd.of_int (i + 1)) in
+  (* working set slightly over capacity so the loop mixes hits, misses,
+     installs and evictions *)
+  for i = 0 to 95 do
+    Hw.Plb.install plb ~pd:pds.(i land 7)
+      ~va:((i land 127) * 0x1000)
+      ~shift:12 Addr.Rights.rw
+  done;
+  for aid = 1 to 6 do
+    Hw.Page_group_cache.load pgc ~aid ~write_disabled:(aid land 1 = 1)
+  done;
+  { plb; tlb; pgc; pds }
+
+(* three counted structure accesses per iteration *)
+let accesses_per_iter = 3
+
+let run_loop rig n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let pd = Array.unsafe_get rig.pds (i land 7) in
+    let va = (i * 7) land 127 * 0x1000 in
+    acc := !acc + Hw.Plb.lookup_bits rig.plb ~pd ~va;
+    let vpn = (i * 3) land 63 in
+    let e = Hw.Tlb.lookup rig.tlb ~space:0 ~vpn in
+    if e <> Hw.Tlb.absent then begin
+      Hw.Tlb.mark_used rig.tlb ~space:0 ~vpn ~write:(i land 1 = 0);
+      acc := !acc + Hw.Tlb.pfn_of e
+    end
+    else
+      Hw.Tlb.install rig.tlb ~space:0 ~vpn
+        (Hw.Tlb.pack ~pfn:vpn ~rights:Addr.Rights.rw ~aid:(vpn land 7)
+           ~dirty:false ~referenced:false);
+    acc := !acc + Hw.Page_group_cache.check_bits rig.pgc ~aid:(i land 7)
+  done;
+  !acc
+
+let sink = ref 0
+
+let measure backend ~iters =
+  let rig = make_rig backend in
+  sink := !sink + run_loop rig 50_000 (* warm-up *);
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    sink := !sink + run_loop rig iters;
+    let t1 = Unix.gettimeofday () in
+    if t1 -. t0 < !best then best := t1 -. t0
+  done;
+  float_of_int (iters * accesses_per_iter) /. !best
+
+(* Same pattern as bench/main.ml's obs_guardrail: minor_words delta over
+   a long loop, amortizing the handful of one-time words (the loop's
+   accumulator cell) to noise. *)
+let alloc_guardrail () =
+  let rig = make_rig Hw.Packed_cache.Packed in
+  sink := !sink + run_loop rig 10_000 (* warm-up *);
+  let iters = 200_000 in
+  let w0 = (Gc.quick_stat ()).Gc.minor_words in
+  sink := !sink + run_loop rig iters;
+  let w1 = (Gc.quick_stat ()).Gc.minor_words in
+  let per_access = (w1 -. w0) /. float_of_int (iters * accesses_per_iter) in
+  Printf.printf "packed fast-path allocation: %.5f words/access\n" per_access;
+  if per_access > 0.01 then begin
+    print_endline
+      "FAIL: packed hot path allocates (> 0.01 minor words/access)";
+    exit 1
+  end;
+  per_access
+
+let usage = "usage: hot_path [--iters N] [--json FILE] [--min-speedup X]"
+
+let () =
+  let iters = ref 2_000_000 and json = ref "" and min_speedup = ref 0.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--iters" :: n :: rest ->
+        iters := int_of_string n;
+        parse rest
+    | "--json" :: path :: rest ->
+        json := path;
+        parse rest
+    | "--min-speedup" :: x :: rest ->
+        min_speedup := float_of_string x;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("hot_path: unknown argument " ^ arg);
+        prerr_endline usage;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let ref_rate = measure Hw.Packed_cache.Ref ~iters:!iters in
+  let packed_rate = measure Hw.Packed_cache.Packed ~iters:!iters in
+  let speedup = packed_rate /. ref_rate in
+  Printf.printf "== hot path: %d iterations x %d accesses ==\n" !iters
+    accesses_per_iter;
+  Printf.printf "  ref    %12.0f accesses/sec\n" ref_rate;
+  Printf.printf "  packed %12.0f accesses/sec\n" packed_rate;
+  Printf.printf "  speedup %.2fx\n" speedup;
+  let per_access = alloc_guardrail () in
+  if !json <> "" then begin
+    let oc = open_out !json in
+    Printf.fprintf oc
+      "{\n\
+      \  \"schema\": \"sasos-bench/1\",\n\
+      \  \"benchmark\": \"hot_path\",\n\
+      \  \"iters\": %d,\n\
+      \  \"accesses_per_iter\": %d,\n\
+      \  \"backends\": [\n\
+      \    { \"backend\": \"ref\", \"accesses_per_sec\": %.0f },\n\
+      \    { \"backend\": \"packed\", \"accesses_per_sec\": %.0f }\n\
+      \  ],\n\
+      \  \"speedup\": %.3f,\n\
+      \  \"alloc_words_per_access\": %.5f\n\
+      }\n"
+      !iters accesses_per_iter ref_rate packed_rate speedup per_access;
+    close_out oc;
+    Printf.printf "wrote %s\n" !json
+  end;
+  if speedup < !min_speedup then begin
+    Printf.printf "FAIL: speedup %.2fx below required %.2fx\n" speedup
+      !min_speedup;
+    exit 1
+  end

@@ -3,7 +3,9 @@
 
      validate_metrics METRICS.json      -- sasos-metrics/1 from `sasos report`
      validate_metrics --obs OBS.json    -- sasos-obs/1 from `sasos profile`
-     validate_metrics --chrome T.json   -- Chrome trace_event from --chrome-out *)
+     validate_metrics --chrome T.json   -- Chrome trace_event from --chrome-out
+     validate_metrics --same A B        -- byte equality (backend parity gate)
+     validate_metrics --compare A B     -- line equality ignoring volatile keys *)
 
 let read_all path =
   let ic = open_in_bin path in
@@ -88,9 +90,48 @@ let validate_chrome path =
   check_balanced json;
   print_endline ("ok: " ^ path ^ " is a Chrome trace_event file")
 
+(* Backend parity: the rendered report text must be byte-identical
+   between the reference and packed backends. *)
+let validate_same a b =
+  if read_all a <> read_all b then
+    fail (Printf.sprintf "%s and %s differ (backend parity broken)" a b);
+  print_endline (Printf.sprintf "ok: %s and %s are byte-identical" a b)
+
+(* Keys whose values legitimately vary between runs of the same
+   experiment set: timing, GC counters and the worker count. Everything
+   else in sasos-metrics/1 must agree line for line across backends. *)
+let volatile_keys =
+  [
+    "\"wall_ns\""; "\"total_wall_ns\""; "\"minor_words\""; "\"major_words\"";
+    "\"promoted_words\""; "\"jobs\"";
+  ]
+
+let is_volatile line = List.exists (fun k -> contains line k) volatile_keys
+
+let lines_of s =
+  String.split_on_char '\n' s |> List.filter (fun l -> not (is_volatile l))
+
+let validate_compare a b =
+  let la = lines_of (read_all a) and lb = lines_of (read_all b) in
+  if List.length la <> List.length lb then
+    fail
+      (Printf.sprintf "%s and %s have different shapes (%d vs %d lines)" a b
+         (List.length la) (List.length lb));
+  List.iteri
+    (fun i (x, y) ->
+      if x <> y then
+        fail
+          (Printf.sprintf "%s and %s diverge at non-volatile line %d:\n  %s\n  %s"
+             a b (i + 1) x y))
+    (List.combine la lb);
+  print_endline
+    (Printf.sprintf "ok: %s and %s agree on all non-volatile lines" a b)
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "--obs"; path ] -> validate_obs path
   | [ _; "--chrome"; path ] -> validate_chrome path
+  | [ _; "--same"; a; b ] -> validate_same a b
+  | [ _; "--compare"; a; b ] -> validate_compare a b
   | [ _; path ] -> validate_metrics path
-  | _ -> fail "usage: validate_metrics [--obs|--chrome] FILE.json"
+  | _ -> fail "usage: validate_metrics [--obs|--chrome|--same|--compare] FILE..."

@@ -73,6 +73,35 @@ let machine_conv =
   in
   Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Sasos.Machines.to_string v))
 
+let backend_conv =
+  let parse s =
+    match Sasos.Hw.Packed_cache.backend_of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S (ref|packed)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt b ->
+        Format.pp_print_string fmt (Sasos.Hw.Packed_cache.backend_to_string b)
+    )
+
+(* shared by report/check/profile: selects the PLB/TLB/page-group-cache
+   implementation for every machine built afterwards (worker domains are
+   spawned after the flag is applied, so they observe it too) *)
+let backend_term =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "backend" ] ~docv:"ref|packed"
+        ~doc:
+          "Protection-structure cache backend: $(b,ref) (the boxed \
+           Assoc_cache reference model, the default) or $(b,packed) \
+           (unboxed zero-allocation int lanes). The two must behave \
+           identically; the differential harness drives both.")
+
+let set_backend backend =
+  Option.iter Sasos.Hw.Packed_cache.set_default_backend backend
+
 (* configuration flags shared by the workload command *)
 let config_term =
   let cpus =
@@ -343,7 +372,9 @@ let profile_cmd =
             "Write a Chrome trace_event JSON file to $(docv) (open in \
              Perfetto or chrome://tracing).")
   in
-  let run experiments wname machine jobs sample ring out json chrome config =
+  let run backend experiments wname machine jobs sample ring out json chrome
+      config =
+    set_backend backend;
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else if sample < 1 then `Error (false, "--sample must be >= 1")
     else if ring < 1 then `Error (false, "--ring must be >= 1")
@@ -407,8 +438,8 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       ret
-        (const run $ experiments $ wname $ machine $ jobs $ sample $ ring $ out
-        $ json $ chrome $ config_term))
+        (const run $ backend_term $ experiments $ wname $ machine $ jobs
+        $ sample $ ring $ out $ json $ chrome $ config_term))
 
 let report_cmd =
   let doc =
@@ -454,7 +485,8 @@ let report_cmd =
              the merged cycle-attribution table, and embed a per-experiment \
              profile block in the --json metrics.")
   in
-  let run out jobs only json profile =
+  let run backend out jobs only json profile =
+    set_backend backend;
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else
       let selection =
@@ -501,7 +533,7 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(ret (const run $ out $ jobs $ only $ json $ profile))
+    Term.(ret (const run $ backend_term $ out $ jobs $ only $ json $ profile))
 
 let check_cmd =
   let doc =
@@ -586,8 +618,9 @@ let check_cmd =
              ~doc:"Write a Chrome trace_event JSON of the profiled run to \
                    $(docv) (implies profiling).")
   in
-  let run ops scripts seed jobs domains segments pages mutate save corpus
-      profile obs_json chrome =
+  let run backend ops scripts seed jobs domains segments pages mutate save
+      corpus profile obs_json chrome =
+    set_backend backend;
     match corpus with
     | Some dir -> begin
         match Sys.readdir dir with
@@ -684,8 +717,9 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       ret
-        (const run $ ops $ scripts $ seed $ jobs $ domains $ segments $ pages
-        $ mutate $ save $ corpus $ profile $ obs_json $ chrome))
+        (const run $ backend_term $ ops $ scripts $ seed $ jobs $ domains
+        $ segments $ pages $ mutate $ save $ corpus $ profile $ obs_json
+        $ chrome))
 
 let info_cmd =
   let doc = "Print the default geometry and cost model." in

@@ -1,0 +1,381 @@
+type backend = Ref | Packed
+
+let backend_of_string s =
+  match String.lowercase_ascii s with
+  | "ref" | "reference" -> Some Ref
+  | "packed" -> Some Packed
+  | _ -> None
+
+let backend_to_string = function Ref -> "ref" | Packed -> "packed"
+
+(* Written once by the CLI before any machine (or worker domain) exists,
+   read at create time ever after; Atomic keeps the cross-domain read
+   well-defined under the OCaml 5 memory model. *)
+let global_backend : backend Atomic.t = Atomic.make Ref
+
+let default_backend () = Atomic.get global_backend
+let set_default_backend b = Atomic.set global_backend b
+
+let absent = -1
+
+(* --- reference backend: the boxed model, kept authoritative ----------- *)
+
+(* The key record carries the caller's hash so set placement is decided by
+   exactly the same value on both backends. *)
+module RKey = struct
+  type t = { h : int; k1 : int; k2 : int }
+
+  let equal a b = a.k1 = b.k1 && a.k2 = b.k2
+  let hash k = k.h
+end
+
+module RC = Assoc_cache.Make (RKey)
+
+type ref_state = {
+  rc : int RC.t;
+  mutable rev_k1 : int;
+  mutable rev_k2 : int;
+  mutable rev_v : int;
+  mutable rev_some : bool;
+}
+
+(* --- packed backend: unboxed lanes, zero-allocation fast path --------- *)
+
+type packed_state = {
+  p_policy : Replacement.t;
+  p_rng : Sasos_util.Prng.t;
+  p_sets : int;
+  p_ways : int;
+  keys1 : int array; (* flattened [set * ways + way] *)
+  keys2 : int array;
+  vals : int array;
+  stamps : int array; (* recency for LRU, insertion order for FIFO *)
+  valid : Bytes.t;
+  mutable p_tick : int;
+  mutable p_hits : int;
+  mutable p_misses : int;
+  mutable p_evictions : int;
+  mutable p_length : int;
+  mutable ev_k1 : int;
+  mutable ev_k2 : int;
+  mutable ev_v : int;
+  mutable ev_some : bool;
+}
+
+type t = R of ref_state | P of packed_state
+
+let create ?backend ?(policy = Replacement.Lru) ?(seed = 0x5a505) ~sets ~ways
+    () =
+  if sets < 1 || ways < 1 then
+    invalid_arg "Packed_cache.create: sets and ways must be >= 1";
+  let backend =
+    match backend with Some b -> b | None -> default_backend ()
+  in
+  match backend with
+  | Ref ->
+      R
+        {
+          rc = RC.create ~policy ~seed ~sets ~ways ();
+          rev_k1 = 0;
+          rev_k2 = 0;
+          rev_v = 0;
+          rev_some = false;
+        }
+  | Packed ->
+      let n = sets * ways in
+      P
+        {
+          p_policy = policy;
+          p_rng = Sasos_util.Prng.create ~seed;
+          p_sets = sets;
+          p_ways = ways;
+          keys1 = Array.make n 0;
+          keys2 = Array.make n 0;
+          vals = Array.make n 0;
+          stamps = Array.make n 0;
+          valid = Bytes.make n '\000';
+          p_tick = 0;
+          p_hits = 0;
+          p_misses = 0;
+          p_evictions = 0;
+          p_length = 0;
+          ev_k1 = 0;
+          ev_k2 = 0;
+          ev_v = 0;
+          ev_some = false;
+        }
+
+let backend = function R _ -> Ref | P _ -> Packed
+let sets = function R r -> RC.sets r.rc | P p -> p.p_sets
+let ways = function R r -> RC.ways r.rc | P p -> p.p_ways
+let capacity = function R r -> RC.capacity r.rc | P p -> p.p_sets * p.p_ways
+let length = function R r -> RC.length r.rc | P p -> p.p_length
+
+(* Identical to Assoc_cache.set_of: mix, then mask the sign bit — [abs]
+   would map a mixed hash of [min_int] to a negative set index. *)
+let set_of_hash sets h =
+  let h = h lxor (h lsr 16) in
+  (h land max_int) mod sets
+
+(* The scans below are top-level tail-recursive functions, not local
+   closures or ref cells: without flambda a `let rec` capturing its
+   environment allocates a closure block and a `ref` allocates a mutable
+   cell, either of which would break the zero-allocation fast path. *)
+
+(* unsafe accesses: [j < limit <= sets * ways] by construction.
+   The [int array] annotations matter: left generic, these helpers are
+   compiled polymorphically — every key comparison becomes a
+   [caml_equal] C call and every load a generic (float-tag-checked)
+   array access, an order of magnitude slower. *)
+let rec scan_match (keys1 : int array) (keys2 : int array) valid (k1 : int)
+    (k2 : int) j limit =
+  if j >= limit then -1
+  else if
+    Char.code (Bytes.unsafe_get valid j) <> 0
+    && Array.unsafe_get keys1 j = k1
+    && Array.unsafe_get keys2 j = k2
+  then j
+  else scan_match keys1 keys2 valid k1 k2 (j + 1) limit
+
+let rec scan_free valid j limit =
+  if j >= limit then -1
+  else if Char.code (Bytes.unsafe_get valid j) = 0 then j
+  else scan_free valid (j + 1) limit
+
+(* ascending scan with strict <, so the first minimal stamp wins — the
+   Assoc_cache victim tie-break *)
+let rec scan_min_stamp (stamps : int array) j limit best best_stamp =
+  if j >= limit then best
+  else
+    let s = stamps.(j) in
+    if s < best_stamp then scan_min_stamp stamps (j + 1) limit j s
+    else scan_min_stamp stamps (j + 1) limit best best_stamp
+
+(* index of the matching slot in the flattened arrays, or -1 *)
+let p_index p ~hash ~k1 ~k2 =
+  let base = set_of_hash p.p_sets hash * p.p_ways in
+  scan_match p.keys1 p.keys2 p.valid k1 k2 base (base + p.p_ways)
+
+let find t ~hash ~k1 ~k2 =
+  match t with
+  | R r -> begin
+      match RC.find r.rc { RKey.h = hash; k1; k2 } with
+      | Some v -> v
+      | None -> absent
+    end
+  | P p ->
+      let j = p_index p ~hash ~k1 ~k2 in
+      if j >= 0 then begin
+        p.p_hits <- p.p_hits + 1;
+        (* pattern match, not [=]: polymorphic equality on the variant is
+           a runtime call on the hottest path *)
+        (match p.p_policy with
+        | Replacement.Lru ->
+            p.p_tick <- p.p_tick + 1;
+            p.stamps.(j) <- p.p_tick
+        | Replacement.Fifo | Replacement.Random -> ());
+        p.vals.(j)
+      end
+      else begin
+        p.p_misses <- p.p_misses + 1;
+        absent
+      end
+
+let peek t ~hash ~k1 ~k2 =
+  match t with
+  | R r -> begin
+      match RC.peek r.rc { RKey.h = hash; k1; k2 } with
+      | Some v -> v
+      | None -> absent
+    end
+  | P p ->
+      let j = p_index p ~hash ~k1 ~k2 in
+      if j >= 0 then p.vals.(j) else absent
+
+let mem t ~hash ~k1 ~k2 =
+  match t with
+  | R r -> RC.mem r.rc { RKey.h = hash; k1; k2 }
+  | P p -> p_index p ~hash ~k1 ~k2 >= 0
+
+let p_victim p base =
+  (* precondition: the row is full, so every slot is valid *)
+  match p.p_policy with
+  | Replacement.Random -> base + Sasos_util.Prng.int p.p_rng p.p_ways
+  | Replacement.Lru | Replacement.Fifo ->
+      scan_min_stamp p.stamps base (base + p.p_ways) base max_int
+
+let insert t ~hash ~k1 ~k2 v =
+  if v < 0 then invalid_arg "Packed_cache.insert: payload must be >= 0";
+  match t with
+  | R r -> begin
+      match RC.insert r.rc { RKey.h = hash; k1; k2 } v with
+      | Some (k, ov) ->
+          r.rev_k1 <- k.RKey.k1;
+          r.rev_k2 <- k.RKey.k2;
+          r.rev_v <- ov;
+          r.rev_some <- true
+      | None -> r.rev_some <- false
+    end
+  | P p -> begin
+      let j = p_index p ~hash ~k1 ~k2 in
+      if j >= 0 then begin
+        p.vals.(j) <- v;
+        (* re-installing is a touch under LRU; FIFO keeps insertion order *)
+        (match p.p_policy with
+        | Replacement.Lru ->
+            p.p_tick <- p.p_tick + 1;
+            p.stamps.(j) <- p.p_tick
+        | Replacement.Fifo | Replacement.Random -> ());
+        p.ev_some <- false
+      end
+      else begin
+        let base = set_of_hash p.p_sets hash * p.p_ways in
+        let free = scan_free p.valid base (base + p.p_ways) in
+        (* the fresh stamp is drawn before the victim choice, matching
+           Assoc_cache's tick ordering exactly *)
+        p.p_tick <- p.p_tick + 1;
+        let stamp = p.p_tick in
+        let j =
+          if free >= 0 then begin
+            p.p_length <- p.p_length + 1;
+            p.ev_some <- false;
+            free
+          end
+          else begin
+            let j = p_victim p base in
+            p.ev_k1 <- p.keys1.(j);
+            p.ev_k2 <- p.keys2.(j);
+            p.ev_v <- p.vals.(j);
+            p.ev_some <- true;
+            p.p_evictions <- p.p_evictions + 1;
+            j
+          end
+        in
+        p.keys1.(j) <- k1;
+        p.keys2.(j) <- k2;
+        p.vals.(j) <- v;
+        p.stamps.(j) <- stamp;
+        Bytes.set p.valid j '\001'
+      end
+    end
+
+let last_eviction t =
+  match t with
+  | R r -> if r.rev_some then Some (r.rev_k1, r.rev_k2, r.rev_v) else None
+  | P p -> if p.ev_some then Some (p.ev_k1, p.ev_k2, p.ev_v) else None
+
+let set_masked t ~hash ~k1 ~k2 ~mask ~bits =
+  match t with
+  | R r ->
+      RC.update r.rc { RKey.h = hash; k1; k2 } (fun v ->
+          (v land lnot mask) lor bits)
+  | P p ->
+      let j = p_index p ~hash ~k1 ~k2 in
+      if j >= 0 then begin
+        p.vals.(j) <- (p.vals.(j) land lnot mask) lor bits;
+        true
+      end
+      else false
+
+let set t ~hash ~k1 ~k2 v =
+  if v < 0 then invalid_arg "Packed_cache.set: payload must be >= 0";
+  set_masked t ~hash ~k1 ~k2 ~mask:(-1) ~bits:v
+
+let remove t ~hash ~k1 ~k2 =
+  match t with
+  | R r -> RC.remove r.rc { RKey.h = hash; k1; k2 }
+  | P p ->
+      let j = p_index p ~hash ~k1 ~k2 in
+      if j >= 0 then begin
+        Bytes.set p.valid j '\000';
+        p.p_length <- p.p_length - 1;
+        true
+      end
+      else false
+
+let purge t pred =
+  match t with
+  | R r -> RC.purge r.rc (fun k v -> pred k.RKey.k1 k.RKey.k2 v)
+  | P p ->
+      let inspected = ref 0 and removed = ref 0 in
+      let n = p.p_sets * p.p_ways in
+      for j = 0 to n - 1 do
+        if Bytes.get p.valid j <> '\000' then begin
+          incr inspected;
+          if pred p.keys1.(j) p.keys2.(j) p.vals.(j) then begin
+            Bytes.set p.valid j '\000';
+            p.p_length <- p.p_length - 1;
+            incr removed
+          end
+        end
+      done;
+      (!inspected, !removed)
+
+let rewrite t f =
+  match t with
+  | R r ->
+      let pending = ref [] in
+      RC.iter
+        (fun k v ->
+          let v' = f k.RKey.k1 k.RKey.k2 v in
+          if v' <> v then pending := (k, v') :: !pending)
+        r.rc;
+      List.iter
+        (fun (k, v') ->
+          if v' < 0 then
+            invalid_arg "Packed_cache.rewrite: payload must be >= 0";
+          ignore (RC.update r.rc k (fun _ -> v')))
+        !pending;
+      List.length !pending
+  | P p ->
+      let changed = ref 0 in
+      let n = p.p_sets * p.p_ways in
+      for j = 0 to n - 1 do
+        if Bytes.get p.valid j <> '\000' then begin
+          let v = p.vals.(j) in
+          let v' = f p.keys1.(j) p.keys2.(j) v in
+          if v' <> v then begin
+            if v' < 0 then
+              invalid_arg "Packed_cache.rewrite: payload must be >= 0";
+            p.vals.(j) <- v';
+            incr changed
+          end
+        end
+      done;
+      !changed
+
+let clear t =
+  match t with
+  | R r -> RC.clear r.rc
+  | P p ->
+      let dropped = p.p_length in
+      Bytes.fill p.valid 0 (Bytes.length p.valid) '\000';
+      p.p_length <- 0;
+      dropped
+
+let iter f t =
+  match t with
+  | R r -> RC.iter (fun k v -> f k.RKey.k1 k.RKey.k2 v) r.rc
+  | P p ->
+      let n = p.p_sets * p.p_ways in
+      for j = 0 to n - 1 do
+        if Bytes.get p.valid j <> '\000' then
+          f p.keys1.(j) p.keys2.(j) p.vals.(j)
+      done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k1 k2 v -> acc := f k1 k2 v !acc) t;
+  !acc
+
+let hits = function R r -> RC.hits r.rc | P p -> p.p_hits
+let misses = function R r -> RC.misses r.rc | P p -> p.p_misses
+let evictions = function R r -> RC.evictions r.rc | P p -> p.p_evictions
+
+let reset_stats t =
+  match t with
+  | R r -> RC.reset_stats r.rc
+  | P p ->
+      p.p_hits <- 0;
+      p.p_misses <- 0;
+      p.p_evictions <- 0

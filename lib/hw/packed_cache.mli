@@ -1,0 +1,121 @@
+(** Set-associative cache specialized to int-packed keys and int payloads.
+
+    The PLB, TLB and page-group cache sit on every simulated memory access.
+    {!Assoc_cache} models them faithfully but pays for it: boxed record
+    keys, an allocated slot per entry and [option] returns on the hot path.
+    This module keys the same geometry/policy/accounting semantics onto
+    unboxed [int array] lanes so the access fast path (find / insert /
+    evict) performs zero heap allocations.
+
+    Keys are two ints ([k1], [k2]) plus a caller-supplied hash — the
+    wrappers keep using the exact multiplicative hash of their old
+    {!Assoc_cache} key modules, so set placement (and therefore every
+    hit/miss/eviction decision) is identical across backends. The set
+    index masks the mixed hash to non-negative before [mod] — the same
+    [min_int] guard {!Assoc_cache} carries ([abs min_int] is negative).
+
+    Payloads are non-negative ints; {!absent} ([-1]) is the miss sentinel,
+    which is what makes an allocation-free [find] possible ([Some v] would
+    allocate).
+
+    Every instance carries a {!backend}: [Packed] is the int-lane
+    implementation, [Ref] routes the same API through {!Assoc_cache}
+    (the reference model, kept authoritative). A differential harness can
+    therefore drive both through one interface; see
+    [test/test_packed_cache.ml]. *)
+
+type backend = Ref | Packed
+
+val backend_of_string : string -> backend option
+(** ["ref"] / ["packed"] (case-insensitive). *)
+
+val backend_to_string : backend -> string
+
+val default_backend : unit -> backend
+(** Process-global default used when {!create} (or a wrapper's [create])
+    is called without an explicit backend. Initially [Ref]. *)
+
+val set_default_backend : backend -> unit
+(** Set the global default. Called by the CLI's [--backend] flag before
+    any machine is built; worker domains spawned afterwards observe it. *)
+
+type t
+
+val create :
+  ?backend:backend ->
+  ?policy:Replacement.t ->
+  ?seed:int ->
+  sets:int ->
+  ways:int ->
+  unit ->
+  t
+(** Same defaults as {!Assoc_cache.S.create}: LRU, seed [0x5a505].
+    @raise Invalid_argument unless [sets >= 1] and [ways >= 1]. *)
+
+val backend : t -> backend
+val sets : t -> int
+val ways : t -> int
+val capacity : t -> int
+val length : t -> int
+
+val absent : int
+(** [-1]: returned by {!find}/{!peek} on a miss. Stored values must be
+    non-negative so the sentinel is unambiguous. *)
+
+val find : t -> hash:int -> k1:int -> k2:int -> int
+(** Counted probe: increments hits or misses, refreshes recency under
+    LRU. Returns the payload, or {!absent}. Never allocates on the
+    [Packed] backend. *)
+
+val peek : t -> hash:int -> k1:int -> k2:int -> int
+(** Uncounted, recency-neutral {!find}. *)
+
+val mem : t -> hash:int -> k1:int -> k2:int -> bool
+
+val insert : t -> hash:int -> k1:int -> k2:int -> int -> unit
+(** Insert or overwrite, with {!Assoc_cache} semantics: overwriting a
+    resident key is an LRU touch (FIFO keeps insertion order); a fresh key
+    fills a free way or evicts the policy's victim (counted). The victim,
+    if any, is readable via {!last_eviction} until the next [insert].
+    @raise Invalid_argument on a negative payload. *)
+
+val last_eviction : t -> (int * int * int) option
+(** [(k1, k2, payload)] evicted by the most recent {!insert}, or [None]
+    if it evicted nothing. For the differential tests; allocates. *)
+
+val set : t -> hash:int -> k1:int -> k2:int -> int -> bool
+(** Replace a resident payload in place — no statistics, no recency
+    (the {!Assoc_cache.S.update} discipline). False when absent.
+    @raise Invalid_argument on a negative payload. *)
+
+val set_masked : t -> hash:int -> k1:int -> k2:int -> mask:int -> bits:int -> bool
+(** [set_masked t ~mask ~bits]: payload [v] becomes
+    [(v land lnot mask) lor bits] in place — field surgery on packed
+    payloads (TLB dirty/referenced marks, rights rewrites) without an
+    allocating read-modify-write round trip. No statistics, no recency.
+    False when absent. *)
+
+val remove : t -> hash:int -> k1:int -> k2:int -> bool
+
+val purge : t -> (int -> int -> int -> bool) -> int * int
+(** Full sweep in set-major order; [(inspected, removed)]. The predicate
+    receives [k1 k2 payload]. *)
+
+val rewrite : t -> (int -> int -> int -> int) -> int
+(** Full sweep rewriting payloads in place: [f k1 k2 v] returns the new
+    payload (return [v] to leave the entry untouched). No statistics, no
+    recency. Returns the number of entries changed.
+    @raise Invalid_argument if [f] returns a negative payload. *)
+
+val clear : t -> int
+(** Drop everything; returns the number of entries dropped. *)
+
+val iter : (int -> int -> int -> unit) -> t -> unit
+(** [f k1 k2 payload] per resident entry, in set-major order. *)
+
+val fold : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val reset_stats : t -> unit

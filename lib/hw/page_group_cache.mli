@@ -11,10 +11,12 @@
 type t
 
 val create :
+  ?backend:Packed_cache.backend ->
   ?policy:Replacement.t -> ?seed:int -> ?probe:Probe.t -> entries:int ->
   unit -> t
 (** [entries = 4] models the stock PA-RISC PID registers. [probe] receives
-    occupancy/fill/purge gauge writes (default {!Probe.null}). *)
+    occupancy/fill/purge gauge writes (default {!Probe.null}). [backend]
+    defaults to {!Packed_cache.default_backend}. *)
 
 val capacity : t -> int
 val length : t -> int
@@ -25,6 +27,10 @@ val check : t -> aid:int -> check
 (** Counted probe of the protection check's second stage. AID 0 is always
     [Allowed] with writes enabled and is not counted as a cache probe (it is
     a fixed comparison in hardware). *)
+
+val check_bits : t -> aid:int -> int
+(** Allocation-free {!check}: [-1] denied, [0] allowed, [1] allowed with
+    writes disabled. The machine fast paths use this. *)
 
 val load : t -> aid:int -> write_disabled:bool -> unit
 (** Install a group (evicting LRU if full). Loading AID 0 is a no-op. *)

@@ -1,82 +1,127 @@
 open Sasos_addr
 
-module Key = struct
-  type t = { pd : int; shift : int; pn : int }
+(* Entries live in a Packed_cache: k1 is the protection page number, k2
+   packs (pd lsl 6) lor shift — shifts are validated to [4, 62] so six
+   bits always hold them, and the Okamoto context-tag PDs (up to ~31
+   bits) keep their full width in the upper lanes. The hash is the exact
+   multiplicative mix the old Assoc_cache key module used, so set
+   placement is unchanged on either backend. *)
 
-  let equal a b = a.pd = b.pd && a.shift = b.shift && a.pn = b.pn
+let hash_of ~pd ~shift ~pn =
+  (pn * 0x9e3779b1) lxor (pd * 0x85ebca6b) lxor (shift * 0xc2b2ae35)
 
-  let hash { pd; shift; pn } =
-    (pn * 0x9e3779b1) lxor (pd * 0x85ebca6b) lxor (shift * 0xc2b2ae35)
-end
-
-module C = Assoc_cache.Make (Key)
+let pack_k2 ~pd ~shift = (pd lsl 6) lor shift
+let k2_shift k2 = k2 land 63
+let k2_pd k2 = k2 lsr 6
 
 type t = {
   shifts : int list; (* ascending *)
-  cache : Rights.t C.t;
+  cache : Packed_cache.t;
   probe : Probe.t;
 }
 
-let create ?policy ?seed ?(probe = Probe.null) ?(shifts = [ 12 ]) ~sets ~ways
-    () =
+let create ?backend ?policy ?seed ?(probe = Probe.null) ?(shifts = [ 12 ])
+    ~sets ~ways () =
   if shifts = [] then invalid_arg "Plb.create: no protection page sizes";
   List.iter
     (fun s -> if s < 4 || s > 62 then invalid_arg "Plb.create: bad shift")
     shifts;
   {
     shifts = List.sort_uniq compare shifts;
-    cache = C.create ?policy ?seed ~sets ~ways ();
+    cache = Packed_cache.create ?backend ?policy ?seed ~sets ~ways ();
     probe;
   }
 
-let note_occupancy t = Probe.set_occupancy t.probe Probe.Plb (C.length t.cache)
+let note_occupancy t =
+  Probe.set_occupancy t.probe Probe.Plb (Packed_cache.length t.cache)
 
 let shifts t = t.shifts
-let capacity t = C.capacity t.cache
-let length t = C.length t.cache
-
-let key pd shift va = { Key.pd = Pd.to_int pd; shift; pn = va lsr shift }
+let capacity t = Packed_cache.capacity t.cache
+let length t = Packed_cache.length t.cache
 
 (* A hardware PLB probes all grains in parallel and reports one hit or miss
    per access; we emulate that by peeking every grain and charging the
-   statistics once. The finest resident grain provides the rights. *)
-let lookup t ~pd ~va =
-  let rec finest = function
-    | [] -> None
-    | shift :: rest -> begin
-        match C.peek t.cache (key pd shift va) with
-        | Some r -> Some (shift, r)
-        | None -> finest rest
-      end
-  in
-  match finest t.shifts with
-  | Some (shift, _) ->
+   statistics once. The finest resident grain provides the rights.
+   Top-level recursion, not a local [let rec]: a closure per lookup would
+   break the zero-allocation fast path. *)
+let rec finest_resident cache pd va = function
+  | [] -> -1
+  | shift :: rest ->
+      let pn = va lsr shift in
+      if
+        Packed_cache.peek cache
+          ~hash:(hash_of ~pd ~shift ~pn)
+          ~k1:pn
+          ~k2:(pack_k2 ~pd ~shift)
+        <> Packed_cache.absent
+      then shift
+      else finest_resident cache pd va rest
+
+let lookup_bits t ~pd ~va =
+  let pd = Pd.to_int pd in
+  match finest_resident t.cache pd va t.shifts with
+  | -1 ->
+      let shift = List.hd t.shifts in
+      let pn = va lsr shift in
+      ignore
+        (Packed_cache.find t.cache
+           ~hash:(hash_of ~pd ~shift ~pn)
+           ~k1:pn
+           ~k2:(pack_k2 ~pd ~shift));
+      Packed_cache.absent
+  | shift ->
       (* count the hit and refresh recency via a real probe *)
-      C.find t.cache (key pd shift va)
-  | None ->
-      ignore (C.find t.cache (key pd (List.hd t.shifts) va));
-      None
+      let pn = va lsr shift in
+      Packed_cache.find t.cache
+        ~hash:(hash_of ~pd ~shift ~pn)
+        ~k1:pn
+        ~k2:(pack_k2 ~pd ~shift)
+
+let lookup t ~pd ~va =
+  let bits = lookup_bits t ~pd ~va in
+  if bits = Packed_cache.absent then None else Some (Rights.of_int bits)
 
 let install t ~pd ~va ~shift rights =
   if not (List.mem shift t.shifts) then
     invalid_arg "Plb.install: unconfigured protection page size";
-  ignore (C.insert t.cache (key pd shift va) rights);
+  let pd = Pd.to_int pd in
+  let pn = va lsr shift in
+  Packed_cache.insert t.cache
+    ~hash:(hash_of ~pd ~shift ~pn)
+    ~k1:pn
+    ~k2:(pack_k2 ~pd ~shift)
+    (Rights.to_int rights);
   Probe.note_fill t.probe Probe.Plb;
   note_occupancy t
 
 let update_rights t ~pd ~va rights =
+  let pd = Pd.to_int pd in
   let rec go = function
     | [] -> false
     | shift :: rest ->
-        if C.update t.cache (key pd shift va) (fun _ -> rights) then true
+        let pn = va lsr shift in
+        if
+          Packed_cache.set t.cache
+            ~hash:(hash_of ~pd ~shift ~pn)
+            ~k1:pn
+            ~k2:(pack_k2 ~pd ~shift)
+            (Rights.to_int rights)
+        then true
         else go rest
   in
   go t.shifts
 
 let invalidate t ~pd ~va =
+  let pd = Pd.to_int pd in
   let any =
     List.fold_left
-      (fun any shift -> C.remove t.cache (key pd shift va) || any)
+      (fun any shift ->
+        let pn = va lsr shift in
+        Packed_cache.remove t.cache
+          ~hash:(hash_of ~pd ~shift ~pn)
+          ~k1:pn
+          ~k2:(pack_k2 ~pd ~shift)
+        || any)
       false t.shifts
   in
   if any then begin
@@ -87,8 +132,8 @@ let invalidate t ~pd ~va =
 
 let purge_matching t p =
   let inspected, removed =
-    C.purge t.cache (fun k r ->
-        p (Pd.of_int k.Key.pd) (k.Key.pn lsl k.Key.shift) r)
+    Packed_cache.purge t.cache (fun pn k2 r ->
+        p (Pd.of_int (k2_pd k2)) (pn lsl k2_shift k2) (Rights.of_int r))
   in
   Probe.note_purged t.probe Probe.Plb removed;
   note_occupancy t;
@@ -97,34 +142,43 @@ let purge_matching t p =
 let update_matching t f =
   let inspected = ref 0 and updated = ref 0 in
   let pending = ref [] in
-  C.iter
-    (fun k r ->
+  Packed_cache.iter
+    (fun pn k2 rbits ->
       incr inspected;
-      match f (Pd.of_int k.Key.pd) (k.Key.pn lsl k.Key.shift) r with
-      | Some r' when not (Rights.equal r r') -> pending := (k, r') :: !pending
+      let r = Rights.of_int rbits in
+      match f (Pd.of_int (k2_pd k2)) (pn lsl k2_shift k2) r with
+      | Some r' when not (Rights.equal r r') ->
+          pending := (pn, k2, r') :: !pending
       | Some _ | None -> ())
     t.cache;
   List.iter
-    (fun (k, r') ->
-      if C.update t.cache k (fun _ -> r') then incr updated)
+    (fun (pn, k2, r') ->
+      let hash =
+        hash_of ~pd:(k2_pd k2) ~shift:(k2_shift k2) ~pn
+      in
+      if Packed_cache.set t.cache ~hash ~k1:pn ~k2 (Rights.to_int r') then
+        incr updated)
     !pending;
   (!inspected, !updated)
 
 let flush t =
-  let dropped = C.clear t.cache in
+  let dropped = Packed_cache.clear t.cache in
   Probe.note_purged t.probe Probe.Plb dropped;
   note_occupancy t;
   dropped
 
 let entries_for_va t va =
-  C.fold
-    (fun k _ acc ->
-      if k.Key.pn = va lsr k.Key.shift then acc + 1 else acc)
+  Packed_cache.fold
+    (fun pn k2 _ acc -> if pn = va lsr k2_shift k2 then acc + 1 else acc)
     t.cache 0
 
 let iter f t =
-  C.iter (fun k r -> f (Pd.of_int k.Key.pd) (k.Key.pn lsl k.Key.shift) k.Key.shift r) t.cache
+  Packed_cache.iter
+    (fun pn k2 r ->
+      f (Pd.of_int (k2_pd k2)) (pn lsl k2_shift k2) (k2_shift k2)
+        (Rights.of_int r))
+    t.cache
 
-let hits t = C.hits t.cache
-let misses t = C.misses t.cache
-let reset_stats t = C.reset_stats t.cache
+let hits t = Packed_cache.hits t.cache
+let misses t = Packed_cache.misses t.cache
+let reset_stats t = Packed_cache.reset_stats t.cache

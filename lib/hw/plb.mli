@@ -16,6 +16,7 @@ open Sasos_addr
 type t
 
 val create :
+  ?backend:Packed_cache.backend ->
   ?policy:Replacement.t ->
   ?seed:int ->
   ?probe:Probe.t ->
@@ -26,7 +27,8 @@ val create :
   t
 (** [shifts] lists the supported protection page sizes as log2 byte sizes;
     default [[12]] (4 KB only). [probe] receives occupancy/fill/purge
-    gauge writes (default {!Probe.null}).
+    gauge writes (default {!Probe.null}). [backend] defaults to
+    {!Packed_cache.default_backend}.
     @raise Invalid_argument if empty. *)
 
 val shifts : t -> int list
@@ -37,6 +39,10 @@ val lookup : t -> pd:Pd.t -> va:Va.t -> Rights.t option
 (** Counted probe: tries every configured grain (hardware probes them in
     parallel; one hit/miss is counted per access). The finest matching grain
     wins, so a sub-page deny overrides a segment-wide grant. *)
+
+val lookup_bits : t -> pd:Pd.t -> va:Va.t -> int
+(** Allocation-free {!lookup}: returns [Rights.to_int rights], or
+    {!Packed_cache.absent} on a miss. The machine fast paths use this. *)
 
 val install : t -> pd:Pd.t -> va:Va.t -> shift:int -> Rights.t -> unit
 (** Fill one entry at the given grain (must be a configured shift).

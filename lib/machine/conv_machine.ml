@@ -144,15 +144,12 @@ let grant t pd va rights =
   let space = space_of t pd in
   List.iter
     (fun vpn ->
-      match Tlb.peek t.tlb ~space ~vpn with
-      | Some e ->
-          if t.variant = V_flush && not (Pd.equal pd (current_domain t)) then
-            ()
-          else begin
-            e.Tlb.rights <- rights;
-            Os_core.charge t.os c.Cost_model.table_op
-          end
-      | None -> ())
+      if Tlb.peek t.tlb ~space ~vpn <> Tlb.absent then
+        if t.variant = V_flush && not (Pd.equal pd (current_domain t)) then ()
+        else begin
+          ignore (Tlb.set_rights t.tlb ~space ~vpn rights);
+          Os_core.charge t.os c.Cost_model.table_op
+        end)
     (Va.vpns_of_ppn g (Os_core.prot_unit t.os va))
 
 (* Change one domain's rights on a whole segment: rewrite the per-space
@@ -171,10 +168,11 @@ let protect_segment t pd seg rights =
     let lo = Segment.first_vpn seg in
     let hi = lo + seg.Segment.pages - 1 in
     let space = space_of t pd in
-    Tlb.iter
-      (fun sp vpn e ->
-        if sp = space && vpn >= lo && vpn <= hi then e.Tlb.rights <- rights)
-      t.tlb;
+    ignore
+      (Tlb.rewrite t.tlb (fun sp vpn e ->
+           if sp = space && vpn >= lo && vpn <= hi then
+             Tlb.with_rights e rights
+           else e));
     charge_sweep t (Tlb.capacity t.tlb) 0
   end
 
@@ -207,11 +205,11 @@ let protect_all t va rights =
   in
   List.iter
     (fun vpn ->
-      Tlb.iter
-        (fun sp evpn e ->
-          if evpn = vpn then
-            e.Tlb.rights <- Os_core.rights t.os (domain_of_space sp) va)
-        t.tlb)
+      ignore
+        (Tlb.rewrite t.tlb (fun sp evpn e ->
+             if evpn = vpn then
+               Tlb.with_rights e (Os_core.rights t.os (domain_of_space sp) va)
+             else e)))
     (Va.vpns_of_ppn g (Os_core.prot_unit t.os va));
   charge_sweep t (Tlb.capacity t.tlb) 0
 
@@ -257,18 +255,15 @@ let ensure_mapped t vpn =
       flush_page_from_cache t victim;
       ignore (Tlb.invalidate_vpn_all_spaces t.tlb victim))
 
-let data_path t kind va (e : Tlb.entry) =
+let data_path t kind va e =
   let g = geom t in
   let m = metrics t in
   let c = cost t in
   let vpn = Va.vpn_of_va g va in
   let write = kind = Access.Write in
-  let pa = (e.Tlb.pfn lsl g.Geometry.page_shift) lor Va.offset g va in
-  e.Tlb.referenced <- true;
-  if write then begin
-    e.Tlb.dirty <- true;
-    Os_core.mark_dirty t.os ~vpn
-  end;
+  let pa = (Tlb.pfn_of e lsl g.Geometry.page_shift) lor Va.offset g va in
+  Tlb.mark_used t.tlb ~space:(space_of t (current_domain t)) ~vpn ~write;
+  if write then Os_core.mark_dirty t.os ~vpn;
   let space = cache_space_of t (current_domain t) in
   match Data_cache.access t.cache ~space ~va ~pa ~write with
   | Data_cache.Hit ->
@@ -298,48 +293,48 @@ let access t kind va =
   let rec attempt fuel =
     if fuel = 0 then
       failwith "Conv_machine.access: protection fix did not converge";
-    match Tlb.lookup t.tlb ~space ~vpn with
-    | Some e ->
-        m.Metrics.tlb_hits <- m.Metrics.tlb_hits + 1;
-        if Rights.subset needed e.Tlb.rights then begin
-          data_path t kind va e;
-          Access.Ok
-        end
-        else begin
-          Os_core.kernel_entry t.os;
-          let truth = Os_core.rights t.os pd va in
-          if Rights.subset needed truth then begin
-            (* stale entry: rights were upgraded since the refill *)
-            e.Tlb.rights <- truth;
-            Os_core.charge t.os c.Cost_model.table_op;
-            attempt (fuel - 1)
-          end
-          else begin
-            m.Metrics.protection_faults <- m.Metrics.protection_faults + 1;
-            Access.Protection_fault
-          end
-        end
-    | None -> begin
-        m.Metrics.tlb_misses <- m.Metrics.tlb_misses + 1;
+    let e = Tlb.lookup t.tlb ~space ~vpn in
+    if e <> Tlb.absent then begin
+      m.Metrics.tlb_hits <- m.Metrics.tlb_hits + 1;
+      if Rights.subset needed (Tlb.rights_of e) then begin
+        data_path t kind va e;
+        Access.Ok
+      end
+      else begin
         Os_core.kernel_entry t.os;
         let truth = Os_core.rights t.os pd va in
-        if not (Rights.subset needed truth) then begin
+        if Rights.subset needed truth then begin
+          (* stale entry: rights were upgraded since the refill *)
+          ignore (Tlb.set_rights t.tlb ~space ~vpn truth);
+          Os_core.charge t.os c.Cost_model.table_op;
+          attempt (fuel - 1)
+        end
+        else begin
           m.Metrics.protection_faults <- m.Metrics.protection_faults + 1;
           Access.Protection_fault
         end
-        else begin
-          let pfn = ensure_mapped t vpn in
-          (* per-space linear tables: the walk costs more than the single
-             shared table of a SASOS (§3.1) *)
-          Os_core.charge t.os (2 * c.Cost_model.table_op);
-          Tlb.install t.tlb ~space ~vpn
-            { Tlb.pfn; rights = truth; aid = 0; dirty = false;
-              referenced = false };
-          m.Metrics.tlb_refills <- m.Metrics.tlb_refills + 1;
-          Os_core.charge t.os c.Cost_model.tlb_refill;
-          attempt (fuel - 1)
-        end
       end
+    end
+    else begin
+      m.Metrics.tlb_misses <- m.Metrics.tlb_misses + 1;
+      Os_core.kernel_entry t.os;
+      let truth = Os_core.rights t.os pd va in
+      if not (Rights.subset needed truth) then begin
+        m.Metrics.protection_faults <- m.Metrics.protection_faults + 1;
+        Access.Protection_fault
+      end
+      else begin
+        let pfn = ensure_mapped t vpn in
+        (* per-space linear tables: the walk costs more than the single
+           shared table of a SASOS (§3.1) *)
+        Os_core.charge t.os (2 * c.Cost_model.table_op);
+        Tlb.install t.tlb ~space ~vpn
+          (Tlb.pack ~pfn ~rights:truth ~aid:0 ~dirty:false ~referenced:false);
+        m.Metrics.tlb_refills <- m.Metrics.tlb_refills + 1;
+        Os_core.charge t.os c.Cost_model.tlb_refill;
+        attempt (fuel - 1)
+      end
+    end
   in
   attempt 4
 
@@ -350,11 +345,10 @@ let hw_over_allows t probes =
   List.exists
     (fun (pd, va) ->
       let vpn = Va.vpn_of_va (geom t) va in
-      match Tlb.peek t.tlb ~space:(space_of t pd) ~vpn with
-      | None -> false
-      | Some e ->
-          (t.variant = V_asid || Pd.equal pd (current_domain t))
-          && not (Rights.subset e.Tlb.rights (Os_core.rights t.os pd va)))
+      let e = Tlb.peek t.tlb ~space:(space_of t pd) ~vpn in
+      e <> Tlb.absent
+      && (t.variant = V_asid || Pd.equal pd (current_domain t))
+      && not (Rights.subset (Tlb.rights_of e) (Os_core.rights t.os pd va)))
     probes
 
 module Common = struct

@@ -173,13 +173,11 @@ let page_protection t vpn =
     end
 
 let refresh_tlb_entry t vpn =
-  match Tlb.peek t.tlb ~space:0 ~vpn with
-  | None -> ()
-  | Some e ->
-      let aid, rights = page_protection t vpn in
-      e.Tlb.aid <- aid;
-      e.Tlb.rights <- rights;
-      Os_core.charge t.os (cost t).Cost_model.table_op
+  if Tlb.peek t.tlb ~space:0 ~vpn <> Tlb.absent then begin
+    let aid, rights = page_protection t vpn in
+    ignore (Tlb.set_protection t.tlb ~space:0 ~vpn ~aid ~rights);
+    Os_core.charge t.os (cost t).Cost_model.table_op
+  end
 
 (* Move a page to the group encoding its current ground truth (Table 1's
    "move this page to that page group"). *)
@@ -345,22 +343,19 @@ let rebuild_home t (seg : Segment.t) =
         let m = metrics t in
         let lo = Segment.first_vpn seg in
         let hi = lo + seg.Segment.pages - 1 in
-        let touched = ref 0 in
-        Tlb.iter
-          (fun _sp vpn e ->
-            if vpn >= lo && vpn <= hi && not (Hashtbl.mem t.page_aid vpn)
-            then begin
-              e.Tlb.rights <- new_union;
-              incr touched
-            end)
-          t.tlb;
+        let touched =
+          Tlb.rewrite t.tlb (fun _sp vpn e ->
+              if vpn >= lo && vpn <= hi && not (Hashtbl.mem t.page_aid vpn)
+              then Tlb.with_rights e new_union
+              else e)
+        in
         m.Metrics.entries_inspected <-
           m.Metrics.entries_inspected + Tlb.capacity t.tlb;
         Os_core.charge t.os
           ((cost t).Cost_model.purge_per_entry * Tlb.capacity t.tlb
           * t.os.Os_core.config.Config.cpus);
         Machine_common.charge_shootdown t.os;
-        ignore !touched
+        ignore touched
       end
 
 (* Destroying a domain scrubs its group memberships; pages keep their
@@ -552,18 +547,15 @@ let ensure_mapped t vpn =
 
 (* --- memory references ----------------------------------------------- *)
 
-let data_path t kind va (e : Tlb.entry) =
+let data_path t kind va e =
   let g = geom t in
   let m = metrics t in
   let c = cost t in
   let vpn = Va.vpn_of_va g va in
   let write = kind = Access.Write in
-  let pa = (e.Tlb.pfn lsl g.Geometry.page_shift) lor Va.offset g va in
-  e.Tlb.referenced <- true;
-  if write then begin
-    e.Tlb.dirty <- true;
-    Os_core.mark_dirty t.os ~vpn
-  end;
+  let pa = (Tlb.pfn_of e lsl g.Geometry.page_shift) lor Va.offset g va in
+  Tlb.mark_used t.tlb ~space:0 ~vpn ~write;
+  if write then Os_core.mark_dirty t.os ~vpn;
   match Data_cache.access t.cache ~space:0 ~va ~pa ~write with
   | Data_cache.Hit ->
       m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
@@ -593,99 +585,102 @@ let access t kind va =
     if fuel = 0 then
       failwith "Pg_machine.access: protection fix did not converge";
     Os_core.charge t.os c.Cost_model.pg_sequential_penalty;
-    match Tlb.lookup t.tlb ~space:0 ~vpn with
-    | None -> begin
-        m.Metrics.tlb_misses <- m.Metrics.tlb_misses + 1;
-        Os_core.kernel_entry t.os;
-        let pd = current_domain t in
-        let truth = Os_core.rights t.os pd va in
-        if
-          (not (Os_core.is_resident t.os ~vpn))
-          && not (Rights.subset needed truth)
-        then begin
-          (* no translation and no right to create one: fault without
-             paging in *)
-          m.Metrics.protection_faults <- m.Metrics.protection_faults + 1;
-          Access.Protection_fault
+    let e = Tlb.lookup t.tlb ~space:0 ~vpn in
+    if e = Tlb.absent then begin
+      m.Metrics.tlb_misses <- m.Metrics.tlb_misses + 1;
+      Os_core.kernel_entry t.os;
+      let pd = current_domain t in
+      let truth = Os_core.rights t.os pd va in
+      if
+        (not (Os_core.is_resident t.os ~vpn))
+        && not (Rights.subset needed truth)
+      then begin
+        (* no translation and no right to create one: fault without
+           paging in *)
+        m.Metrics.protection_faults <- m.Metrics.protection_faults + 1;
+        Access.Protection_fault
+      end
+      else begin
+        let pfn = ensure_mapped t vpn in
+        let aid, rights = page_protection t vpn in
+        Tlb.install t.tlb ~space:0 ~vpn
+          (Tlb.pack ~pfn ~rights ~aid ~dirty:false ~referenced:false);
+        m.Metrics.tlb_refills <- m.Metrics.tlb_refills + 1;
+        Os_core.charge t.os c.Cost_model.tlb_refill;
+        attempt (fuel - 1)
+      end
+    end
+    else begin
+      m.Metrics.tlb_hits <- m.Metrics.tlb_hits + 1;
+      let eaid = Tlb.aid_of e in
+      let chk = Page_group_cache.check_bits t.pgc ~aid:eaid in
+      if chk >= 0 then begin
+        let write_disabled = chk = 1 in
+        if eaid <> 0 then m.Metrics.pg_hits <- m.Metrics.pg_hits + 1;
+        let erights = Tlb.rights_of e in
+        let effective =
+          if write_disabled then Rights.remove erights Rights.w else erights
+        in
+        if Rights.subset needed effective then begin
+          data_path t kind va e;
+          Access.Ok
         end
         else begin
-          let pfn = ensure_mapped t vpn in
-          let aid, rights = page_protection t vpn in
-          Tlb.install t.tlb ~space:0 ~vpn
-            { Tlb.pfn; rights; aid; dirty = false; referenced = false };
-          m.Metrics.tlb_refills <- m.Metrics.tlb_refills + 1;
-          Os_core.charge t.os c.Cost_model.tlb_refill;
-          attempt (fuel - 1)
+          Os_core.kernel_entry t.os;
+          let pd = current_domain t in
+          let truth = Os_core.rights t.os pd va in
+          if not (Rights.subset needed truth) then begin
+            m.Metrics.protection_faults <- m.Metrics.protection_faults + 1;
+            Access.Protection_fault
+          end
+          else begin
+            (* the hardware under-allows: refresh the stale TLB entry,
+               or regroup when the pattern is inexpressible *)
+            let aid', rights' = page_protection t vpn in
+            if aid' <> eaid || not (Rights.equal rights' erights) then
+              refresh_tlb_entry t vpn
+            else regroup_page t ~priority:pd vpn;
+            (* the refresh/regroup may have rewritten the entry's AID in
+               place; the write-disable fix-up below must see the current
+               value, as the hardware would *)
+            let cur = Tlb.peek t.tlb ~space:0 ~vpn in
+            let cur_aid = if cur = Tlb.absent then eaid else Tlb.aid_of cur in
+            (* write-disable bit for this domain may also be stale *)
+            (match domain_has_group t (Pd.to_int pd) cur_aid with
+            | Some wd when wd <> write_disabled ->
+                ignore
+                  (Page_group_cache.set_write_disable t.pgc ~aid:cur_aid wd)
+            | Some _ | None -> ());
+            attempt (fuel - 1)
+          end
         end
       end
-    | Some e -> begin
-        m.Metrics.tlb_hits <- m.Metrics.tlb_hits + 1;
-        match Page_group_cache.check t.pgc ~aid:e.Tlb.aid with
-        | Page_group_cache.Allowed { write_disabled } -> begin
-            if e.Tlb.aid <> 0 then
-              m.Metrics.pg_hits <- m.Metrics.pg_hits + 1;
-            let effective =
-              if write_disabled then Rights.remove e.Tlb.rights Rights.w
-              else e.Tlb.rights
-            in
-            if Rights.subset needed effective then begin
-              data_path t kind va e;
-              Access.Ok
+      else begin
+        m.Metrics.pg_misses <- m.Metrics.pg_misses + 1;
+        Os_core.kernel_entry t.os;
+        let pd = current_domain t in
+        match domain_has_group t (Pd.to_int pd) eaid with
+        | Some wd ->
+            Page_group_cache.load t.pgc ~aid:eaid ~write_disabled:wd;
+            m.Metrics.pg_refills <- m.Metrics.pg_refills + 1;
+            Os_core.charge t.os c.Cost_model.pg_refill;
+            attempt (fuel - 1)
+        | None -> begin
+            let truth = Os_core.rights t.os pd va in
+            if Rights.subset needed truth then begin
+              (* the domain's pattern is not represented: move the page
+                 into a group of its own pattern and restart *)
+              regroup_page t ~priority:pd vpn;
+              refresh_tlb_entry t vpn;
+              attempt (fuel - 1)
             end
             else begin
-              Os_core.kernel_entry t.os;
-              let pd = current_domain t in
-              let truth = Os_core.rights t.os pd va in
-              if not (Rights.subset needed truth) then begin
-                m.Metrics.protection_faults <-
-                  m.Metrics.protection_faults + 1;
-                Access.Protection_fault
-              end
-              else begin
-                (* the hardware under-allows: refresh the stale TLB entry,
-                   or regroup when the pattern is inexpressible *)
-                let aid', rights' = page_protection t vpn in
-                if aid' <> e.Tlb.aid || not (Rights.equal rights' e.Tlb.rights)
-                then refresh_tlb_entry t vpn
-                else regroup_page t ~priority:pd vpn;
-                (* write-disable bit for this domain may also be stale *)
-                (match domain_has_group t (Pd.to_int pd) e.Tlb.aid with
-                | Some wd when wd <> write_disabled ->
-                    ignore
-                      (Page_group_cache.set_write_disable t.pgc
-                         ~aid:e.Tlb.aid wd)
-                | Some _ | None -> ());
-                attempt (fuel - 1)
-              end
+              m.Metrics.protection_faults <- m.Metrics.protection_faults + 1;
+              Access.Protection_fault
             end
           end
-        | Page_group_cache.Denied -> begin
-            m.Metrics.pg_misses <- m.Metrics.pg_misses + 1;
-            Os_core.kernel_entry t.os;
-            let pd = current_domain t in
-            match domain_has_group t (Pd.to_int pd) e.Tlb.aid with
-            | Some wd ->
-                Page_group_cache.load t.pgc ~aid:e.Tlb.aid ~write_disabled:wd;
-                m.Metrics.pg_refills <- m.Metrics.pg_refills + 1;
-                Os_core.charge t.os c.Cost_model.pg_refill;
-                attempt (fuel - 1)
-            | None -> begin
-                let truth = Os_core.rights t.os pd va in
-                if Rights.subset needed truth then begin
-                  (* the domain's pattern is not represented: move the page
-                     into a group of its own pattern and restart *)
-                  regroup_page t ~priority:pd vpn;
-                  refresh_tlb_entry t vpn;
-                  attempt (fuel - 1)
-                end
-                else begin
-                  m.Metrics.protection_faults <-
-                    m.Metrics.protection_faults + 1;
-                  Access.Protection_fault
-                end
-              end
-          end
       end
+    end
   in
   attempt 8
 
@@ -693,7 +688,7 @@ let access t kind va =
 
 let resident_prot_entries_for t va =
   let vpn = Va.vpn_of_va (geom t) va in
-  match Tlb.peek t.tlb ~space:0 ~vpn with Some _ -> 1 | None -> 0
+  if Tlb.peek t.tlb ~space:0 ~vpn <> Tlb.absent then 1 else 0
 
 let group_count t = Hashtbl.length t.group_members
 
@@ -708,23 +703,24 @@ let hw_over_allows t probes =
   List.exists
     (fun (pd, va) ->
       let vpn = Va.vpn_of_va (geom t) va in
-      match Tlb.peek t.tlb ~space:0 ~vpn with
-      | None -> false
-      | Some e ->
-          if e.Tlb.aid = 0 then
-            not (Rights.subset e.Tlb.rights (Os_core.rights t.os pd va))
-          else begin
-            let membership =
-              if Pd.equal pd (current_domain t) then pgc_wd_of t e.Tlb.aid
-              else domain_has_group t (Pd.to_int pd) e.Tlb.aid
-            in
-            match membership with
-            | None -> false
-            | Some wd ->
-                let effective =
-                  if wd then Rights.remove e.Tlb.rights Rights.w
-                  else e.Tlb.rights
-                in
-                not (Rights.subset effective (Os_core.rights t.os pd va))
-          end)
+      let e = Tlb.peek t.tlb ~space:0 ~vpn in
+      if e = Tlb.absent then false
+      else begin
+        let eaid = Tlb.aid_of e and erights = Tlb.rights_of e in
+        if eaid = 0 then
+          not (Rights.subset erights (Os_core.rights t.os pd va))
+        else begin
+          let membership =
+            if Pd.equal pd (current_domain t) then pgc_wd_of t eaid
+            else domain_has_group t (Pd.to_int pd) eaid
+          in
+          match membership with
+          | None -> false
+          | Some wd ->
+              let effective =
+                if wd then Rights.remove erights Rights.w else erights
+              in
+              not (Rights.subset effective (Os_core.rights t.os pd va))
+        end
+      end)
     probes

@@ -338,8 +338,8 @@ let data_path t kind va =
         Os_core.kernel_entry t.os;
         let pfn = ensure_mapped t vpn in
         Tlb.install t.tlb ~space:0 ~vpn
-          { Tlb.pfn; rights = Rights.rwx; aid = 0; dirty = false;
-            referenced = true };
+          (Tlb.pack ~pfn ~rights:Rights.rwx ~aid:0 ~dirty:false
+             ~referenced:true);
         m.Metrics.tlb_refills <- m.Metrics.tlb_refills + 1;
         Os_core.charge t.os c.Cost_model.tlb_refill;
         (pfn lsl g.Geometry.page_shift) lor Va.offset g va
@@ -359,20 +359,21 @@ let data_path t kind va =
       end;
       m.Metrics.cache_synonyms <- Data_cache.synonyms_detected t.cache;
       (* translation was needed to fill the line *)
-      (match Tlb.lookup t.tlb ~space:0 ~vpn with
-      | Some e ->
-          m.Metrics.tlb_hits <- m.Metrics.tlb_hits + 1;
-          e.Tlb.referenced <- true;
-          if write then e.Tlb.dirty <- true
-      | None ->
-          m.Metrics.tlb_misses <- m.Metrics.tlb_misses + 1;
-          Os_core.kernel_entry t.os;
-          let pfn = ensure_mapped t vpn in
-          Tlb.install t.tlb ~space:0 ~vpn
-            { Tlb.pfn; rights = Rights.rwx; aid = 0; dirty = write;
-              referenced = true };
-          m.Metrics.tlb_refills <- m.Metrics.tlb_refills + 1;
-          Os_core.charge t.os c.Cost_model.tlb_refill);
+      (let e = Tlb.lookup t.tlb ~space:0 ~vpn in
+       if e <> Tlb.absent then begin
+         m.Metrics.tlb_hits <- m.Metrics.tlb_hits + 1;
+         Tlb.mark_used t.tlb ~space:0 ~vpn ~write
+       end
+       else begin
+         m.Metrics.tlb_misses <- m.Metrics.tlb_misses + 1;
+         Os_core.kernel_entry t.os;
+         let pfn = ensure_mapped t vpn in
+         Tlb.install t.tlb ~space:0 ~vpn
+           (Tlb.pack ~pfn ~rights:Rights.rwx ~aid:0 ~dirty:write
+              ~referenced:true);
+         m.Metrics.tlb_refills <- m.Metrics.tlb_refills + 1;
+         Os_core.charge t.os c.Cost_model.tlb_refill
+       end);
       if write then Os_core.mark_dirty t.os ~vpn
     end
 
@@ -387,26 +388,26 @@ let access t kind va =
   let needed = Access.rights_needed kind in
   (* PLB probe, in parallel with the cache lookup (Figure 1); with a code
      context loaded, the context-tagged bank is probed as well (Okamoto) *)
-  let primary = Plb.lookup t.plb ~pd ~va in
-  (match primary with
-  | Some _ -> m.Metrics.plb_hits <- m.Metrics.plb_hits + 1
-  | None -> m.Metrics.plb_misses <- m.Metrics.plb_misses + 1);
+  let primary = Plb.lookup_bits t.plb ~pd ~va in
+  if primary >= 0 then m.Metrics.plb_hits <- m.Metrics.plb_hits + 1
+  else m.Metrics.plb_misses <- m.Metrics.plb_misses + 1;
   let primary_allows =
-    match primary with Some r -> Rights.subset needed r | None -> false
+    primary >= 0 && Rights.subset needed (Rights.of_int primary)
   in
   let context_allows =
     (not primary_allows)
     && (match t.code_context with
        | None -> false
-       | Some cseg -> begin
-           match Plb.lookup t.plb ~pd:(ctx_pd cseg) ~va with
-           | Some r ->
-               m.Metrics.plb_hits <- m.Metrics.plb_hits + 1;
-               Rights.subset needed r
-           | None ->
-               m.Metrics.plb_misses <- m.Metrics.plb_misses + 1;
-               false
-         end)
+       | Some cseg ->
+           let r = Plb.lookup_bits t.plb ~pd:(ctx_pd cseg) ~va in
+           if r >= 0 then begin
+             m.Metrics.plb_hits <- m.Metrics.plb_hits + 1;
+             Rights.subset needed (Rights.of_int r)
+           end
+           else begin
+             m.Metrics.plb_misses <- m.Metrics.plb_misses + 1;
+             false
+           end)
   in
   if primary_allows || context_allows then begin
     data_path t kind va;

@@ -1,8 +1,14 @@
 (* Replay every corpus trace named on the command line against all
    machine models and compare access outcomes with the `# expect` header
    recorded when the counterexample was minimized (see lib/check/corpus).
-   Runs under `dune runtest` over test/corpus/*.trace: once a divergence
-   has been caught and minimized, it can never silently return. *)
+   Each trace is replayed twice — once with the reference (Assoc_cache)
+   protection-structure backend and once with the packed int-lane one —
+   so the corpus gates both implementations under `dune runtest`: once a
+   divergence has been caught and minimized, it can never silently
+   return on either backend. *)
+
+let backends =
+  [ Sasos.Hw.Packed_cache.Ref; Sasos.Hw.Packed_cache.Packed ]
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
@@ -10,18 +16,26 @@ let () =
     print_endline "corpus: no trace files (add some under test/corpus/)";
     exit 0
   end;
-  let failed =
-    List.filter
-      (fun path ->
-        match Sasos.Check.Corpus.replay_file path with
-        | Ok () ->
-            Printf.printf "  ok   %s\n" (Filename.basename path);
-            false
-        | Error msg ->
-            Printf.printf "  FAIL %s: %s\n" (Filename.basename path) msg;
-            true)
+  let runs =
+    List.concat_map
+      (fun path -> List.map (fun backend -> (path, backend)) backends)
       files
   in
-  Printf.printf "corpus: %d trace(s), %d failing\n" (List.length files)
-    (List.length failed);
+  let failed =
+    List.filter
+      (fun (path, backend) ->
+        Sasos.Hw.Packed_cache.set_default_backend backend;
+        let tag = Sasos.Hw.Packed_cache.backend_to_string backend in
+        match Sasos.Check.Corpus.replay_file path with
+        | Ok () ->
+            Printf.printf "  ok   %-6s %s\n" tag (Filename.basename path);
+            false
+        | Error msg ->
+            Printf.printf "  FAIL %-6s %s: %s\n" tag (Filename.basename path)
+              msg;
+            true)
+      runs
+  in
+  Printf.printf "corpus: %d trace(s) x %d backends, %d failing\n"
+    (List.length files) (List.length backends) (List.length failed);
   if failed <> [] then exit 1

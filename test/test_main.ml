@@ -13,6 +13,7 @@ let () =
       ("va", Test_va.suite);
       ("metrics", Test_metrics.suite);
       ("assoc-cache", Test_assoc_cache.suite);
+      ("packed-cache", Test_packed_cache.suite);
       ("tlb", Test_tlb.suite);
       ("plb", Test_plb.suite);
       ("page-group-cache", Test_page_group_cache.suite);

@@ -1,16 +1,17 @@
 open Sasos
 open Sasos.Hw
 
-let entry pfn = { Tlb.pfn; rights = Rights.rwx; aid = 0; dirty = false; referenced = false }
+let entry pfn =
+  Tlb.pack ~pfn ~rights:Rights.rwx ~aid:0 ~dirty:false ~referenced:false
 
 let test_install_lookup () =
   let t = Tlb.create ~sets:1 ~ways:4 () in
   Tlb.install t ~space:0 ~vpn:10 (entry 100);
-  (match Tlb.lookup t ~space:0 ~vpn:10 with
-  | Some e -> Alcotest.(check int) "pfn" 100 e.Tlb.pfn
-  | None -> Alcotest.fail "expected hit");
+  let e = Tlb.lookup t ~space:0 ~vpn:10 in
+  if e = Tlb.absent then Alcotest.fail "expected hit";
+  Alcotest.(check int) "pfn" 100 (Tlb.pfn_of e);
   Alcotest.(check bool) "other space misses" true
-    (Tlb.lookup t ~space:1 ~vpn:10 = None)
+    (Tlb.lookup t ~space:1 ~vpn:10 = Tlb.absent)
 
 let test_space_tagging () =
   let t = Tlb.create ~sets:1 ~ways:8 () in
@@ -42,16 +43,44 @@ let test_flush () =
 let test_mutation () =
   let t = Tlb.create ~sets:1 ~ways:2 () in
   Tlb.install t ~space:0 ~vpn:1 (entry 1);
-  (match Tlb.lookup t ~space:0 ~vpn:1 with
-  | Some e ->
-      e.Tlb.dirty <- true;
-      e.Tlb.rights <- Rights.r
-  | None -> Alcotest.fail "hit expected");
-  match Tlb.peek t ~space:0 ~vpn:1 with
-  | Some e ->
-      Alcotest.(check bool) "dirty persisted" true e.Tlb.dirty;
-      Alcotest.(check bool) "rights persisted" true (Rights.equal e.Tlb.rights Rights.r)
-  | None -> Alcotest.fail "peek expected"
+  Tlb.mark_used t ~space:0 ~vpn:1 ~write:true;
+  Alcotest.(check bool) "set_rights hits" true
+    (Tlb.set_rights t ~space:0 ~vpn:1 Rights.r);
+  let e = Tlb.peek t ~space:0 ~vpn:1 in
+  if e = Tlb.absent then Alcotest.fail "peek expected";
+  Alcotest.(check bool) "dirty persisted" true (Tlb.dirty_of e);
+  Alcotest.(check bool) "referenced persisted" true (Tlb.referenced_of e);
+  Alcotest.(check bool) "rights persisted" true
+    (Rights.equal (Tlb.rights_of e) Rights.r);
+  Alcotest.(check int) "pfn untouched" 1 (Tlb.pfn_of e)
+
+let test_pack_roundtrip () =
+  let max_pfn = (1 lsl 31) - 1 and max_aid = (1 lsl 26) - 1 in
+  let e =
+    Tlb.pack ~pfn:max_pfn ~rights:Rights.rw ~aid:max_aid ~dirty:true
+      ~referenced:false
+  in
+  Alcotest.(check bool) "non-negative" true (e >= 0);
+  Alcotest.(check int) "pfn" max_pfn (Tlb.pfn_of e);
+  Alcotest.(check int) "aid" max_aid (Tlb.aid_of e);
+  Alcotest.(check bool) "rights" true (Rights.equal (Tlb.rights_of e) Rights.rw);
+  Alcotest.(check bool) "dirty" true (Tlb.dirty_of e);
+  Alcotest.(check bool) "referenced" false (Tlb.referenced_of e);
+  let e' = Tlb.with_rights e Rights.x in
+  Alcotest.(check bool) "with_rights" true
+    (Rights.equal (Tlb.rights_of e') Rights.x);
+  Alcotest.(check int) "with_rights keeps pfn" max_pfn (Tlb.pfn_of e');
+  Alcotest.(check int) "with_rights keeps aid" max_aid (Tlb.aid_of e');
+  Alcotest.check_raises "pfn overflow"
+    (Invalid_argument "Tlb.pack: pfn out of range") (fun () ->
+      ignore
+        (Tlb.pack ~pfn:(max_pfn + 1) ~rights:Rights.r ~aid:0 ~dirty:false
+           ~referenced:false));
+  Alcotest.check_raises "aid overflow"
+    (Invalid_argument "Tlb.pack: aid out of range") (fun () ->
+      ignore
+        (Tlb.pack ~pfn:0 ~rights:Rights.r ~aid:(max_aid + 1) ~dirty:false
+           ~referenced:false))
 
 let test_eviction_bound () =
   let t = Tlb.create ~sets:1 ~ways:4 () in
@@ -67,5 +96,6 @@ let suite =
     Alcotest.test_case "purge space" `Quick test_purge_space;
     Alcotest.test_case "flush" `Quick test_flush;
     Alcotest.test_case "entry mutation" `Quick test_mutation;
+    Alcotest.test_case "pack roundtrip" `Quick test_pack_roundtrip;
     Alcotest.test_case "eviction bound" `Quick test_eviction_bound;
   ]
