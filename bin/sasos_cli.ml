@@ -102,6 +102,32 @@ let backend_term =
 let set_backend backend =
   Option.iter Sasos.Hw.Packed_cache.set_default_backend backend
 
+let engine_conv =
+  let parse s =
+    match Sasos.Engine.of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S (scalar|batch)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt e -> Format.pp_print_string fmt (Sasos.Engine.to_string e) )
+
+(* shared by report/check/profile: like --backend, applied before any
+   machine or worker domain exists *)
+let engine_term =
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"scalar|batch"
+        ~doc:
+          "Execution engine: $(b,scalar) (interpret operations directly, \
+           the default) or $(b,batch) (compile workloads/scripts into a \
+           flat int-array op stream and run the decode loop). Output must \
+           be identical; the lockstep properties and corpus replay drive \
+           both.")
+
+let set_engine engine = Option.iter Sasos.Engine.set_default_engine engine
+
 (* configuration flags shared by the workload command *)
 let config_term =
   let cpus =
@@ -372,9 +398,10 @@ let profile_cmd =
             "Write a Chrome trace_event JSON file to $(docv) (open in \
              Perfetto or chrome://tracing).")
   in
-  let run backend experiments wname machine jobs sample ring out json chrome
-      config =
+  let run backend engine experiments wname machine jobs sample ring out json
+      chrome config =
     set_backend backend;
+    set_engine engine;
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else if sample < 1 then `Error (false, "--sample must be >= 1")
     else if ring < 1 then `Error (false, "--ring must be >= 1")
@@ -438,8 +465,8 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       ret
-        (const run $ backend_term $ experiments $ wname $ machine $ jobs
-        $ sample $ ring $ out $ json $ chrome $ config_term))
+        (const run $ backend_term $ engine_term $ experiments $ wname
+        $ machine $ jobs $ sample $ ring $ out $ json $ chrome $ config_term))
 
 let report_cmd =
   let doc =
@@ -485,8 +512,9 @@ let report_cmd =
              the merged cycle-attribution table, and embed a per-experiment \
              profile block in the --json metrics.")
   in
-  let run backend out jobs only json profile =
+  let run backend engine out jobs only json profile =
     set_backend backend;
+    set_engine engine;
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else
       let selection =
@@ -533,7 +561,10 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(ret (const run $ backend_term $ out $ jobs $ only $ json $ profile))
+    Term.(
+      ret
+        (const run $ backend_term $ engine_term $ out $ jobs $ only $ json
+        $ profile))
 
 let check_cmd =
   let doc =
@@ -618,9 +649,10 @@ let check_cmd =
              ~doc:"Write a Chrome trace_event JSON of the profiled run to \
                    $(docv) (implies profiling).")
   in
-  let run backend ops scripts seed jobs domains segments pages mutate save
-      corpus profile obs_json chrome =
+  let run backend engine ops scripts seed jobs domains segments pages mutate
+      save corpus profile obs_json chrome =
     set_backend backend;
+    set_engine engine;
     match corpus with
     | Some dir -> begin
         match Sys.readdir dir with
@@ -717,9 +749,9 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       ret
-        (const run $ backend_term $ ops $ scripts $ seed $ jobs $ domains
-        $ segments $ pages $ mutate $ save $ corpus $ profile $ obs_json
-        $ chrome))
+        (const run $ backend_term $ engine_term $ ops $ scripts $ seed
+        $ jobs $ domains $ segments $ pages $ mutate $ save $ corpus
+        $ profile $ obs_json $ chrome))
 
 let info_cmd =
   let doc = "Print the default geometry and cost model." in

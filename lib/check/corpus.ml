@@ -76,7 +76,9 @@ let load path =
 let replay_events events ~expected =
   let check (name, variant) =
     let sys = Sys_select.make variant Sasos_os.Config.default in
-    match Player.replay events sys with
+    (* dispatches on the process-global engine: `sasos check --engine
+       batch` replays the corpus through the compiled op stream *)
+    match Sasos_engine.Engine.replay events sys with
     | Error { Player.at; event; reason } ->
         Some
           (Printf.sprintf "%s: replay failed at event %d (%s): %s" name at

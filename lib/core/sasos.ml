@@ -116,6 +116,8 @@ end
 
 module Obs = Sasos_obs.Obs
 module Runner = Sasos_runner.Runner
+module Engine = Sasos_engine.Engine
+module Kernel = Sasos_engine.Kernel
 
 module Check = struct
   module Op = Sasos_check.Op

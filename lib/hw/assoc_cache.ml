@@ -43,7 +43,10 @@ module Make (K : KEY) : S with type key = K.t = struct
 
   type 'v t = {
     policy : Replacement.t;
-    rng : Sasos_util.Prng.t;
+    (* splitmix int state for Random victim draws: allocation-free and
+       per-instance, so equal seeds give equal victim sequences (the
+       packed backend steps an identical state — see Packed_cache) *)
+    mutable rand : int;
     table : 'v slot option array array; (* [set].[way] *)
     mutable tick : int;
     mutable hits : int;
@@ -57,7 +60,7 @@ module Make (K : KEY) : S with type key = K.t = struct
       invalid_arg "Assoc_cache.create: sets and ways must be >= 1";
     {
       policy;
-      rng = Sasos_util.Prng.create ~seed;
+      rand = Sasos_util.Prng.Split.init seed;
       table = Array.init sets (fun _ -> Array.make ways None);
       tick = 0;
       hits = 0;
@@ -111,7 +114,9 @@ module Make (K : KEY) : S with type key = K.t = struct
   let victim_index t row =
     (* precondition: row is full *)
     match t.policy with
-    | Replacement.Random -> Sasos_util.Prng.int t.rng (Array.length row)
+    | Replacement.Random ->
+        t.rand <- Sasos_util.Prng.Split.next t.rand;
+        Sasos_util.Prng.Split.draw t.rand ~bound:(Array.length row)
     | Replacement.Lru | Replacement.Fifo ->
         let best = ref 0 and best_stamp = ref max_int in
         Array.iteri

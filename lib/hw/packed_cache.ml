@@ -41,16 +41,23 @@ type ref_state = {
 
 (* --- packed backend: unboxed lanes, zero-allocation fast path --------- *)
 
+(* Free slots carry [free_key] in their keys1 lane instead of a separate
+   validity byte array: one fewer load per way on every scan. [free_key]
+   is [min_int], which no caller can store ([raw_insert] rejects negative
+   k1), so a free slot can never alias a live key. *)
+let free_key = min_int
+
 type packed_state = {
   p_policy : Replacement.t;
-  p_rng : Sasos_util.Prng.t;
+  (* splitmix int state for Random victim draws; steps in lockstep with
+     Assoc_cache's [rand] so both backends evict the same ways *)
+  mutable p_rand : int;
   p_sets : int;
   p_ways : int;
-  keys1 : int array; (* flattened [set * ways + way] *)
+  keys1 : int array; (* flattened [set * ways + way]; [free_key] = empty *)
   keys2 : int array;
   vals : int array;
   stamps : int array; (* recency for LRU, insertion order for FIFO *)
-  valid : Bytes.t;
   mutable p_tick : int;
   mutable p_hits : int;
   mutable p_misses : int;
@@ -86,14 +93,13 @@ let create ?backend ?(policy = Replacement.Lru) ?(seed = 0x5a505) ~sets ~ways
       P
         {
           p_policy = policy;
-          p_rng = Sasos_util.Prng.create ~seed;
+          p_rand = Sasos_util.Prng.Split.init seed;
           p_sets = sets;
           p_ways = ways;
-          keys1 = Array.make n 0;
+          keys1 = Array.make n free_key;
           keys2 = Array.make n 0;
           vals = Array.make n 0;
           stamps = Array.make n 0;
-          valid = Bytes.make n '\000';
           p_tick = 0;
           p_hits = 0;
           p_misses = 0;
@@ -127,20 +133,21 @@ let set_of_hash sets h =
    compiled polymorphically — every key comparison becomes a
    [caml_equal] C call and every load a generic (float-tag-checked)
    array access, an order of magnitude slower. *)
-let rec scan_match (keys1 : int array) (keys2 : int array) valid (k1 : int)
+(* branchless key compare: one fused test per way instead of a validity
+   check plus two equality branches (free slots fail on keys1 = free_key) *)
+let rec scan_match (keys1 : int array) (keys2 : int array) (k1 : int)
     (k2 : int) j limit =
   if j >= limit then -1
   else if
-    Char.code (Bytes.unsafe_get valid j) <> 0
-    && Array.unsafe_get keys1 j = k1
-    && Array.unsafe_get keys2 j = k2
+    Array.unsafe_get keys1 j lxor k1 lor (Array.unsafe_get keys2 j lxor k2)
+    = 0
   then j
-  else scan_match keys1 keys2 valid k1 k2 (j + 1) limit
+  else scan_match keys1 keys2 k1 k2 (j + 1) limit
 
-let rec scan_free valid j limit =
+let rec scan_free (keys1 : int array) j limit =
   if j >= limit then -1
-  else if Char.code (Bytes.unsafe_get valid j) = 0 then j
-  else scan_free valid (j + 1) limit
+  else if Array.unsafe_get keys1 j = free_key then j
+  else scan_free keys1 (j + 1) limit
 
 (* ascending scan with strict <, so the first minimal stamp wins — the
    Assoc_cache victim tie-break *)
@@ -151,10 +158,139 @@ let rec scan_min_stamp (stamps : int array) j limit best best_stamp =
     if s < best_stamp then scan_min_stamp stamps (j + 1) limit j s
     else scan_min_stamp stamps (j + 1) limit best best_stamp
 
-(* index of the matching slot in the flattened arrays, or -1 *)
-let p_index p ~hash ~k1 ~k2 =
-  let base = set_of_hash p.p_sets hash * p.p_ways in
-  scan_match p.keys1 p.keys2 p.valid k1 k2 base (base + p.p_ways)
+(* --- raw packed-state operations ---------------------------------------
+
+   The batch engine's kernel (lib/engine/kernel.ml) precomputes set bases
+   at compile time and drives the packed lanes directly, skipping the
+   per-access hash + division. To keep its semantics identical to the
+   scalar API *by construction*, the raw operations below are the single
+   implementation: the public [find]/[peek]/[insert]/[set_masked] P
+   branches call them with [base = raw_base p ~hash], and the kernel calls
+   them with its precomputed base. Anything one path counts, the other
+   counts. *)
+
+let raw_base p ~hash = set_of_hash p.p_sets hash * p.p_ways
+
+(* the bare scan: slot index of (k1, k2) in the set at [base], -1 when
+   absent; no statistics, no recency. The kernel composes its inlined
+   fast paths from this plus explicit bookkeeping. *)
+let raw_index p ~base ~k1 ~k2 =
+  scan_match p.keys1 p.keys2 k1 k2 base (base + p.p_ways)
+
+let raw_find p ~base ~k1 ~k2 =
+  let j = scan_match p.keys1 p.keys2 k1 k2 base (base + p.p_ways) in
+  if j >= 0 then begin
+    p.p_hits <- p.p_hits + 1;
+    (* pattern match, not [=]: polymorphic equality on the variant is
+       a runtime call on the hottest path *)
+    (match p.p_policy with
+    | Replacement.Lru ->
+        p.p_tick <- p.p_tick + 1;
+        p.stamps.(j) <- p.p_tick
+    | Replacement.Fifo | Replacement.Random -> ());
+    Array.unsafe_get p.vals j
+  end
+  else begin
+    p.p_misses <- p.p_misses + 1;
+    absent
+  end
+
+let raw_peek p ~base ~k1 ~k2 =
+  let j = scan_match p.keys1 p.keys2 k1 k2 base (base + p.p_ways) in
+  if j >= 0 then Array.unsafe_get p.vals j else absent
+
+(* [raw_find] immediately followed by [raw_set_masked ~mask:bits ~bits] on
+   the same key, fused into one scan: on a hit the payload gains [bits]
+   in place ([(v land lnot bits) lor bits = v lor bits]) and the
+   pre-update payload is returned; on a miss set_masked would be a no-op
+   returning false, so only the miss is counted. The TLB's
+   lookup-then-mark access path compiles to this. *)
+let raw_find_mark p ~base ~k1 ~k2 ~bits =
+  let j = scan_match p.keys1 p.keys2 k1 k2 base (base + p.p_ways) in
+  if j >= 0 then begin
+    p.p_hits <- p.p_hits + 1;
+    (match p.p_policy with
+    | Replacement.Lru ->
+        p.p_tick <- p.p_tick + 1;
+        p.stamps.(j) <- p.p_tick
+    | Replacement.Fifo | Replacement.Random -> ());
+    let v = Array.unsafe_get p.vals j in
+    Array.unsafe_set p.vals j (v lor bits);
+    v
+  end
+  else begin
+    p.p_misses <- p.p_misses + 1;
+    absent
+  end
+
+let raw_victim p base =
+  (* precondition: the row is full, so every slot is valid *)
+  match p.p_policy with
+  | Replacement.Random ->
+      p.p_rand <- Sasos_util.Prng.Split.next p.p_rand;
+      base + Sasos_util.Prng.Split.draw p.p_rand ~bound:p.p_ways
+  | Replacement.Lru | Replacement.Fifo ->
+      scan_min_stamp p.stamps base (base + p.p_ways) base max_int
+
+(* insert of a key known to be absent from its set (a refill after a
+   counted miss): the re-scan [raw_insert] would run is skipped. The
+   kernel's TLB miss path calls this directly; [raw_insert] routes its
+   not-found case here so there is one implementation of placement,
+   victim choice and eviction bookkeeping. *)
+let raw_refill p ~base ~k1 ~k2 v =
+  if k1 < 0 then invalid_arg "Packed_cache.insert: key1 must be >= 0";
+  let free = scan_free p.keys1 base (base + p.p_ways) in
+  (* the fresh stamp is drawn before the victim choice, matching
+     Assoc_cache's tick ordering exactly *)
+  p.p_tick <- p.p_tick + 1;
+  let stamp = p.p_tick in
+  let j =
+    if free >= 0 then begin
+      p.p_length <- p.p_length + 1;
+      p.ev_some <- false;
+      free
+    end
+    else begin
+      let j = raw_victim p base in
+      p.ev_k1 <- p.keys1.(j);
+      p.ev_k2 <- p.keys2.(j);
+      p.ev_v <- p.vals.(j);
+      p.ev_some <- true;
+      p.p_evictions <- p.p_evictions + 1;
+      j
+    end
+  in
+  p.keys1.(j) <- k1;
+  p.keys2.(j) <- k2;
+  p.vals.(j) <- v;
+  p.stamps.(j) <- stamp
+
+let raw_insert p ~base ~k1 ~k2 v =
+  if k1 < 0 then invalid_arg "Packed_cache.insert: key1 must be >= 0";
+  let j = scan_match p.keys1 p.keys2 k1 k2 base (base + p.p_ways) in
+  if j >= 0 then begin
+    p.vals.(j) <- v;
+    (* re-installing is a touch under LRU; FIFO keeps insertion order *)
+    (match p.p_policy with
+    | Replacement.Lru ->
+        p.p_tick <- p.p_tick + 1;
+        p.stamps.(j) <- p.p_tick
+    | Replacement.Fifo | Replacement.Random -> ());
+    p.ev_some <- false
+  end
+  else raw_refill p ~base ~k1 ~k2 v
+
+let raw_set_masked p ~base ~k1 ~k2 ~mask ~bits =
+  let j = scan_match p.keys1 p.keys2 k1 k2 base (base + p.p_ways) in
+  if j >= 0 then begin
+    p.vals.(j) <- (p.vals.(j) land lnot mask) lor bits;
+    true
+  end
+  else false
+
+let packed_state = function R _ -> None | P p -> Some p
+
+(* ----------------------------------------------------------------------- *)
 
 let find t ~hash ~k1 ~k2 =
   match t with
@@ -163,23 +299,7 @@ let find t ~hash ~k1 ~k2 =
       | Some v -> v
       | None -> absent
     end
-  | P p ->
-      let j = p_index p ~hash ~k1 ~k2 in
-      if j >= 0 then begin
-        p.p_hits <- p.p_hits + 1;
-        (* pattern match, not [=]: polymorphic equality on the variant is
-           a runtime call on the hottest path *)
-        (match p.p_policy with
-        | Replacement.Lru ->
-            p.p_tick <- p.p_tick + 1;
-            p.stamps.(j) <- p.p_tick
-        | Replacement.Fifo | Replacement.Random -> ());
-        p.vals.(j)
-      end
-      else begin
-        p.p_misses <- p.p_misses + 1;
-        absent
-      end
+  | P p -> raw_find p ~base:(raw_base p ~hash) ~k1 ~k2
 
 let peek t ~hash ~k1 ~k2 =
   match t with
@@ -188,21 +308,12 @@ let peek t ~hash ~k1 ~k2 =
       | Some v -> v
       | None -> absent
     end
-  | P p ->
-      let j = p_index p ~hash ~k1 ~k2 in
-      if j >= 0 then p.vals.(j) else absent
+  | P p -> raw_peek p ~base:(raw_base p ~hash) ~k1 ~k2
 
 let mem t ~hash ~k1 ~k2 =
   match t with
   | R r -> RC.mem r.rc { RKey.h = hash; k1; k2 }
-  | P p -> p_index p ~hash ~k1 ~k2 >= 0
-
-let p_victim p base =
-  (* precondition: the row is full, so every slot is valid *)
-  match p.p_policy with
-  | Replacement.Random -> base + Sasos_util.Prng.int p.p_rng p.p_ways
-  | Replacement.Lru | Replacement.Fifo ->
-      scan_min_stamp p.stamps base (base + p.p_ways) base max_int
+  | P p -> raw_peek p ~base:(raw_base p ~hash) ~k1 ~k2 >= 0
 
 let insert t ~hash ~k1 ~k2 v =
   if v < 0 then invalid_arg "Packed_cache.insert: payload must be >= 0";
@@ -216,48 +327,7 @@ let insert t ~hash ~k1 ~k2 v =
           r.rev_some <- true
       | None -> r.rev_some <- false
     end
-  | P p -> begin
-      let j = p_index p ~hash ~k1 ~k2 in
-      if j >= 0 then begin
-        p.vals.(j) <- v;
-        (* re-installing is a touch under LRU; FIFO keeps insertion order *)
-        (match p.p_policy with
-        | Replacement.Lru ->
-            p.p_tick <- p.p_tick + 1;
-            p.stamps.(j) <- p.p_tick
-        | Replacement.Fifo | Replacement.Random -> ());
-        p.ev_some <- false
-      end
-      else begin
-        let base = set_of_hash p.p_sets hash * p.p_ways in
-        let free = scan_free p.valid base (base + p.p_ways) in
-        (* the fresh stamp is drawn before the victim choice, matching
-           Assoc_cache's tick ordering exactly *)
-        p.p_tick <- p.p_tick + 1;
-        let stamp = p.p_tick in
-        let j =
-          if free >= 0 then begin
-            p.p_length <- p.p_length + 1;
-            p.ev_some <- false;
-            free
-          end
-          else begin
-            let j = p_victim p base in
-            p.ev_k1 <- p.keys1.(j);
-            p.ev_k2 <- p.keys2.(j);
-            p.ev_v <- p.vals.(j);
-            p.ev_some <- true;
-            p.p_evictions <- p.p_evictions + 1;
-            j
-          end
-        in
-        p.keys1.(j) <- k1;
-        p.keys2.(j) <- k2;
-        p.vals.(j) <- v;
-        p.stamps.(j) <- stamp;
-        Bytes.set p.valid j '\001'
-      end
-    end
+  | P p -> raw_insert p ~base:(raw_base p ~hash) ~k1 ~k2 v
 
 let last_eviction t =
   match t with
@@ -269,13 +339,7 @@ let set_masked t ~hash ~k1 ~k2 ~mask ~bits =
   | R r ->
       RC.update r.rc { RKey.h = hash; k1; k2 } (fun v ->
           (v land lnot mask) lor bits)
-  | P p ->
-      let j = p_index p ~hash ~k1 ~k2 in
-      if j >= 0 then begin
-        p.vals.(j) <- (p.vals.(j) land lnot mask) lor bits;
-        true
-      end
-      else false
+  | P p -> raw_set_masked p ~base:(raw_base p ~hash) ~k1 ~k2 ~mask ~bits
 
 let set t ~hash ~k1 ~k2 v =
   if v < 0 then invalid_arg "Packed_cache.set: payload must be >= 0";
@@ -285,9 +349,12 @@ let remove t ~hash ~k1 ~k2 =
   match t with
   | R r -> RC.remove r.rc { RKey.h = hash; k1; k2 }
   | P p ->
-      let j = p_index p ~hash ~k1 ~k2 in
+      let base = raw_base p ~hash in
+      let j =
+        scan_match p.keys1 p.keys2 k1 k2 base (base + p.p_ways)
+      in
       if j >= 0 then begin
-        Bytes.set p.valid j '\000';
+        p.keys1.(j) <- free_key;
         p.p_length <- p.p_length - 1;
         true
       end
@@ -300,10 +367,10 @@ let purge t pred =
       let inspected = ref 0 and removed = ref 0 in
       let n = p.p_sets * p.p_ways in
       for j = 0 to n - 1 do
-        if Bytes.get p.valid j <> '\000' then begin
+        if p.keys1.(j) <> free_key then begin
           incr inspected;
           if pred p.keys1.(j) p.keys2.(j) p.vals.(j) then begin
-            Bytes.set p.valid j '\000';
+            p.keys1.(j) <- free_key;
             p.p_length <- p.p_length - 1;
             incr removed
           end
@@ -331,7 +398,7 @@ let rewrite t f =
       let changed = ref 0 in
       let n = p.p_sets * p.p_ways in
       for j = 0 to n - 1 do
-        if Bytes.get p.valid j <> '\000' then begin
+        if p.keys1.(j) <> free_key then begin
           let v = p.vals.(j) in
           let v' = f p.keys1.(j) p.keys2.(j) v in
           if v' <> v then begin
@@ -349,7 +416,7 @@ let clear t =
   | R r -> RC.clear r.rc
   | P p ->
       let dropped = p.p_length in
-      Bytes.fill p.valid 0 (Bytes.length p.valid) '\000';
+      Array.fill p.keys1 0 (Array.length p.keys1) free_key;
       p.p_length <- 0;
       dropped
 
@@ -359,8 +426,7 @@ let iter f t =
   | P p ->
       let n = p.p_sets * p.p_ways in
       for j = 0 to n - 1 do
-        if Bytes.get p.valid j <> '\000' then
-          f p.keys1.(j) p.keys2.(j) p.vals.(j)
+        if p.keys1.(j) <> free_key then f p.keys1.(j) p.keys2.(j) p.vals.(j)
       done
 
 let fold f t init =

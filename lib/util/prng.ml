@@ -51,3 +51,29 @@ let choose t a =
   a.(int t (Array.length a))
 
 let split t = { state = Int64.logxor (next t) golden }
+
+(* Allocation-free splitmix-style generator on the native int.
+
+   [Prng.t] above carries its state in a boxed [int64]: every [next]
+   allocates a fresh box, which disqualifies it from zero-allocation fast
+   paths (the Random replacement policy's victim draw sits on one). This
+   variant keeps the whole state in a single immediate [int] — the caller
+   owns it as a mutable field — so stepping it is pure integer arithmetic.
+   The constants are the 63-bit truncations of the splitmix64 ones; the
+   Weyl increment keeps the odd low bit, which is what the sequence
+   quality depends on. *)
+module Split = struct
+  let gamma = 0x1E3779B97F4A7C15 (* 0x9E3779B97F4A7C15 land max_int *)
+
+  let init seed = seed land max_int
+
+  let next s = (s + gamma) land max_int
+
+  let mix s =
+    let z = s in
+    let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+    let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+    z lxor (z lsr 31)
+
+  let draw s ~bound = (mix s land max_int) mod bound
+end

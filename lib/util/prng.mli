@@ -43,3 +43,24 @@ val choose : t -> 'a array -> 'a
 val split : t -> t
 (** A new generator seeded from the current stream; advancing either
     afterwards does not affect the other. *)
+
+(** Allocation-free splitmix-style generator over a bare [int] state.
+
+    Unlike {!t} (whose state is a boxed [int64], so every step allocates),
+    the state here is a single immediate integer the caller stores in a
+    mutable field. Used by the replacement-policy Random victim draw so
+    eviction stays on the zero-allocation fast path; both cache backends
+    seed it identically, so ref and packed draw the same victims. *)
+module Split : sig
+  val init : int -> int
+  (** Initial state from a seed (the sign bit is masked off). Equal seeds
+      give equal sequences. *)
+
+  val next : int -> int
+  (** Advance the state by the splitmix Weyl increment. *)
+
+  val draw : int -> bound:int -> int
+  (** Uniform-ish value in [0, bound) mixed from the state. The caller
+      steps with {!next} first, then draws: two draws from the same state
+      are equal by design. *)
+end

@@ -1,14 +1,16 @@
 (* Replay every corpus trace named on the command line against all
    machine models and compare access outcomes with the `# expect` header
    recorded when the counterexample was minimized (see lib/check/corpus).
-   Each trace is replayed twice — once with the reference (Assoc_cache)
-   protection-structure backend and once with the packed int-lane one —
-   so the corpus gates both implementations under `dune runtest`: once a
-   divergence has been caught and minimized, it can never silently
-   return on either backend. *)
+   Each trace is replayed four times — the cross product of the two
+   protection-structure backends (reference Assoc_cache vs packed
+   int-lane) and the two execution engines (scalar event interpreter vs
+   trace-compiled batch decode loop) — so the corpus gates every
+   implementation pairing under `dune runtest`: once a divergence has
+   been caught and minimized, it can never silently return on any of
+   them. *)
 
-let backends =
-  [ Sasos.Hw.Packed_cache.Ref; Sasos.Hw.Packed_cache.Packed ]
+let backends = [ Sasos.Hw.Packed_cache.Ref; Sasos.Hw.Packed_cache.Packed ]
+let engines = [ Sasos.Engine.Scalar; Sasos.Engine.Batch ]
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
@@ -18,24 +20,34 @@ let () =
   end;
   let runs =
     List.concat_map
-      (fun path -> List.map (fun backend -> (path, backend)) backends)
+      (fun path ->
+        List.concat_map
+          (fun backend ->
+            List.map (fun engine -> (path, backend, engine)) engines)
+          backends)
       files
   in
   let failed =
     List.filter
-      (fun (path, backend) ->
+      (fun (path, backend, engine) ->
         Sasos.Hw.Packed_cache.set_default_backend backend;
-        let tag = Sasos.Hw.Packed_cache.backend_to_string backend in
+        Sasos.Engine.set_default_engine engine;
+        let tag =
+          Printf.sprintf "%s/%s"
+            (Sasos.Hw.Packed_cache.backend_to_string backend)
+            (Sasos.Engine.to_string engine)
+        in
         match Sasos.Check.Corpus.replay_file path with
         | Ok () ->
-            Printf.printf "  ok   %-6s %s\n" tag (Filename.basename path);
+            Printf.printf "  ok   %-13s %s\n" tag (Filename.basename path);
             false
         | Error msg ->
-            Printf.printf "  FAIL %-6s %s: %s\n" tag (Filename.basename path)
-              msg;
+            Printf.printf "  FAIL %-13s %s: %s\n" tag
+              (Filename.basename path) msg;
             true)
       runs
   in
-  Printf.printf "corpus: %d trace(s) x %d backends, %d failing\n"
-    (List.length files) (List.length backends) (List.length failed);
+  Printf.printf "corpus: %d trace(s) x %d backends x %d engines, %d failing\n"
+    (List.length files) (List.length backends) (List.length engines)
+    (List.length failed);
   if failed <> [] then exit 1

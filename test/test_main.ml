@@ -29,6 +29,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("trace", Test_trace.suite);
       ("check", Test_check.suite);
+      ("engine", Test_engine.suite);
       ("experiments", Test_experiments.suite);
       ("runner", Test_runner.suite);
       ("obs", Test_obs.suite);
