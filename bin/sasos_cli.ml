@@ -177,7 +177,7 @@ let workload_cmd =
       value
       & opt machine_conv Sasos.Machines.Plb
       & info [ "m"; "machine" ] ~docv:"MACHINE"
-          ~doc:"Machine model: plb, page-group, conv-asid, conv-flush.")
+          ~doc:("Machine model: " ^ Sasos.Machines.names_doc ^ "."))
   in
   let run wname machine config =
     match Sasos.Workloads.Registry.find wname with
@@ -591,6 +591,16 @@ let check_cmd =
          & info [ "j"; "jobs" ] ~docv:"J"
              ~doc:"Worker domains checking script batches concurrently.")
   in
+  let machines =
+    (* the machine list in the doc string is generated from Sys_select so
+       a new machine shows up here without a by-hand edit *)
+    Arg.(value & opt_all machine_conv []
+         & info [ "m"; "machine" ] ~docv:"MACHINE"
+             ~doc:
+               (Printf.sprintf
+                  "Check only $(docv) (repeatable; default: every model). \
+                   Known machines: %s." Sasos.Machines.names_doc))
+  in
   let domains =
     Arg.(value & opt int Sasos.Check.Op.default_geom.Sasos.Check.Op.domains
          & info [ "domains" ] ~docv:"D" ~doc:"Protection domains per script.")
@@ -649,10 +659,17 @@ let check_cmd =
              ~doc:"Write a Chrome trace_event JSON of the profiled run to \
                    $(docv) (implies profiling).")
   in
-  let run backend engine ops scripts seed jobs domains segments pages mutate
-      save corpus profile obs_json chrome =
+  let run backend engine ops scripts seed jobs machines domains segments
+      pages mutate save corpus profile obs_json chrome =
     set_backend backend;
     set_engine engine;
+    let variants =
+      match machines with
+      | [] -> None
+      | ms ->
+          Some
+            (List.filter (fun (_, v) -> List.mem v ms) Sasos.Machines.all)
+    in
     match corpus with
     | Some dir -> begin
         match Sys.readdir dir with
@@ -705,8 +722,8 @@ let check_cmd =
           in
           let profiling = profile || obs_json <> None || chrome <> None in
           let report =
-            Sasos.Check.Harness.run ~jobs ~profile:profiling ?mutation ~geom
-              ~ops ~scripts ~seed ()
+            Sasos.Check.Harness.run ~jobs ~profile:profiling ?mutation
+              ?variants ~geom ~ops ~scripts ~seed ()
           in
           print_string (Sasos.Check.Harness.report_text report);
           (match report.Sasos.Check.Harness.profile with
@@ -750,8 +767,8 @@ let check_cmd =
     Term.(
       ret
         (const run $ backend_term $ engine_term $ ops $ scripts $ seed
-        $ jobs $ domains $ segments $ pages $ mutate $ save $ corpus
-        $ profile $ obs_json $ chrome))
+        $ jobs $ machines $ domains $ segments $ pages $ mutate $ save
+        $ corpus $ profile $ obs_json $ chrome))
 
 let info_cmd =
   let doc = "Print the default geometry and cost model." in

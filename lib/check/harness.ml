@@ -31,6 +31,7 @@ type report = {
   seed : int;
   jobs : int;
   mutation : string option;
+  machines : string list;
   batches : batch list;
   divergent : int;
   over_allows : int;
@@ -57,8 +58,9 @@ let first_mismatch machine ~got ~want =
   in
   go 0 got want
 
-(* Evaluate one concrete script against the oracle on every machine. *)
-let failures_of_script ?mutation geom script =
+(* Evaluate one concrete script against the oracle on every machine (or
+   the selected subset). *)
+let failures_of_script ?mutation ?(variants = Sys_select.all) geom script =
   let keep =
     match mutation with None -> fun _ -> true | Some m -> m.Mutate.keep
   in
@@ -75,22 +77,23 @@ let failures_of_script ?mutation geom script =
           mismatch @ (if over_allow then [ Hw_over_allow { machine } ] else [])
       | exception exn ->
           [ Machine_crash { machine; exn = Printexc.to_string exn } ])
-    Sys_select.all
+    variants
 
-let check_script ?mutation geom ~ops ~seed =
+let check_script ?mutation ?variants geom ~ops ~seed =
   let script = Gen.script (Prng.create ~seed) geom ~ops in
-  failures_of_script ?mutation geom script
+  failures_of_script ?mutation ?variants geom script
 
 let is_divergence = function
   | Outcome_mismatch _ | Machine_crash _ -> true
   | Hw_over_allow _ -> false
 
-let minimize_counterexample ?mutation geom ~script_index ~script_seed script =
-  let failing s = failures_of_script ?mutation geom s <> [] in
+let minimize_counterexample ?mutation ?variants geom ~script_index
+    ~script_seed script =
+  let failing s = failures_of_script ?mutation ?variants geom s <> [] in
   let shrunk =
     Shrink.minimize ~valid:(Op.valid geom) ~failing script
   in
-  match failures_of_script ?mutation geom shrunk with
+  match failures_of_script ?mutation ?variants geom shrunk with
   | [] -> None (* cannot happen: minimize preserves [failing] *)
   | failure :: _ ->
       Some
@@ -115,9 +118,10 @@ let batch_bounds ~scripts b =
   (lo, len)
 
 let run ?(jobs = 1) ?(profile = false) ?mutation ?(geom = Op.default_geom)
-    ~ops ~scripts ~seed () =
+    ?(variants = Sys_select.all) ~ops ~scripts ~seed () =
   if ops < 1 then invalid_arg "Harness.run: ops must be >= 1";
   if scripts < 1 then invalid_arg "Harness.run: scripts must be >= 1";
+  if variants = [] then invalid_arg "Harness.run: variants must be non-empty";
   let nb = batch_count ~scripts in
   let run_batch b =
     let lo, len = batch_bounds ~scripts b in
@@ -136,14 +140,14 @@ let run ?(jobs = 1) ?(profile = false) ?mutation ?(geom = Op.default_geom)
           let c = Obs.create () in
           let fs =
             Obs.with_ambient c (fun () ->
-                failures_of_script ?mutation geom script)
+                failures_of_script ?mutation ~variants geom script)
           in
           (match Obs.summarize c with
           | s -> summaries := s :: !summaries
           | exception _ -> ());
           fs
         end
-        else failures_of_script ?mutation geom script
+        else failures_of_script ?mutation ~variants geom script
       in
       if failures <> [] then begin
         if List.exists is_divergence failures then incr divergent;
@@ -155,7 +159,7 @@ let run ?(jobs = 1) ?(profile = false) ?mutation ?(geom = Op.default_geom)
         if !counterexamples = [] then
           Option.iter
             (fun cex -> counterexamples := [ cex ])
-            (minimize_counterexample ?mutation geom ~script_index:i
+            (minimize_counterexample ?mutation ~variants geom ~script_index:i
                ~script_seed:sseed script)
       end
     done;
@@ -175,6 +179,7 @@ let run ?(jobs = 1) ?(profile = false) ?mutation ?(geom = Op.default_geom)
     seed;
     jobs;
     mutation = Option.map (fun m -> m.Mutate.name) mutation;
+    machines = List.map fst variants;
     batches;
     divergent =
       List.fold_left (fun a (b : batch) -> a + b.divergent) 0 batches;
@@ -207,9 +212,14 @@ let report_text r =
        "sasos check: %d scripts x %d ops, seed %d, geometry %dd/%ds/%dp%s\n"
        r.scripts r.ops r.seed r.geom.Op.domains r.geom.Op.segments
        r.geom.Op.pages_per_seg
-       (match r.mutation with
-       | None -> ""
-       | Some m -> Printf.sprintf ", mutation %s" m));
+       ((match r.mutation with
+        | None -> ""
+        | Some m -> Printf.sprintf ", mutation %s" m)
+       ^
+       (* machine subset only when narrowed: the default report stays
+          byte-identical to earlier releases *)
+       if r.machines = List.map fst Sys_select.all then ""
+       else Printf.sprintf ", machines %s" (String.concat "+" r.machines)));
   List.iter
     (fun b ->
       Buffer.add_string buf

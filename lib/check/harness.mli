@@ -41,6 +41,10 @@ type report = {
   seed : int;
   jobs : int;
   mutation : string option;
+  machines : string list;
+      (** names of the machine variants exercised, in
+          {!Sasos_machine.Sys_select.all} order (a subset when [run] was
+          narrowed with [?variants]) *)
   batches : batch list;
   divergent : int;  (** scripts with any outcome mismatch or crash *)
   over_allows : int;  (** scripts where some machine's hardware over-allowed *)
@@ -57,19 +61,30 @@ val script_seed : seed:int -> int -> int
     and jobs, so any script can be regenerated in isolation. *)
 
 val check_script :
-  ?mutation:Mutate.t -> Op.geom -> ops:int -> seed:int -> failure list
-(** Generate and evaluate one script; [[]] means full agreement. *)
+  ?mutation:Mutate.t ->
+  ?variants:(string * Sasos_machine.Sys_select.variant) list ->
+  Op.geom ->
+  ops:int ->
+  seed:int ->
+  failure list
+(** Generate and evaluate one script; [[]] means full agreement.
+    [?variants] restricts the machines exercised (default: all). *)
 
 val run :
   ?jobs:int ->
   ?profile:bool ->
   ?mutation:Mutate.t ->
   ?geom:Op.geom ->
+  ?variants:(string * Sasos_machine.Sys_select.variant) list ->
   ops:int ->
   scripts:int ->
   seed:int ->
   unit ->
   report
+(** [?variants] restricts the run to a subset of machine models (default
+    {!Sasos_machine.Sys_select.all}); raises [Invalid_argument] on an
+    empty list. Narrowing adds a [, machines ...] note to the report
+    header; the default report text is unchanged. *)
 
 val failed : report -> bool
 (** True when any divergence, crash or over-allow was found. *)

@@ -12,7 +12,8 @@
     - {!Hw}: TLB, PLB, page-group cache, data cache, metrics, cost model
     - {!Mem}: frames, inverted page table, backing store, compressor
     - {!Os}: segments, configuration, the SYSTEM interface, shared OS state
-    - {!Machines}: the three protection-machine implementations
+    - {!Machines}: the protection-machine implementations (PLB,
+      page-group, protection-keys, conventional MAS)
     - {!Workloads}: the Table 1 application classes and supporting streams
     - {!Trace}: portable operation traces (record / replay / store)
     - {!Experiments}: one module per paper table/figure/claim
@@ -47,6 +48,7 @@ module Hw = struct
   module Plb = Sasos_hw.Plb
   module Page_group_cache = Sasos_hw.Page_group_cache
   module Data_cache = Sasos_hw.Data_cache
+  module Key_regs = Sasos_hw.Key_regs
   module Metrics = Sasos_hw.Metrics
   module Cost_model = Sasos_hw.Cost_model
   module Probe = Sasos_hw.Probe
@@ -84,6 +86,7 @@ module System_ops = Sasos_os.System_ops
 module Machines = struct
   module Plb_machine = Sasos_machine.Plb_machine
   module Pg_machine = Sasos_machine.Pg_machine
+  module Pk_machine = Sasos_machine.Pk_machine
   module Conv_machine = Sasos_machine.Conv_machine
   include Sasos_machine.Sys_select
 end

@@ -41,6 +41,7 @@ let set_default_engine e = Atomic.set global_engine e
       9   switch            -                         pd      -         -
      10   access            kind (2b)                 seg     off       -
      11   unmap             -                         seg     page      -
+     12   charge            -                         cycles  pg-ins    pg-outs
 
    Index lanes (pd / seg / pages / page / name index) are validated to 26
    bits and offsets to 31 bits at compile time: an operand outside its
@@ -66,6 +67,7 @@ let tag_protect_segment = 8
 let tag_switch = 9
 let tag_access = 10
 let tag_unmap = 11
+let tag_charge = 12
 
 type program = { code : int array; names : string array }
 
@@ -159,7 +161,12 @@ let compile events =
       | Event.Unmap { seg; page } ->
           lane_check i "segment index" id_bits seg;
           lane_check i "page" id_bits page;
-          emit tag_unmap seg page 0)
+          emit tag_unmap seg page 0
+      | Event.Charge { cycles; page_ins; page_outs } ->
+          lane_check i "cycles" off_bits cycles;
+          lane_check i "page-ins" off_bits page_ins;
+          lane_check i "page-outs" off_bits page_outs;
+          emit tag_charge cycles page_ins page_outs)
     events;
   { code; names = Array.of_list (List.rev !pool) }
 
@@ -199,6 +206,7 @@ let decode_one { code; names } i =
       in
       Event.Access { kind; seg = a; off = b }
   | 11 -> Event.Unmap { seg = a; page = b }
+  | 12 -> Event.Charge { cycles = a; page_ins = b; page_outs = c }
   | t -> invalid_arg (Printf.sprintf "Engine.decode: bad opcode tag %d" t)
 
 let to_events prog = List.init (length prog) (decode_one prog)
@@ -234,6 +242,7 @@ let phase_names =
     "trace:switch";
     "trace:access";
     "trace:unmap";
+    "trace:charge";
   |]
 
 let exec prog sys =
@@ -319,6 +328,7 @@ let exec prog sys =
         if b < 0 || b >= sg.Segment.pages then
           raise (Bad (Printf.sprintf "page %d outside segment %d" b a));
         System_ops.unmap_page sys (Segment.first_vpn sg + b)
+    | 12 -> System_ops.charge_external sys ~page_ins:b ~page_outs:c ~cycles:a ()
     | t -> invalid_arg (Printf.sprintf "Engine.exec: bad opcode tag %d" t)
   in
   let obs = Sasos_obs.Obs.ambient () in

@@ -78,13 +78,15 @@ let run () =
      entries; the PLB needs 2 entries per shared page, so segments\nbeyond \
      32 pages exceed its reach while the page-group TLB still fits.\n\n";
   let sizes = [ 16; 24; 32; 48; 64 ] in
-  let t =
-    Tablefmt.create
-      (("lock period K", Tablefmt.Right)
-      :: List.map
-           (fun p -> (Printf.sprintf "%d pages" p, Tablefmt.Right))
-           sizes)
+  let periods = [ 0; 2000; 500; 100; 25; 10; 5 ] in
+  let header =
+    ("lock period K", Tablefmt.Right)
+    :: List.map
+         (fun p -> (Printf.sprintf "%d pages" p, Tablefmt.Right))
+         sizes
   in
+  let t = Tablefmt.create header in
+  let t_pk = Tablefmt.create header in
   List.iter
     (fun lock_period ->
       let cells =
@@ -92,15 +94,21 @@ let run () =
           (fun pages ->
             let mp = run_one Sys_select.Plb ~pages ~lock_period in
             let mg = run_one Sys_select.Page_group ~pages ~lock_period in
-            Tablefmt.cell_ratio
-              (float_of_int mg.Metrics.cycles)
-              (float_of_int mp.Metrics.cycles))
+            let mk = run_one Sys_select.Pk ~pages ~lock_period in
+            ( Tablefmt.cell_ratio
+                (float_of_int mg.Metrics.cycles)
+                (float_of_int mp.Metrics.cycles),
+              Tablefmt.cell_ratio
+                (float_of_int mk.Metrics.cycles)
+                (float_of_int mp.Metrics.cycles) ))
           sizes
       in
-      Tablefmt.add_row t
-        ((if lock_period = 0 then "static" else string_of_int lock_period)
-        :: cells))
-    [ 0; 2000; 500; 100; 25; 10; 5 ];
+      let label =
+        if lock_period = 0 then "static" else string_of_int lock_period
+      in
+      Tablefmt.add_row t (label :: List.map fst cells);
+      Tablefmt.add_row t_pk (label :: List.map snd cells))
+    periods;
   Buffer.add_string buf (Tablefmt.render t);
   Buffer.add_string buf
     "\nExpected shape (§4.1.2): the page-group model wins when sharing is \
@@ -108,6 +116,14 @@ let run () =
      when protection changes are frequent and its\nreach suffices (lower \
      left). The frontier is the paper's \"it depends on which operations\n\
      are most common\".\n";
+  Buffer.add_string buf
+    "\nThe same grid for the protection-keys machine; cells are (pk cycles \
+     / PLB cycles).\nA lock flip splits the hot page off the segment's \
+     shared key and back, so frequent\nlocking churns key allocations; the \
+     default 8-key register file covers this two-domain\nworkload without \
+     recycling, and one TLB entry per page gives the page-group model's\n\
+     reach without its regroup traps:\n\n";
+  Buffer.add_string buf (Tablefmt.render t_pk);
   Buffer.add_string buf
     "\nServer-structured OS (the mixed realistic point, §2.1):\n\n";
   let t2 =
@@ -117,6 +133,7 @@ let run () =
         ("cycles", Tablefmt.Right);
         ("prot miss%", Tablefmt.Right);
         ("regroups", Tablefmt.Right);
+        ("key recycles", Tablefmt.Right);
         ("sweep slots", Tablefmt.Right);
       ]
   in
@@ -130,7 +147,7 @@ let run () =
         match variant with
         | Sys_select.Plb -> Metrics.plb_miss_ratio m
         | Sys_select.Page_group -> Metrics.pg_miss_ratio m
-        | Sys_select.Conv_asid | Sys_select.Conv_flush ->
+        | Sys_select.Pk | Sys_select.Conv_asid | Sys_select.Conv_flush ->
             Metrics.tlb_miss_ratio m
       in
       Tablefmt.add_row t2
@@ -139,9 +156,11 @@ let run () =
           Tablefmt.cell_int m.Metrics.cycles;
           Tablefmt.cell_float (100.0 *. prot_miss);
           Tablefmt.cell_int m.Metrics.regroups;
+          Tablefmt.cell_int m.Metrics.key_recycles;
           Tablefmt.cell_int m.Metrics.entries_inspected;
         ])
-    [ Sys_select.Plb; Sys_select.Page_group; Sys_select.Conv_asid ];
+    [ Sys_select.Plb; Sys_select.Page_group; Sys_select.Pk;
+      Sys_select.Conv_asid ];
   Buffer.add_string buf (Tablefmt.render t2);
   Buffer.contents buf
 
@@ -152,8 +171,8 @@ let experiment =
     paper_ref = "§4.1.2, §6";
     description =
       "Sweep the frequency of per-domain protection changes against plain \
-       sharing and report the measured crossover between the domain-page \
-       and page-group models, plus a server-structured OS as the realistic \
-       mixed point.";
+       sharing and report the measured crossover between the domain-page, \
+       page-group and protection-keys models, plus a server-structured OS \
+       as the realistic mixed point.";
     run;
   }

@@ -55,8 +55,8 @@ let run () =
      by two domains; cost model of DESIGN.md §4):\n\n";
   let variants =
     [
-      Sys_select.Plb; Sys_select.Page_group; Sys_select.Conv_asid;
-      Sys_select.Conv_flush;
+      Sys_select.Plb; Sys_select.Page_group; Sys_select.Pk;
+      Sys_select.Conv_asid; Sys_select.Conv_flush;
     ]
   in
   let results = List.map (fun v -> (v, measure v)) variants in
@@ -82,7 +82,8 @@ let run () =
      pg-cache purge vs TLB+cache flush (conv-flush); per-domain grant = one \
      PLB entry vs page regroup; all-domain protect = PLB sweep vs one TLB \
      entry; whole-segment protect = sweep (PLB/conv) vs home-group \
-     rebuild.\n";
+     rebuild. The pk column is the protection-keys machine: switch = one \
+     key-register swap, segment-wide protects = register-lane rewrites.\n";
   Buffer.contents buf
 
 let experiment =

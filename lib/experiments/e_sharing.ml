@@ -38,7 +38,8 @@ let prot_miss variant (m : Metrics.t) =
   match variant with
   | Sys_select.Plb -> Metrics.plb_miss_ratio m
   | Sys_select.Page_group -> Metrics.pg_miss_ratio m
-  | Sys_select.Conv_asid | Sys_select.Conv_flush -> Metrics.tlb_miss_ratio m
+  | Sys_select.Pk | Sys_select.Conv_asid | Sys_select.Conv_flush ->
+      Metrics.tlb_miss_ratio m
 
 let run () =
   let buf = Buffer.create 4096 in
@@ -48,7 +49,8 @@ let run () =
      the hottest page after the run (duplication), miss%% = protection \
      structure miss rate.\n\n";
   let variants =
-    [ Sys_select.Plb; Sys_select.Page_group; Sys_select.Conv_asid ]
+    [ Sys_select.Plb; Sys_select.Page_group; Sys_select.Pk;
+      Sys_select.Conv_asid ]
   in
   let t =
     Tablefmt.create
@@ -78,7 +80,8 @@ let run () =
   Buffer.add_string buf (Tablefmt.render t);
   Buffer.add_string buf
     "\nExpected shape: PLB and conv-asid replicate entries with N (reach \
-     shrinks); page-group holds a single TLB entry regardless of N.\n";
+     shrinks); page-group and pk hold a single TLB entry regardless of N \
+     (pk spends key-register lanes, not TLB slots, on per-domain rights).\n";
   Buffer.contents buf
 
 let experiment =

@@ -13,6 +13,7 @@ type t = {
   purge_per_entry : int;
   domain_switch : int;
   pd_id_write : int;
+  key_reg_write : int;
   pg_sequential_penalty : int;
   table_op : int;
   ipi : int;
@@ -34,6 +35,7 @@ let default =
     purge_per_entry = 1;
     domain_switch = 10;
     pd_id_write = 1;
+    key_reg_write = 1;
     pg_sequential_penalty = 0;
     table_op = 5;
     ipi = 80;
@@ -49,6 +51,7 @@ let v ?(cache_hit = default.cache_hit) ?(cache_miss = default.cache_miss)
     ?(purge_per_entry = default.purge_per_entry)
     ?(domain_switch = default.domain_switch)
     ?(pd_id_write = default.pd_id_write)
+    ?(key_reg_write = default.key_reg_write)
     ?(pg_sequential_penalty = default.pg_sequential_penalty)
     ?(table_op = default.table_op) ?(ipi = default.ipi) () =
   {
@@ -66,6 +69,7 @@ let v ?(cache_hit = default.cache_hit) ?(cache_miss = default.cache_miss)
     purge_per_entry;
     domain_switch;
     pd_id_write;
+    key_reg_write;
     pg_sequential_penalty;
     table_op;
     ipi;

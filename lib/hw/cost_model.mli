@@ -21,6 +21,9 @@ type t = {
   purge_per_entry : int;  (** per slot inspected during a sweep *)
   domain_switch : int;  (** scheduler path, excludes structure work *)
   pd_id_write : int;  (** writing the PD-ID register (PLB switch) *)
+  key_reg_write : int;
+      (** writing one lane of the key-rights register file (Pk machine:
+          domain switch swaps the register, rights changes rewrite lanes) *)
   pg_sequential_penalty : int;
       (** extra latency per access for the page-group model's serialized
           TLB-then-PID comparison (§4.2); 0 assumes the cycle absorbs it *)
@@ -45,6 +48,7 @@ val v :
   ?purge_per_entry:int ->
   ?domain_switch:int ->
   ?pd_id_write:int ->
+  ?key_reg_write:int ->
   ?pg_sequential_penalty:int ->
   ?table_op:int ->
   ?ipi:int ->

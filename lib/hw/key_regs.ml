@@ -1,0 +1,51 @@
+open Sasos_addr
+
+(* One packed int row per domain: key [k]'s rights live in the 3-bit lane
+   at [k * Rights.bits], the same lane discipline as the packed TLB entry.
+   20 lanes * 3 bits = 60 bits, comfortably inside OCaml's 63-bit int. *)
+
+let lane_bits = Rights.bits
+let lane_mask = (1 lsl lane_bits) - 1
+let max_keys = 20
+let min_keys = 2
+
+type t = {
+  keys : int;
+  rows : (int, int) Hashtbl.t; (* pd -> packed rights lanes *)
+}
+
+let create ~keys =
+  if keys < min_keys || keys > max_keys then
+    invalid_arg
+      (Printf.sprintf
+         "Key_regs.create: %d keys outside the register file range [%d, %d]"
+         keys min_keys max_keys);
+  { keys; rows = Hashtbl.create 16 }
+
+let keys t = t.keys
+
+let check_key t fn key =
+  if key < 0 || key >= t.keys then
+    invalid_arg
+      (Printf.sprintf "Key_regs.%s: key %d outside the %d-key register file"
+         fn key t.keys)
+
+let row t ~pd = Option.value (Hashtbl.find_opt t.rows pd) ~default:0
+
+let get t ~pd ~key =
+  check_key t "get" key;
+  Rights.of_int ((row t ~pd lsr (key * lane_bits)) land lane_mask)
+
+let set t ~pd ~key rights =
+  check_key t "set" key;
+  let shift = key * lane_bits in
+  let cleared = row t ~pd land lnot (lane_mask lsl shift) in
+  Hashtbl.replace t.rows pd (cleared lor (Rights.to_int rights lsl shift))
+
+let clear_key t ~key =
+  check_key t "clear_key" key;
+  let mask = lnot (lane_mask lsl (key * lane_bits)) in
+  Hashtbl.fold (fun pd r acc -> (pd, r land mask) :: acc) t.rows []
+  |> List.iter (fun (pd, r) -> Hashtbl.replace t.rows pd r)
+
+let drop_domain t ~pd = Hashtbl.remove t.rows pd

@@ -1,0 +1,44 @@
+open Sasos_addr
+
+(** Per-domain protection-key rights register file (the Pk machine's PKRU).
+
+    Each domain owns one packed register: key [k]'s rights occupy the
+    3-bit lane at bit [k * Rights.bits], reusing the lane discipline of
+    the packed TLB entry. A domain switch makes a different row current —
+    one register write, no cache or TLB work — which is the protection-keys
+    answer to the paper's domain-switch question. *)
+
+type t
+
+val lane_bits : int
+(** Bits per key lane ({!Sasos_addr.Rights.bits} = 3). *)
+
+val max_keys : int
+(** Largest register file representable in one packed int row (20). *)
+
+val min_keys : int
+(** Smallest useful file: key 0 is reserved as the always-deny trap key,
+    so at least one allocatable key is required (2). *)
+
+val create : keys:int -> t
+(** @raise Invalid_argument when [keys] is outside [[min_keys, max_keys]]. *)
+
+val keys : t -> int
+
+val get : t -> pd:int -> key:int -> Rights.t
+(** Rights the domain's register grants through [key]; {!Rights.none} for
+    a domain that never had a lane written.
+    @raise Invalid_argument naming the key index when [key] is outside
+    the file. *)
+
+val set : t -> pd:int -> key:int -> Rights.t -> unit
+(** @raise Invalid_argument naming the key index when [key] is outside
+    the file. *)
+
+val clear_key : t -> key:int -> unit
+(** Zero [key]'s lane in every domain's register (key retirement). *)
+
+val drop_domain : t -> pd:int -> unit
+
+val row : t -> pd:int -> int
+(** The domain's raw packed register, for tests and debugging. *)

@@ -32,6 +32,9 @@ type t = {
   mutable regroups : int;
   mutable cache_synonyms : int;
   mutable shootdowns : int;
+  mutable key_allocs : int;
+  mutable key_recycles : int;
+  mutable key_reg_writes : int;
   mutable cycles : int;
 }
 
@@ -70,6 +73,9 @@ let create () =
     regroups = 0;
     cache_synonyms = 0;
     shootdowns = 0;
+    key_allocs = 0;
+    key_recycles = 0;
+    key_reg_writes = 0;
     cycles = 0;
   }
 
@@ -108,6 +114,9 @@ let fields t =
     ("regroups", t.regroups);
     ("cache_synonyms", t.cache_synonyms);
     ("shootdowns", t.shootdowns);
+    ("key_allocs", t.key_allocs);
+    ("key_recycles", t.key_recycles);
+    ("key_reg_writes", t.key_reg_writes);
     ("cycles", t.cycles);
   ]
 
@@ -145,6 +154,9 @@ let reset t =
   t.regroups <- 0;
   t.cache_synonyms <- 0;
   t.shootdowns <- 0;
+  t.key_allocs <- 0;
+  t.key_recycles <- 0;
+  t.key_reg_writes <- 0;
   t.cycles <- 0
 
 let copy t =
@@ -182,6 +194,9 @@ let copy t =
     regroups = t.regroups;
     cache_synonyms = t.cache_synonyms;
     shootdowns = t.shootdowns;
+    key_allocs = t.key_allocs;
+    key_recycles = t.key_recycles;
+    key_reg_writes = t.key_reg_writes;
     cycles = t.cycles;
   }
 
@@ -220,6 +235,9 @@ let diff a b =
     regroups = a.regroups - b.regroups;
     cache_synonyms = a.cache_synonyms - b.cache_synonyms;
     shootdowns = a.shootdowns - b.shootdowns;
+    key_allocs = a.key_allocs - b.key_allocs;
+    key_recycles = a.key_recycles - b.key_recycles;
+    key_reg_writes = a.key_reg_writes - b.key_reg_writes;
     cycles = a.cycles - b.cycles;
   }
 
@@ -257,6 +275,9 @@ let add_into acc x =
   acc.regroups <- acc.regroups + x.regroups;
   acc.cache_synonyms <- acc.cache_synonyms + x.cache_synonyms;
   acc.shootdowns <- acc.shootdowns + x.shootdowns;
+  acc.key_allocs <- acc.key_allocs + x.key_allocs;
+  acc.key_recycles <- acc.key_recycles + x.key_recycles;
+  acc.key_reg_writes <- acc.key_reg_writes + x.key_reg_writes;
   acc.cycles <- acc.cycles + x.cycles
 
 let ratio num den =

@@ -41,6 +41,13 @@ type t = {
       (** gauge: physical lines resident under two tags (MAS VIVT hazard) *)
   mutable shootdowns : int;
       (** inter-processor broadcasts for shared-structure mutations *)
+  mutable key_allocs : int;
+      (** protection keys bound to a fresh rights signature (Pk machine) *)
+  mutable key_recycles : int;
+      (** keys stolen from a live signature on exhaustion, forcing a
+          shootdown-style purge of the entries tagged with the victim key *)
+  mutable key_reg_writes : int;
+      (** writes to the per-domain key-rights register file *)
   mutable cycles : int;
 }
 

@@ -357,6 +357,9 @@ module Common = struct
   let model = System_intf.Conventional
   let os t = t.os
   let metrics = metrics
+
+  let charge_external t ~cycles ~page_ins ~page_outs =
+    Machine_common.charge_external t.os ~cycles ~page_ins ~page_outs
   let new_domain t = Os_core.new_domain t.os
   let current_domain = current_domain
   let switch_domain = switch_domain

@@ -5,6 +5,13 @@
 open Sasos_hw
 open Sasos_os
 
+val charge_external : Os_core.t -> cycles:int -> page_ins:int ->
+  page_outs:int -> unit
+(** The shared implementation of
+    {!Sasos_os.System_intf.SYSTEM.charge_external}: bump the paging
+    counters and charge the cycles. Raises [Invalid_argument] on a
+    negative amount. *)
+
 val charge_shootdown : Os_core.t -> unit
 (** One inter-processor broadcast: when [Config.cpus > 1], count a
     shootdown and charge one IPI round per remote CPU. No-op on a

@@ -63,6 +63,10 @@ module Make (S : System_intf.SYSTEM) = struct
   let unmap_page t vpn =
     spanned t "unmap_page" (fun () -> S.unmap_page t.inner vpn)
 
+  let charge_external t ~cycles ~page_ins ~page_outs =
+    spanned t "charge_external" (fun () ->
+        S.charge_external t.inner ~cycles ~page_ins ~page_outs)
+
   let access t kind va =
     let outcome = spanned t "access" (fun () -> S.access t.inner kind va) in
     Obs.tick t.mh;

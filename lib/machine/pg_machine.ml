@@ -56,6 +56,9 @@ let create (config : Config.t) =
 
 let os t = t.os
 let metrics t = t.os.Os_core.metrics
+
+let charge_external t ~cycles ~page_ins ~page_outs =
+  Machine_common.charge_external t.os ~cycles ~page_ins ~page_outs
 let cost t = t.os.Os_core.cost
 let geom t = t.os.Os_core.geom
 let new_domain t = Os_core.new_domain t.os

@@ -1,14 +1,19 @@
 open Sasos_os
 
-type variant = Plb | Page_group | Conv_asid | Conv_flush
+type variant = Plb | Page_group | Pk | Conv_asid | Conv_flush
 
 let all =
   [
     ("plb", Plb);
     ("page-group", Page_group);
+    ("pk", Pk);
     ("conv-asid", Conv_asid);
     ("conv-flush", Conv_flush);
   ]
+
+(* The stable names joined for CLI/doc use — generated so a new machine
+   cannot drift out of --help texts (a test greps README for each name). *)
+let names_doc = String.concat ", " (List.map fst all)
 
 let of_string s =
   List.assoc_opt (String.lowercase_ascii s) all
@@ -16,6 +21,7 @@ let of_string s =
 let to_string = function
   | Plb -> "plb"
   | Page_group -> "page-group"
+  | Pk -> "pk"
   | Conv_asid -> "conv-asid"
   | Conv_flush -> "conv-flush"
 
@@ -29,6 +35,10 @@ let make_plain variant config =
       System_intf.Packed
         ((module Pg_machine : System_intf.SYSTEM with type t = Pg_machine.t),
          Pg_machine.create config)
+  | Pk ->
+      System_intf.Packed
+        ((module Pk_machine : System_intf.SYSTEM with type t = Pk_machine.t),
+         Pk_machine.create config)
   | Conv_asid ->
       System_intf.Packed
         ((module Conv_machine.Asid : System_intf.SYSTEM

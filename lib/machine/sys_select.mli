@@ -2,10 +2,15 @@
 
 open Sasos_os
 
-type variant = Plb | Page_group | Conv_asid | Conv_flush
+type variant = Plb | Page_group | Pk | Conv_asid | Conv_flush
 
 val all : (string * variant) list
-(** Stable names: ["plb"], ["page-group"], ["conv-asid"], ["conv-flush"]. *)
+(** Stable names: ["plb"], ["page-group"], ["pk"], ["conv-asid"],
+    ["conv-flush"]. *)
+
+val names_doc : string
+(** The stable names of {!all} joined with [", "] — the single source for
+    CLI help texts and docs, so a new machine cannot drift out of them. *)
 
 val of_string : string -> variant option
 val to_string : variant -> string

@@ -23,6 +23,8 @@ type t = {
   l2_ways : int;
   frames : int;
   cpus : int;
+  pk_keys : int;
+  pk_policy : [ `Recycle | `Trap ];
 }
 
 let default =
@@ -48,6 +50,8 @@ let default =
     l2_ways = 4;
     frames = 64 * 1024;
     cpus = 1;
+    pk_keys = 8;
+    pk_policy = `Recycle;
   }
 
 let v ?(geom = default.geom) ?(cost = default.cost) ?(seed = default.seed)
@@ -61,7 +65,8 @@ let v ?(geom = default.geom) ?(cost = default.cost) ?(seed = default.seed)
     ?(cache_line = default.cache_line) ?(cache_ways = default.cache_ways)
     ?(l2_bytes = default.l2_bytes) ?(l2_line = default.l2_line)
     ?(l2_ways = default.l2_ways) ?(frames = default.frames)
-    ?(cpus = default.cpus) () =
+    ?(cpus = default.cpus) ?(pk_keys = default.pk_keys)
+    ?(pk_policy = default.pk_policy) () =
   let plb_shifts =
     match plb_shifts with
     | Some s -> s
@@ -89,4 +94,6 @@ let v ?(geom = default.geom) ?(cost = default.cost) ?(seed = default.seed)
     l2_ways;
     frames;
     cpus;
+    pk_keys;
+    pk_policy;
   }

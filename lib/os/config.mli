@@ -45,6 +45,15 @@ type t = {
       (** processors; above 1, kernel mutations of shared hardware state
           broadcast inter-processor shootdowns and sweeps run on every
           CPU's private structures (§4.1.3) *)
+  pk_keys : int;
+      (** protection-keys machine: register-file width in keys, including
+          the reserved always-deny key 0; default 8, x86 MPK would be 16 *)
+  pk_policy : [ `Recycle | `Trap ];
+      (** what the Pk machine does when every key is bound to a live rights
+          signature and a new one appears: [`Recycle] steals a victim key
+          (shootdown-style purge of its TLB entries), [`Trap] leaves the
+          page on the trap key so every access is kernel-mediated until a
+          key frees up *)
 }
 
 val default : t
@@ -71,6 +80,8 @@ val v :
   ?l2_ways:int ->
   ?frames:int ->
   ?cpus:int ->
+  ?pk_keys:int ->
+  ?pk_policy:[ `Recycle | `Trap ] ->
   unit ->
   t
 (** Build a configuration, defaulting every field from {!default}. When

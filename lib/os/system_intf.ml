@@ -9,11 +9,12 @@
 open Sasos_addr
 open Sasos_hw
 
-type model = Domain_page | Page_group | Conventional
+type model = Domain_page | Page_group | Protection_keys | Conventional
 
 let model_to_string = function
   | Domain_page -> "domain-page (PLB)"
   | Page_group -> "page-group (PA-RISC)"
+  | Protection_keys -> "protection-keys (MPK)"
   | Conventional -> "conventional (MAS)"
 
 module type SYSTEM = sig
@@ -86,6 +87,18 @@ module type SYSTEM = sig
   (** One load/store/fetch by the current domain. Refills structures and
       pages in on demand; returns [Protection_fault] when the ground truth
       denies the access (after the kernel has confirmed). *)
+
+  (** {2 External costs} *)
+
+  val charge_external : t -> cycles:int -> page_ins:int -> page_outs:int ->
+    unit
+  (** Account workload-level costs the machine does not model — a DSM
+      network fetch, compression work, a checkpoint disk write — against
+      this machine's metrics. Going through the interface (instead of
+      mutating {!metrics} directly) lets a trace recorder capture the
+      charge, so a batch-engine replay re-applies it to the replayed
+      machine and both engines report identical cycles.
+      @raise Invalid_argument on a negative amount. *)
 
   (** {2 Introspection (experiments, tests)} *)
 

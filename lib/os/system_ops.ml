@@ -35,6 +35,10 @@ let resident_prot_entries_for (Packed ((module S), t)) va =
 
 let hw_over_allows (Packed ((module S), t)) probes = S.hw_over_allows t probes
 
+let charge_external (Packed ((module S), t)) ?(page_ins = 0) ?(page_outs = 0)
+    ~cycles () =
+  S.charge_external t ~cycles ~page_ins ~page_outs
+
 let read sys va = access sys Access.Read va
 let write sys va = access sys Access.Write va
 

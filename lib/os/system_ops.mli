@@ -39,6 +39,16 @@ val access : System_intf.packed -> Access.kind -> Va.t -> Access.outcome
 val resident_prot_entries_for : System_intf.packed -> Va.t -> int
 val hw_over_allows : System_intf.packed -> (Pd.t * Va.t) list -> bool
 
+val charge_external :
+  System_intf.packed -> ?page_ins:int -> ?page_outs:int -> cycles:int ->
+  unit -> unit
+(** Account workload-level costs the machine does not model (a DSM network
+    fetch, compression work, a checkpoint disk write). Workloads must use
+    this instead of mutating {!metrics} directly: the charge goes through
+    the SYSTEM interface, so a trace recorder captures it and a
+    batch-engine replay re-applies it — both engines then report identical
+    cycle totals. @raise Invalid_argument on a negative amount. *)
+
 val read : System_intf.packed -> Va.t -> Access.outcome
 (** [access sys Read va]. *)
 

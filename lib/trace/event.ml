@@ -13,6 +13,7 @@ type t =
   | Switch of { pd : int }
   | Access of { kind : Access.kind; seg : int; off : int }
   | Unmap of { seg : int; page : int }
+  | Charge of { cycles : int; page_ins : int; page_outs : int }
 
 let kind_char = function
   | Access.Read -> 'r'
@@ -40,6 +41,8 @@ let to_line = function
   | Access { kind; seg; off } ->
       Printf.sprintf "access %c %d %d" (kind_char kind) seg off
   | Unmap { seg; page } -> Printf.sprintf "unmap %d %d" seg page
+  | Charge { cycles; page_ins; page_outs } ->
+      Printf.sprintf "charge %d %d %d" cycles page_ins page_outs
 
 let label = function
   | New_domain -> "domain"
@@ -54,6 +57,7 @@ let label = function
   | Switch _ -> "switch"
   | Access _ -> "access"
   | Unmap _ -> "unmap"
+  | Charge _ -> "charge"
 
 let of_line line =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
@@ -127,6 +131,11 @@ let of_line line =
       let* seg = int_of seg ~what:"segment" in
       let* page = int_of page ~what:"page" in
       Ok (Unmap { seg; page })
+  | [ "charge"; cycles; ins; outs ] ->
+      let* cycles = int_of cycles ~what:"cycles" in
+      let* page_ins = int_of ins ~what:"page-ins" in
+      let* page_outs = int_of outs ~what:"page-outs" in
+      Ok (Charge { cycles; page_ins; page_outs })
   | _ -> fail "unrecognized trace line: %S" line
 
 let equal (a : t) b = a = b

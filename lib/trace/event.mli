@@ -20,6 +20,10 @@ type t =
   | Switch of { pd : int }
   | Access of { kind : Access.kind; seg : int; off : int }
   | Unmap of { seg : int; page : int }
+  | Charge of { cycles : int; page_ins : int; page_outs : int }
+      (** Workload-level cost the machine does not model (a DSM network
+          fetch, compression work, a checkpoint disk write) — recorded so
+          a replay charges the replayed machine identically. *)
 
 val to_line : t -> string
 (** One-line textual encoding (whitespace-separated, stable). *)

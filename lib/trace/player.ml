@@ -69,6 +69,8 @@ let replay trace sys =
         if page < 0 || page >= sg.Segment.pages then
           raise (Bad (Printf.sprintf "page %d outside segment %d" page s));
         System_ops.unmap_page sys (Segment.first_vpn sg + page)
+    | Event.Charge { cycles; page_ins; page_outs } ->
+        System_ops.charge_external sys ~page_ins ~page_outs ~cycles ()
   in
   (* When a collector is ambient, each replayed event becomes a phase span
      named after its keyword; with_phase is exception-safe, so a Bad event

@@ -120,6 +120,10 @@ let access t kind va =
   | None -> ());
   System_ops.access t.inner kind va
 
+let charge_external t ~cycles ~page_ins ~page_outs =
+  push t (Event.Charge { cycles; page_ins; page_outs });
+  System_ops.charge_external t.inner ~page_ins ~page_outs ~cycles ()
+
 let resident_prot_entries_for t va =
   System_ops.resident_prot_entries_for t.inner va
 

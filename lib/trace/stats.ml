@@ -53,6 +53,7 @@ let of_events events =
             { acc with protects = acc.protects + 1 }
         | Event.Switch _ -> { acc with switches = acc.switches + 1 }
         | Event.Unmap _ -> { acc with unmaps = acc.unmaps + 1 }
+        | Event.Charge _ -> acc
         | Event.Access { kind; seg; off } ->
             Hashtbl.replace pages (seg, off lsr 12) ();
             let acc = { acc with accesses = acc.accesses + 1 } in

@@ -39,7 +39,6 @@ let run ?(params = default) sys =
   System_ops.attach sys app data Rights.rw;
   System_ops.attach sys server data Rights.r;
   let zipf = Zipf.create ~n:p.data_pages ~theta:p.theta in
-  let metrics = System_ops.metrics sys in
   let cost = (System_ops.os sys).Os_core.cost in
   let traps = ref 0 and copied_total = ref 0 in
   let copied = Array.make p.data_pages true in
@@ -55,8 +54,8 @@ let run ?(params = default) sys =
     if not copied.(idx) then begin
       System_ops.switch_domain sys server;
       System_ops.must_ok sys Access.Read (Segment.page_va data idx);
-      metrics.Metrics.page_outs <- metrics.Metrics.page_outs + 1;
-      metrics.Metrics.cycles <- metrics.Metrics.cycles + cost.Cost_model.page_out;
+      System_ops.charge_external sys ~page_outs:1
+        ~cycles:cost.Cost_model.page_out ();
       System_ops.grant sys app (Segment.page_va data idx) Rights.rw;
       copied.(idx) <- true;
       incr copied_total;

@@ -1,5 +1,4 @@
 open Sasos_addr
-open Sasos_hw
 open Sasos_mem
 open Sasos_os
 open Sasos_util
@@ -30,7 +29,6 @@ let run ?(params = default) sys =
   let rng = Prng.create ~seed:p.seed in
   let os = System_ops.os sys in
   let geometry = os.Os_core.geom in
-  let metrics = System_ops.metrics sys in
   let app = System_ops.new_domain sys in
   let server = System_ops.new_domain sys in
   let data = System_ops.new_segment sys ~name:"data" ~pages:p.data_pages () in
@@ -45,7 +43,7 @@ let run ?(params = default) sys =
   let core_count = ref 0 in
   let is_in = Array.make p.data_pages false in
   let outs = ref 0 and ins = ref 0 in
-  let charge c = metrics.Metrics.cycles <- metrics.Metrics.cycles + c in
+  let charge c = System_ops.charge_external sys ~cycles:c () in
   (* Page-out: make the page inaccessible to the client, compress it, write
      it to the store and unmap it (Table 1). *)
   let page_out idx =

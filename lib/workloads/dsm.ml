@@ -1,5 +1,4 @@
 open Sasos_addr
-open Sasos_hw
 open Sasos_os
 open Sasos_util
 
@@ -52,9 +51,10 @@ let run ?(params = default) sys =
   and write_faults = ref 0
   and invalidations = ref 0
   and updates = ref 0 in
-  let metrics = System_ops.metrics sys in
+  (* network latency is a workload cost, not a machine op: charged through
+     the SYSTEM interface so a batch-engine replay re-applies it *)
   let charge_network () =
-    metrics.Metrics.cycles <- metrics.Metrics.cycles + p.remote_fetch_cycles
+    System_ops.charge_external sys ~cycles:p.remote_fetch_cycles ()
   in
   let cur = ref 0 in
   System_ops.switch_domain sys nodes.(0);
@@ -136,8 +136,8 @@ let run ?(params = default) sys =
             in
             if remote > 0 then begin
               updates := !updates + remote;
-              metrics.Metrics.cycles <-
-                metrics.Metrics.cycles + (remote * p.remote_fetch_cycles / 10)
+              System_ops.charge_external sys
+                ~cycles:(remote * p.remote_fetch_cycles / 10) ()
             end
           end
       end

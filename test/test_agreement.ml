@@ -137,8 +137,8 @@ let run_script variant script =
   in
   (List.rev !outcomes, System_ops.hw_over_allows sys probes)
 
-let all_variants =
-  [ Machines.Plb; Machines.Page_group; Machines.Conv_asid; Machines.Conv_flush ]
+(* derived from the registry so a new machine is enrolled automatically *)
+let all_variants = List.map snd Machines.all
 
 let prop_agreement =
   QCheck2.Test.make ~count:300 ~print:show_script

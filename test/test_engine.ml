@@ -285,7 +285,69 @@ let test_engine_lane_boundaries () =
         lane")
     (fun () ->
       compile
-        [ Trace.Event.Attach { pd = 1 lsl 26; seg = 0; rights = Rights.rw } ])
+        [ Trace.Event.Attach { pd = 1 lsl 26; seg = 0; rights = Rights.rw } ]);
+  compile
+    [
+      Trace.Event.Charge
+        { cycles = (1 lsl 31) - 1; page_ins = 0; page_outs = 0 };
+    ];
+  Alcotest.check_raises "charge cycles 2^31 rejected at op 0"
+    (Invalid_argument
+       "Engine.compile: op 0: cycles 2147483648 does not fit the 31-bit lane")
+    (fun () ->
+      compile
+        [ Trace.Event.Charge { cycles = 1 lsl 31; page_ins = 0; page_outs = 0 } ])
+
+(* Workloads that charge external costs (DSM network fetches, checkpoint
+   disk writes) must report identical metrics on both engines: the charge
+   rides the trace as a Charge event, so the batch replay re-applies it.
+   Regression for the batch engine silently dropping these costs. *)
+let test_charge_workload_engine_parity () =
+  let run_with engine workload =
+    let prev = Engine.default_engine () in
+    Engine.set_default_engine engine;
+    Fun.protect ~finally:(fun () -> Engine.set_default_engine prev)
+      (fun () ->
+        let m, _ =
+          Experiments.Experiment.run_on Machines.Plb Os.Config.default
+            workload
+        in
+        m)
+  in
+  let workloads =
+    [
+      ( "dsm",
+        fun sys ->
+          ignore
+            (Workloads.Dsm.run
+               ~params:{ Workloads.Dsm.default with refs = 2_000; pages = 32 }
+               sys) );
+      ( "checkpoint",
+        fun sys ->
+          ignore
+            (Workloads.Checkpoint.run
+               ~params:
+                 {
+                   Workloads.Checkpoint.default with
+                   data_pages = 32;
+                   checkpoints = 2;
+                   refs_between = 500;
+                   refs_during = 500;
+                 }
+               sys) );
+    ]
+  in
+  List.iter
+    (fun (name, workload) ->
+      let ms = run_with Engine.Scalar workload
+      and mb = run_with Engine.Batch workload in
+      Alcotest.(check int) (name ^ ": cycles") ms.Hw.Metrics.cycles
+        mb.Hw.Metrics.cycles;
+      Alcotest.(check int) (name ^ ": page-ins") ms.Hw.Metrics.page_ins
+        mb.Hw.Metrics.page_ins;
+      Alcotest.(check int) (name ^ ": page-outs") ms.Hw.Metrics.page_outs
+        mb.Hw.Metrics.page_outs)
+    workloads
 
 let suite =
   [
@@ -303,4 +365,6 @@ let suite =
       `Quick test_kernel_lane_boundaries;
     Alcotest.test_case "engine lane boundaries" `Quick
       test_engine_lane_boundaries;
+    Alcotest.test_case "external charges identical across engines" `Quick
+      test_charge_workload_engine_parity;
   ]

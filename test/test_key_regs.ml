@@ -1,0 +1,132 @@
+(* Property tests for the packed per-domain key-rights register file
+   (lib/hw/key_regs.ml): lane round-trips against a naive model, width
+   bounds, and the Invalid_argument contract naming the key index. *)
+
+open Sasos
+module Key_regs = Hw.Key_regs
+
+let test_bounds () =
+  Alcotest.(check int) "lane bits" Rights.bits Key_regs.lane_bits;
+  Alcotest.(check bool) "a max-size row fits one OCaml int" true
+    (Key_regs.max_keys * Key_regs.lane_bits <= Sys.int_size - 1);
+  List.iter
+    (fun keys ->
+      Alcotest.(check bool)
+        (Printf.sprintf "create ~keys:%d rejected" keys)
+        true
+        (try
+           ignore (Key_regs.create ~keys);
+           false
+         with Invalid_argument _ -> true))
+    [ Key_regs.min_keys - 1; 0; -3; Key_regs.max_keys + 1 ];
+  let t = Key_regs.create ~keys:Key_regs.max_keys in
+  Alcotest.(check int) "keys" Key_regs.max_keys (Key_regs.keys t)
+
+let test_overflow_names_key () =
+  let t = Key_regs.create ~keys:8 in
+  let names_key fn =
+    try
+      fn ();
+      false
+    with Invalid_argument msg ->
+      (* the message must name the offending key index *)
+      let has_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      has_sub msg "key 8"
+  in
+  Alcotest.(check bool) "get past the file names key 8" true
+    (names_key (fun () -> ignore (Key_regs.get t ~pd:0 ~key:8)));
+  Alcotest.(check bool) "set past the file names key 8" true
+    (names_key (fun () -> Key_regs.set t ~pd:0 ~key:8 Rights.rwx));
+  Alcotest.(check bool) "negative key rejected" true
+    (try
+       ignore (Key_regs.get t ~pd:0 ~key:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* model-based round-trip: a sequence of random set/clear_key/drop_domain
+   operations agrees with a Hashtbl model on every (pd, key) probe *)
+let prop_model =
+  let open QCheck2 in
+  let gen_op =
+    Gen.(
+      frequency
+        [
+          ( 6,
+            map3
+              (fun pd key r -> `Set (pd, key, r))
+              (int_bound 5) (int_bound 7) (int_bound 7) );
+          (1, map (fun key -> `Clear key) (int_bound 7));
+          (1, map (fun pd -> `Drop pd) (int_bound 5));
+        ])
+  in
+  let show_op = function
+    | `Set (pd, key, r) -> Printf.sprintf "Set(d%d,k%d,%d)" pd key r
+    | `Clear key -> Printf.sprintf "Clear(k%d)" key
+    | `Drop pd -> Printf.sprintf "Drop(d%d)" pd
+  in
+  Test.make ~count:500
+    ~print:(fun ops -> String.concat "; " (List.map show_op ops))
+    ~name:"key register file agrees with a naive model"
+    Gen.(list_size (int_range 1 40) gen_op)
+    (fun ops ->
+      let t = Key_regs.create ~keys:8 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (function
+          | `Set (pd, key, r) ->
+              Key_regs.set t ~pd ~key (Rights.of_int r);
+              Hashtbl.replace model (pd, key) (Rights.of_int r)
+          | `Clear key ->
+              Key_regs.clear_key t ~key;
+              Hashtbl.iter
+                (fun (pd, k) _ ->
+                  if k = key then Hashtbl.replace model (pd, k) Rights.none)
+                (Hashtbl.copy model)
+          | `Drop pd ->
+              Key_regs.drop_domain t ~pd;
+              Hashtbl.iter
+                (fun (d, k) _ ->
+                  if d = pd then Hashtbl.replace model (d, k) Rights.none)
+                (Hashtbl.copy model))
+        ops;
+      List.for_all
+        (fun pd ->
+          List.for_all
+            (fun key ->
+              let want =
+                Option.value ~default:Rights.none
+                  (Hashtbl.find_opt model (pd, key))
+              in
+              Rights.equal (Key_regs.get t ~pd ~key) want)
+            (List.init 8 Fun.id))
+        (List.init 6 Fun.id))
+
+(* every lane of a full row survives independently: write all lanes with
+   distinct values and read them all back *)
+let prop_full_row =
+  let open QCheck2 in
+  Test.make ~count:200 ~print:Print.(list int)
+    ~name:"all lanes of one row round-trip independently"
+    Gen.(list_repeat 20 (int_bound 7))
+    (fun lanes ->
+      let t = Key_regs.create ~keys:Key_regs.max_keys in
+      List.iteri
+        (fun key r -> Key_regs.set t ~pd:3 ~key (Rights.of_int r))
+        lanes;
+      List.for_all
+        (fun (key, r) ->
+          Rights.equal (Key_regs.get t ~pd:3 ~key) (Rights.of_int r))
+        (List.mapi (fun key r -> (key, r)) lanes))
+
+let suite =
+  [
+    Alcotest.test_case "file bounds and creation" `Quick test_bounds;
+    Alcotest.test_case "overflow names the key index" `Quick
+      test_overflow_names_key;
+    Qprop.to_alcotest prop_model;
+    Qprop.to_alcotest prop_full_row;
+  ]

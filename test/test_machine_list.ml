@@ -1,0 +1,70 @@
+(* Drift guards for the user-facing machine list.
+
+   The authoritative list is Sys_select.all. The CLI doc strings are
+   generated from Sys_select.names_doc directly; README.md is prose, so
+   this test asserts every machine name appears there in backticks — a
+   machine added to Sys_select without a README mention fails here. *)
+
+open Sasos
+
+let readme () =
+  (* under `dune runtest` the cwd is _build/default/test and README.md (a
+     declared dep of the test stanza) is staged one level up; under
+     `dune exec test/test_main.exe` the cwd is the project root *)
+  let candidates =
+    List.init 4 (fun i ->
+        String.concat "" (List.init i (fun _ -> "../")) ^ "README.md")
+  in
+  let path =
+    List.find_opt Sys.file_exists candidates
+    |> Option.value ~default:"../README.md"
+  in
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let test_readme_lists_all_machines () =
+  let text = readme () in
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "README.md mentions `%s`" name)
+        true
+        (contains text ("`" ^ name ^ "`")))
+    Machines.all
+
+let test_names_doc_complete () =
+  (* the string baked into the CLI --help covers every registered machine *)
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "names_doc mentions %s" name)
+        true
+        (contains Machines.names_doc name))
+    Machines.all
+
+let test_of_string_round_trip () =
+  List.iter
+    (fun (name, v) ->
+      match Machines.of_string name with
+      | Some v' ->
+          Alcotest.(check string) "round trip" name (Machines.to_string v');
+          Alcotest.(check bool) "same variant" true (v = v')
+      | None -> Alcotest.failf "of_string %S = None" name)
+    Machines.all
+
+let suite =
+  [
+    Alcotest.test_case "README lists every machine" `Quick
+      test_readme_lists_all_machines;
+    Alcotest.test_case "CLI doc string lists every machine" `Quick
+      test_names_doc_complete;
+    Alcotest.test_case "name round-trips" `Quick test_of_string_round_trip;
+  ]

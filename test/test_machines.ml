@@ -5,6 +5,7 @@ let variants =
   [
     ("plb", Machines.Plb);
     ("page-group", Machines.Page_group);
+    ("pk", Machines.Pk);
     ("conv-asid", Machines.Conv_asid);
     ("conv-flush", Machines.Conv_flush);
   ]
@@ -256,6 +257,65 @@ let test_plb_shared_page_duplicates () =
   ignore (System_ops.write sys va);
   Alcotest.(check int) "two PLB entries for shared page" 2
     (System_ops.resident_prot_entries_for sys va)
+
+let test_variants_match_registry () =
+  (* the local list above must track Machines.all (drift guard) *)
+  Alcotest.(check (list string)) "machine registry"
+    (List.map fst Machines.all) (List.map fst variants)
+
+let test_pk_switch_is_register_swap () =
+  let sys = mk Machines.Pk in
+  let d1, d2, seg = setup sys in
+  System_ops.attach sys d1 seg Rights.rw;
+  System_ops.attach sys d2 seg Rights.rw;
+  System_ops.switch_domain sys d1;
+  for i = 0 to 7 do
+    ignore (System_ops.write sys (Segment.page_va seg i))
+  done;
+  let m = System_ops.metrics sys in
+  let before = Metrics.copy m in
+  System_ops.switch_domain sys d2;
+  let d = Metrics.diff m before in
+  let cost = Config.default.Config.cost in
+  Alcotest.(check int) "switch cost = base + key-register swap"
+    (cost.Hw.Cost_model.domain_switch + cost.Hw.Cost_model.key_reg_write)
+    d.Metrics.cycles;
+  Alcotest.(check int) "no entries purged" 0 d.Metrics.entries_purged;
+  Alcotest.(check int) "one register write" 1 d.Metrics.key_reg_writes;
+  (* the warm entries still serve the incoming domain: no misses *)
+  let before = Metrics.copy m in
+  ignore (System_ops.read sys (Segment.page_va seg 0));
+  let d = Metrics.diff m before in
+  Alcotest.(check int) "warm TLB after switch" 0 d.Metrics.tlb_misses
+
+let test_pk_shared_page_single_tlb_entry () =
+  let config = Config.default in
+  let t = Machines.Pk_machine.create config in
+  let sys =
+    System_intf.Packed
+      ( (module Machines.Pk_machine : System_intf.SYSTEM
+          with type t = Machines.Pk_machine.t),
+        t )
+  in
+  let d1, d2, seg = setup sys in
+  System_ops.attach sys d1 seg Rights.rw;
+  System_ops.attach sys d2 seg Rights.r;
+  let va = Segment.page_va seg 0 in
+  System_ops.switch_domain sys d1;
+  ignore (System_ops.write sys va);
+  System_ops.switch_domain sys d2;
+  ignore (System_ops.read sys va);
+  Alcotest.(check int) "one TLB entry for shared page" 1
+    (System_ops.resident_prot_entries_for sys va);
+  (* both domains resolve through the same key; per-domain rights live in
+     the key registers, not in duplicated entries *)
+  (match Machines.Pk_machine.key_of_va t va with
+  | None -> Alcotest.fail "shared page has no key"
+  | Some k ->
+      Alcotest.(check bool) "key is not the trap key" true
+        (k <> Machines.Pk_machine.trap_key));
+  Alcotest.(check bool) "d2 write still blocked" true
+    (Access.outcome_equal (System_ops.write sys va) Access.Protection_fault)
 
 let test_conv_asid_duplicates_tlb () =
   let sys = mk Machines.Conv_asid in
@@ -627,6 +687,12 @@ let suite =
         test_pg_shared_page_single_tlb_entry;
       Alcotest.test_case "plb: shared page duplicates entries" `Quick
         test_plb_shared_page_duplicates;
+      Alcotest.test_case "machine list tracks Sys_select" `Quick
+        test_variants_match_registry;
+      Alcotest.test_case "pk: switch = one key-register swap" `Quick
+        test_pk_switch_is_register_swap;
+      Alcotest.test_case "pk: shared page = one TLB entry" `Quick
+        test_pk_shared_page_single_tlb_entry;
       Alcotest.test_case "conv-asid: shared page duplicates TLB" `Quick
         test_conv_asid_duplicates_tlb;
       Alcotest.test_case "conv-flush: switch purges TLB+cache" `Quick

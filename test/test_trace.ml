@@ -62,6 +62,7 @@ let test_line_roundtrip () =
       Event.Access { kind = Access.Write; seg = 1; off = 8191 };
       Event.Access { kind = Access.Execute; seg = 0; off = 0 };
       Event.Unmap { seg = 2; page = 3 };
+      Event.Charge { cycles = 5_000; page_ins = 0; page_outs = 2 };
     ]
   in
   List.iter
@@ -123,6 +124,42 @@ let test_player_offset_bounds () =
   match Player.replay trace sys with
   | Error { at = 2; _ } -> ()
   | Ok _ | Error _ -> Alcotest.fail "offset out of segment must fail"
+
+let test_charge_recorded_and_replayed () =
+  (* a workload-level charge goes through the recorder into the trace, and
+     a replay applies the identical amounts to the replayed machine *)
+  let r, sys = recording () in
+  let before = Hw.Metrics.copy (System_ops.metrics sys) in
+  System_ops.charge_external sys ~page_ins:1 ~page_outs:2 ~cycles:5_000 ();
+  let m = System_ops.metrics sys in
+  Alcotest.(check int) "cycles charged" 5_000
+    (m.Hw.Metrics.cycles - before.Hw.Metrics.cycles);
+  Alcotest.(check int) "page-ins counted" 1
+    (m.Hw.Metrics.page_ins - before.Hw.Metrics.page_ins);
+  Alcotest.(check int) "page-outs counted" 2
+    (m.Hw.Metrics.page_outs - before.Hw.Metrics.page_outs);
+  Alcotest.(check bool) "event recorded" true
+    (List.exists
+       (fun e ->
+         Event.equal e
+           (Event.Charge { cycles = 5_000; page_ins = 1; page_outs = 2 }))
+       (Recorder.events r));
+  List.iter
+    (fun (name, v) ->
+      let sys2 = Machines.make v Config.default in
+      let b2 = Hw.Metrics.copy (System_ops.metrics sys2) in
+      ignore (Player.replay_exn (Recorder.events r) sys2);
+      let m2 = System_ops.metrics sys2 in
+      Alcotest.(check bool)
+        (name ^ ": replay re-applies the charge")
+        true
+        (m2.Hw.Metrics.cycles - b2.Hw.Metrics.cycles >= 5_000
+        && m2.Hw.Metrics.page_ins - b2.Hw.Metrics.page_ins = 1
+        && m2.Hw.Metrics.page_outs - b2.Hw.Metrics.page_outs = 2))
+    Machines.all;
+  Alcotest.check_raises "negative amount rejected"
+    (Invalid_argument "charge_external: negative amount") (fun () ->
+      System_ops.charge_external sys ~cycles:(-1) ())
 
 let test_recorder_default_create () =
   (* Recorder.create wraps a fresh PLB machine, making it usable anywhere a
@@ -269,6 +306,8 @@ let suite =
     Alcotest.test_case "player offset bounds" `Quick test_player_offset_bounds;
     Alcotest.test_case "recorder default create" `Quick
       test_recorder_default_create;
+    Alcotest.test_case "charge recorded and replayed" `Quick
+      test_charge_recorded_and_replayed;
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "recorder metrics passthrough" `Quick
       test_recorder_metrics_passthrough;
