@@ -381,13 +381,16 @@ let obs_guardrail () =
   (* warm up: populate the domain-local ambient slot once *)
   ignore (Obs.enabled (Obs.ambient ()));
   let iters = 100_000 in
-  let w0 = (Gc.quick_stat ()).Gc.minor_words in
+  (* Gc.minor_words, not quick_stat: on OCaml 5.1 quick_stat's
+     minor_words only advances at minor collections, so a short window
+     would read as zero no matter what the loop allocates. *)
+  let w0 = Gc.minor_words () in
   for _ = 1 to iters do
     Obs.phase_begin o "x";
     Obs.phase_end o "x";
     ignore (Obs.enabled (Obs.ambient ()))
   done;
-  let dw = (Gc.quick_stat ()).Gc.minor_words -. w0 in
+  let dw = Gc.minor_words () -. w0 -. 2.0 in
   let per_op = dw /. float_of_int iters in
   Printf.printf "obs disabled-path guardrail: %.4f words/op (%d iterations)\n"
     per_op iters;

@@ -770,6 +770,174 @@ let check_cmd =
         $ jobs $ machines $ domains $ segments $ pages $ mutate $ save
         $ corpus $ profile $ obs_json $ chrome))
 
+let scale_cmd =
+  let doc =
+    "Sharded many-domain simulation: partition the domain/segment \
+     population across independent machine instances (one inverted page \
+     table, segment/capability table and protection structures per shard), \
+     drive an active window of domains with Zipf traffic each round, and \
+     exchange cross-shard attach/detach churn through a deterministic \
+     mailbox between rounds. Aggregate and per-shard metrics are \
+     byte-identical for any --jobs value. Scales to millions of domains \
+     (see bench/scale.exe)."
+  in
+  let d = Sasos.Shard.default in
+  let popt name docv doc default =
+    Arg.(value & opt int default & info [ name ] ~docv ~doc)
+  in
+  let domains =
+    popt "domains" "N" "Total protection domains across all shards."
+      d.Sasos.Shard.domains
+  in
+  let pages =
+    popt "pages" "N"
+      "Total segment pages across all shards (rounded up to whole segments)."
+      d.Sasos.Shard.pages
+  in
+  let shards = popt "shards" "S" "Number of shards (machine instances)." d.Sasos.Shard.shards in
+  let rounds = popt "rounds" "N" "Simulation rounds." d.Sasos.Shard.rounds in
+  let active =
+    popt "active" "N" "Active-domain window size per round." d.Sasos.Shard.active
+  in
+  let burst =
+    popt "burst" "N" "Accesses per active domain per round." d.Sasos.Shard.burst
+  in
+  let rotate =
+    popt "rotate" "N"
+      "Window advance per round pair (0 = stationary working set)."
+      d.Sasos.Shard.rotate
+  in
+  let churn =
+    Arg.(
+      value
+      & opt float d.Sasos.Shard.churn
+      & info [ "churn" ] ~docv:"P"
+          ~doc:
+            "Per-(active domain, round pair) probability of a cross-shard \
+             attach+detach of a random global segment.")
+  in
+  let pages_per_seg =
+    popt "pages-per-seg" "N" "Pages per segment." d.Sasos.Shard.pages_per_seg
+  in
+  let segs_per_dom =
+    popt "segs-per-dom" "N" "Local segments attached per domain at setup."
+      d.Sasos.Shard.segs_per_dom
+  in
+  let theta =
+    Arg.(
+      value
+      & opt float d.Sasos.Shard.theta
+      & info [ "theta" ] ~docv:"T"
+          ~doc:"Zipf skew of page selection within a segment.")
+  in
+  let tlb = popt "tlb-entries" "N" "Per-shard TLB entries." d.Sasos.Shard.tlb_entries in
+  let plb = popt "plb-entries" "N" "Per-shard PLB entries." d.Sasos.Shard.plb_entries in
+  let pg = popt "pg-entries" "N" "Per-shard page-group cache entries." d.Sasos.Shard.pg_entries in
+  let keys = popt "pk-keys" "N" "Per-shard protection keys." d.Sasos.Shard.pk_keys in
+  let frames = popt "frames" "N" "Physical frames per shard." d.Sasos.Shard.frames in
+  let machine =
+    Arg.(
+      value
+      & opt machine_conv d.Sasos.Shard.variant
+      & info [ "m"; "machine" ] ~docv:"MACHINE"
+          ~doc:("Machine model per shard: " ^ Sasos.Machines.names_doc ^ "."))
+  in
+  let seed = popt "seed" "S" "Run seed." d.Sasos.Shard.seed in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains running shard phases concurrently (output is \
+             byte-identical for any value).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the scale report to $(docv) instead of stdout.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Run each shard's machine under the observability collector and \
+             print the merged cycle-attribution table after the report.")
+  in
+  let obs_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-json" ] ~docv:"FILE"
+          ~doc:"Write the sasos-obs/1 profile JSON to $(docv) (implies \
+                profiling).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON of the profiled run to \
+                $(docv) (implies profiling).")
+  in
+  let run backend domains pages shards rounds active burst rotate churn
+      pages_per_seg segs_per_dom theta tlb plb pg keys frames machine seed
+      jobs out profile obs_json chrome =
+    set_backend backend;
+    if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else
+      let cfg =
+        {
+          Sasos.Shard.domains;
+          pages;
+          shards;
+          rounds;
+          active;
+          burst;
+          rotate;
+          churn;
+          pages_per_seg;
+          segs_per_dom;
+          theta;
+          tlb_entries = tlb;
+          plb_entries = plb;
+          pg_entries = pg;
+          pk_keys = keys;
+          frames;
+          variant = machine;
+          seed;
+        }
+      in
+      let profiling = profile || obs_json <> None || chrome <> None in
+      match Sasos.Shard.run ~jobs ~profile:profiling cfg with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | r -> (
+          let text = Sasos.Shard.render r in
+          match
+            (match out with
+            | Some path -> write_file path text
+            | None -> print_string text);
+            Option.iter
+              (fun s -> emit_profile ~table:profile ?json:obs_json ?chrome s)
+              r.Sasos.Shard.profile
+          with
+          | exception Sys_error msg -> `Error (false, msg)
+          | () ->
+              Option.iter (Printf.printf "wrote scale report to %s\n") out;
+              Option.iter (Printf.printf "wrote obs JSON to %s\n") obs_json;
+              Option.iter (Printf.printf "wrote Chrome trace to %s\n") chrome;
+              `Ok ())
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(
+      ret
+        (const run $ backend_term $ domains $ pages $ shards $ rounds $ active
+        $ burst $ rotate $ churn $ pages_per_seg $ segs_per_dom $ theta $ tlb
+        $ plb $ pg $ keys $ frames $ machine $ seed $ jobs $ out $ profile
+        $ obs_json $ chrome))
+
 let info_cmd =
   let doc = "Print the default geometry and cost model." in
   let run () =
@@ -810,5 +978,6 @@ let () =
             profile_cmd;
             report_cmd;
             check_cmd;
+            scale_cmd;
             info_cmd;
           ]))

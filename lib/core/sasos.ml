@@ -19,6 +19,9 @@
     - {!Experiments}: one module per paper table/figure/claim
     - {!Runner}: parallel, fault-isolated execution of the experiment
       registry on a pool of OCaml 5 domains
+    - {!Shard}: sharded million-domain simulation driving one machine
+      instance per shard with deterministic cross-shard churn
+      (`sasos scale`)
     - {!Check}: differential conformance harness — a pure reference
       oracle, seed-reproducible script generation, deterministic
       shrinking and a persisted failure corpus (`sasos check`) *)
@@ -30,6 +33,9 @@ module Util = struct
   module Tablefmt = Sasos_util.Tablefmt
   module Summary = Sasos_util.Summary
   module Histogram = Sasos_util.Histogram
+  module Flat_tab = Sasos_util.Flat_tab
+  module Int_queue = Sasos_util.Int_queue
+  module Pool = Sasos_util.Pool
 end
 
 module Addr = struct
@@ -119,6 +125,7 @@ end
 
 module Obs = Sasos_obs.Obs
 module Runner = Sasos_runner.Runner
+module Shard = Sasos_shard.Shard
 module Engine = Sasos_engine.Engine
 module Kernel = Sasos_engine.Kernel
 

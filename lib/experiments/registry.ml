@@ -20,6 +20,7 @@ let all =
     E_okamoto.experiment;
     E_smp.experiment;
     E_tag_overhead.experiment;
+    E_scale.experiment;
   ]
 
 let find id = List.find_opt (fun e -> e.Experiment.id = id) all

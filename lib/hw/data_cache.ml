@@ -23,8 +23,10 @@ type t = {
   policy : Replacement.t;
   rng : Sasos_util.Prng.t;
   table : line array array;
-  (* residency count per physical line, for synonym detection *)
-  pa_resident : (int, int) Hashtbl.t;
+  (* residency count per physical line, for synonym detection; flat so
+     the per-miss incr/decr never allocates (a Hashtbl conses a bucket
+     and an option on every miss) *)
+  pa_resident : Sasos_util.Flat_tab.t;
   probe : Probe.t;
   probe_as : Probe.structure;
   mutable live : int; (* valid lines, for the occupancy gauge *)
@@ -56,7 +58,7 @@ let create ?(policy = Replacement.Lru) ?(seed = 0xcac4e) ?(probe = Probe.null)
     policy;
     rng = Prng.create ~seed;
     table = Array.init (nlines / ways) (fun _ -> Array.init ways (fun _ -> fresh_line ()));
-    pa_resident = Hashtbl.create 1024;
+    pa_resident = Sasos_util.Flat_tab.create ~size_hint:(2 * nlines) ();
     probe;
     probe_as;
     live = 0;
@@ -77,15 +79,18 @@ let next_tick t =
   t.tick
 
 let pa_incr t pa_line =
-  let c = Option.value (Hashtbl.find_opt t.pa_resident pa_line) ~default:0 in
-  Hashtbl.replace t.pa_resident pa_line (c + 1);
+  let c = Sasos_util.Flat_tab.find t.pa_resident ~k1:pa_line ~k2:0 in
+  let c = if c < 0 then 0 else c in
+  Sasos_util.Flat_tab.replace t.pa_resident ~k1:pa_line ~k2:0 ~v:(c + 1);
   c + 1
 
+(* Decrement keeps zero-count entries instead of removing them: with a
+   stable key set the steady-state miss path only updates values in
+   place and never rehashes, so evict+refill is allocation-free. *)
 let pa_decr t pa_line =
-  match Hashtbl.find_opt t.pa_resident pa_line with
-  | None -> ()
-  | Some 1 -> Hashtbl.remove t.pa_resident pa_line
-  | Some c -> Hashtbl.replace t.pa_resident pa_line (c - 1)
+  let c = Sasos_util.Flat_tab.find t.pa_resident ~k1:pa_line ~k2:0 in
+  if c > 0 then
+    Sasos_util.Flat_tab.replace t.pa_resident ~k1:pa_line ~k2:0 ~v:(c - 1)
 
 let note_occupancy t = Probe.set_occupancy t.probe t.probe_as t.live
 
@@ -103,7 +108,35 @@ let evict_line t l =
 
 type result = Hit | Miss of { writeback : bool }
 
-let access t ~space ~va ~pa ~write =
+(* Monomorphized index-returning scans for the allocation-free access
+   path (the historical Array.iter + option refs allocated on every
+   probe, hits included). *)
+let rec scan_hit (row : line array) tag space i =
+  if i >= Array.length row then -1
+  else
+    let l = Array.unsafe_get row i in
+    if l.valid && l.tag = tag && l.space = space then i
+    else scan_hit row tag space (i + 1)
+
+let rec scan_invalid (row : line array) i =
+  if i >= Array.length row then -1
+  else if not (Array.unsafe_get row i).valid then i
+  else scan_invalid row (i + 1)
+
+let rec scan_oldest (row : line array) best i =
+  if i >= Array.length row then best
+  else
+    let best =
+      if (Array.unsafe_get row i).stamp < (Array.unsafe_get row best).stamp
+      then i
+      else best
+    in
+    scan_oldest row best (i + 1)
+
+(* Zero-allocation access: 0 = hit, 1 = miss, 3 = miss with a dirty
+   victim written back.  Decision and accounting are identical to
+   {!access} (which is a thin wrapper). *)
+let access_bits t ~space ~va ~pa ~write =
   let va_line = va lsr t.line_shift in
   let pa_line = pa lsr t.line_shift in
   let index_addr = match t.organization with Pipt -> pa | Vivt | Vipt -> va in
@@ -113,50 +146,48 @@ let access t ~space ~va ~pa ~write =
   let space = match t.organization with Vivt -> space | Vipt | Pipt -> 0 in
   let set = (index_addr lsr t.line_shift) land (t.nsets - 1) in
   let row = t.table.(set) in
-  let found = ref None in
-  Array.iter
-    (fun l -> if l.valid && l.tag = tag && l.space = space then found := Some l)
-    row;
-  match !found with
-  | Some l ->
-      t.hits <- t.hits + 1;
-      if write then l.dirty <- true;
-      if t.policy = Replacement.Lru then l.stamp <- next_tick t;
-      Hit
-  | None -> begin
-      t.misses <- t.misses + 1;
-      (* pick victim: first invalid, else policy *)
-      let victim = ref None in
-      Array.iter
-        (fun l -> if (not l.valid) && !victim = None then victim := Some l)
-        row;
-      let l =
-        match !victim with
-        | Some l -> l
-        | None -> begin
-            match t.policy with
-            | Replacement.Random -> row.(Sasos_util.Prng.int t.rng t.ways)
-            | Replacement.Lru | Replacement.Fifo ->
-                let best = ref row.(0) in
-                Array.iter (fun c -> if c.stamp < !best.stamp then best := c) row;
-                !best
-          end
-      in
-      let writeback = l.valid && l.dirty in
-      evict_line t l;
-      l.valid <- true;
-      l.space <- space;
-      l.tag <- tag;
-      l.va_line <- va_line;
-      l.pa_line <- pa_line;
-      l.dirty <- write;
-      l.stamp <- next_tick t;
-      t.live <- t.live + 1;
-      Probe.note_fill t.probe t.probe_as;
-      note_occupancy t;
-      if pa_incr t pa_line > 1 then t.synonyms <- t.synonyms + 1;
-      Miss { writeback }
-    end
+  let hit = scan_hit row tag space 0 in
+  if hit >= 0 then begin
+    let l = row.(hit) in
+    t.hits <- t.hits + 1;
+    if write then l.dirty <- true;
+    if t.policy = Replacement.Lru then l.stamp <- next_tick t;
+    0
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* pick victim: first invalid, else policy *)
+    let v = scan_invalid row 0 in
+    let v =
+      if v >= 0 then v
+      else begin
+        match t.policy with
+        | Replacement.Random -> Sasos_util.Prng.int t.rng t.ways
+        | Replacement.Lru | Replacement.Fifo -> scan_oldest row 0 1
+      end
+    in
+    let l = row.(v) in
+    let writeback = l.valid && l.dirty in
+    evict_line t l;
+    l.valid <- true;
+    l.space <- space;
+    l.tag <- tag;
+    l.va_line <- va_line;
+    l.pa_line <- pa_line;
+    l.dirty <- write;
+    l.stamp <- next_tick t;
+    t.live <- t.live + 1;
+    Probe.note_fill t.probe t.probe_as;
+    note_occupancy t;
+    if pa_incr t pa_line > 1 then t.synonyms <- t.synonyms + 1;
+    if writeback then 3 else 1
+  end
+
+let access t ~space ~va ~pa ~write =
+  match access_bits t ~space ~va ~pa ~write with
+  | 0 -> Hit
+  | 1 -> Miss { writeback = false }
+  | _ -> Miss { writeback = true }
 
 let sweep t p =
   let flushed = ref 0 and wb = ref 0 in
@@ -181,6 +212,41 @@ let flush_va_range t ~space ~lo ~hi =
       l.va_line >= lo_line && l.va_line <= hi_line
       && (t.organization <> Vivt || l.space = space))
 
+(* Closure-free twin of [flush_va_range] for the page-replacement path:
+   [sweep]'s predicate closure and counter refs allocate, and evicting a
+   victim page happens under the zero-allocation eviction discipline.
+   Returns the flushed-line count only (writebacks are already counted by
+   [evict_line]). *)
+let rec flush_range_in_row t row lo_line hi_line space w acc =
+  if w >= Array.length row then acc
+  else begin
+    let l = Array.unsafe_get row w in
+    let acc =
+      if
+        l.valid && l.va_line >= lo_line && l.va_line <= hi_line
+        && (t.organization <> Vivt || l.space = space)
+      then begin
+        evict_line t l;
+        acc + 1
+      end
+      else acc
+    in
+    flush_range_in_row t row lo_line hi_line space (w + 1) acc
+  end
+
+let rec flush_range_in_sets t lo_line hi_line space s acc =
+  if s >= Array.length t.table then acc
+  else
+    flush_range_in_sets t lo_line hi_line space (s + 1)
+      (flush_range_in_row t (Array.unsafe_get t.table s) lo_line hi_line space
+         0 acc)
+
+let flush_va_range_count t ~space ~lo ~hi =
+  let lo_line = lo lsr t.line_shift and hi_line = (hi - 1) lsr t.line_shift in
+  let flushed = flush_range_in_sets t lo_line hi_line space 0 0 in
+  note_occupancy t;
+  flushed
+
 let flush_pa_page t ~pfn ~page_shift =
   let shift = page_shift - t.line_shift in
   sweep t (fun l -> l.pa_line lsr shift = pfn)
@@ -188,7 +254,8 @@ let flush_pa_page t ~pfn ~page_shift =
 let flush_all t = sweep t (fun _ -> true)
 
 let resident_copies_of_pa t ~pa_line =
-  Option.value (Hashtbl.find_opt t.pa_resident pa_line) ~default:0
+  let c = Sasos_util.Flat_tab.find t.pa_resident ~k1:pa_line ~k2:0 in
+  if c < 0 then 0 else c
 
 let hits t = t.hits
 let misses t = t.misses

@@ -53,11 +53,19 @@ val access : t -> space:int -> va:Va.t -> pa:int -> write:bool -> result
     physically tagged lines where it is unnecessary); [pa] is the physical
     byte address, used for physical indexing/tagging and synonym tracking. *)
 
+val access_bits : t -> space:int -> va:Va.t -> pa:int -> write:bool -> int
+(** {!access} without the result record: [0] = hit, [1] = miss, [3] = miss
+    that wrote back a dirty victim. Never allocates — the hot-loop form. *)
+
 val flush_va_range : t -> space:int -> lo:Va.t -> hi:Va.t -> int * int
 (** Flush (writeback + invalidate) every line whose virtual tag falls in
     [lo, hi); returns [(lines_flushed, writebacks)]. Used when unmapping a
     page. On a [Pipt] cache this flushes by resident physical lines of the
     given virtual range's translations and is driven by the caller per-page. *)
+
+val flush_va_range_count : t -> space:int -> lo:Va.t -> hi:Va.t -> int
+(** {!flush_va_range} without the result pair: returns the flushed-line
+    count only. Never allocates — the page-replacement form. *)
 
 val flush_pa_page : t -> pfn:int -> page_shift:int -> int * int
 (** Flush every line resident for the given physical page. *)

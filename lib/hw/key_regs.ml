@@ -1,8 +1,13 @@
+open Sasos_util
 open Sasos_addr
 
 (* One packed int row per domain: key [k]'s rights live in the 3-bit lane
    at [k * Rights.bits], the same lane discipline as the packed TLB entry.
-   20 lanes * 3 bits = 60 bits, comfortably inside OCaml's 63-bit int. *)
+   20 lanes * 3 bits = 60 bits, comfortably inside OCaml's 63-bit int.
+
+   Rows live in a Flat_tab keyed by pd so the per-access [get] on the pk
+   machine's enforcement path is a zero-allocation int-lane probe (the
+   historical Hashtbl row lookup allocated an option per access). *)
 
 let lane_bits = Rights.bits
 let lane_mask = (1 lsl lane_bits) - 1
@@ -11,7 +16,7 @@ let min_keys = 2
 
 type t = {
   keys : int;
-  rows : (int, int) Hashtbl.t; (* pd -> packed rights lanes *)
+  rows : Flat_tab.t; (* k1 = pd, k2 = 0 -> packed rights lanes *)
 }
 
 let create ~keys =
@@ -20,7 +25,7 @@ let create ~keys =
       (Printf.sprintf
          "Key_regs.create: %d keys outside the register file range [%d, %d]"
          keys min_keys max_keys);
-  { keys; rows = Hashtbl.create 16 }
+  { keys; rows = Flat_tab.create ~size_hint:16 () }
 
 let keys t = t.keys
 
@@ -30,7 +35,9 @@ let check_key t fn key =
       (Printf.sprintf "Key_regs.%s: key %d outside the %d-key register file"
          fn key t.keys)
 
-let row t ~pd = Option.value (Hashtbl.find_opt t.rows pd) ~default:0
+let row t ~pd =
+  let v = Flat_tab.find t.rows ~k1:pd ~k2:0 in
+  if v < 0 then 0 else v
 
 let get t ~pd ~key =
   check_key t "get" key;
@@ -40,12 +47,13 @@ let set t ~pd ~key rights =
   check_key t "set" key;
   let shift = key * lane_bits in
   let cleared = row t ~pd land lnot (lane_mask lsl shift) in
-  Hashtbl.replace t.rows pd (cleared lor (Rights.to_int rights lsl shift))
+  Flat_tab.replace t.rows ~k1:pd ~k2:0
+    ~v:(cleared lor (Rights.to_int rights lsl shift))
 
 let clear_key t ~key =
   check_key t "clear_key" key;
   let mask = lnot (lane_mask lsl (key * lane_bits)) in
-  Hashtbl.fold (fun pd r acc -> (pd, r land mask) :: acc) t.rows []
-  |> List.iter (fun (pd, r) -> Hashtbl.replace t.rows pd r)
+  Flat_tab.fold t.rows (fun pd _ r acc -> (pd, r land mask) :: acc) []
+  |> List.iter (fun (pd, r) -> Flat_tab.replace t.rows ~k1:pd ~k2:0 ~v:r)
 
-let drop_domain t ~pd = Hashtbl.remove t.rows pd
+let drop_domain t ~pd = Flat_tab.remove t.rows ~k1:pd ~k2:0

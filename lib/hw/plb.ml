@@ -94,36 +94,39 @@ let install t ~pd ~va ~shift rights =
   Probe.note_fill t.probe Probe.Plb;
   note_occupancy t
 
-let update_rights t ~pd ~va rights =
-  let pd = Pd.to_int pd in
-  let rec go = function
-    | [] -> false
-    | shift :: rest ->
-        let pn = va lsr shift in
-        if
-          Packed_cache.set t.cache
-            ~hash:(hash_of ~pd ~shift ~pn)
-            ~k1:pn
-            ~k2:(pack_k2 ~pd ~shift)
-            (Rights.to_int rights)
-        then true
-        else go rest
-  in
-  go t.shifts
-
-let invalidate t ~pd ~va =
-  let pd = Pd.to_int pd in
-  let any =
-    List.fold_left
-      (fun any shift ->
-        let pn = va lsr shift in
-        Packed_cache.remove t.cache
+let rec set_first_resident cache pd va rbits = function
+  | [] -> false
+  | shift :: rest ->
+      let pn = va lsr shift in
+      if
+        Packed_cache.set cache
           ~hash:(hash_of ~pd ~shift ~pn)
           ~k1:pn
           ~k2:(pack_k2 ~pd ~shift)
-        || any)
-      false t.shifts
-  in
+          rbits
+      then true
+      else set_first_resident cache pd va rbits rest
+
+let update_rights t ~pd ~va rights =
+  set_first_resident t.cache (Pd.to_int pd) va (Rights.to_int rights) t.shifts
+
+(* Top-level recursion like [finest_resident]: this runs on the PLB
+   refill path, where a per-call closure would allocate. *)
+let rec remove_all_grains cache pd va shifts any =
+  match shifts with
+  | [] -> any
+  | shift :: rest ->
+      let pn = va lsr shift in
+      let removed =
+        Packed_cache.remove cache
+          ~hash:(hash_of ~pd ~shift ~pn)
+          ~k1:pn
+          ~k2:(pack_k2 ~pd ~shift)
+      in
+      remove_all_grains cache pd va rest (removed || any)
+
+let invalidate t ~pd ~va =
+  let any = remove_all_grains t.cache (Pd.to_int pd) va t.shifts false in
   if any then begin
     Probe.note_purged t.probe Probe.Plb 1;
     note_occupancy t

@@ -10,6 +10,8 @@ type state = {
   cache : Data_cache.t;
   l2 : Data_cache.t option;
   variant : variant;
+  (* built once, reused on every page fault (see Plb_machine) *)
+  mutable evict_hook : int -> unit;
 }
 
 let make_create variant (config : Config.t) =
@@ -27,6 +29,7 @@ let make_create variant (config : Config.t) =
         ~line_bytes:config.Config.cache_line ~ways:config.Config.cache_ways ();
     l2 = Machine_common.l2_of_config ~probe config;
     variant;
+    evict_hook = ignore;
   }
 
 let metrics t = t.os.Os_core.metrics
@@ -251,9 +254,17 @@ let destroy_segment t seg =
   ignore (Segment_table.destroy t.os.Os_core.segments seg.Segment.id)
 
 let ensure_mapped t vpn =
-  Os_core.ensure_mapped t.os ~vpn ~before_evict:(fun victim ->
-      flush_page_from_cache t victim;
-      ignore (Tlb.invalidate_vpn_all_spaces t.tlb victim))
+  (* resident fast path first: the fault handler is the slow path *)
+  let pfn = Os_core.pfn_int t.os ~vpn in
+  if pfn >= 0 then pfn
+  else begin
+    if t.evict_hook == ignore then
+      t.evict_hook <-
+        (fun victim ->
+          flush_page_from_cache t victim;
+          ignore (Tlb.invalidate_vpn_all_spaces t.tlb victim));
+    Os_core.ensure_mapped t.os ~vpn ~before_evict:t.evict_hook
+  end
 
 let data_path t kind va e =
   let g = geom t in
@@ -265,18 +276,20 @@ let data_path t kind va e =
   Tlb.mark_used t.tlb ~space:(space_of t (current_domain t)) ~vpn ~write;
   if write then Os_core.mark_dirty t.os ~vpn;
   let space = cache_space_of t (current_domain t) in
-  match Data_cache.access t.cache ~space ~va ~pa ~write with
-  | Data_cache.Hit ->
-      m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
-      Os_core.charge t.os c.Cost_model.cache_hit
-  | Data_cache.Miss { writeback } ->
-      m.Metrics.cache_misses <- m.Metrics.cache_misses + 1;
-      Machine_common.charge_fill t.os t.l2 ~va ~pa ~write;
-      if writeback then begin
-        m.Metrics.cache_writebacks <- m.Metrics.cache_writebacks + 1;
-        Os_core.charge t.os c.Cost_model.cache_writeback
-      end;
-      m.Metrics.cache_synonyms <- Data_cache.synonyms_detected t.cache
+  let r = Data_cache.access_bits t.cache ~space ~va ~pa ~write in
+  if r = 0 then begin
+    m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
+    Os_core.charge t.os c.Cost_model.cache_hit
+  end
+  else begin
+    m.Metrics.cache_misses <- m.Metrics.cache_misses + 1;
+    Machine_common.charge_fill t.os t.l2 ~va ~pa ~write;
+    if r land 2 <> 0 then begin
+      m.Metrics.cache_writebacks <- m.Metrics.cache_writebacks + 1;
+      Os_core.charge t.os c.Cost_model.cache_writeback
+    end;
+    m.Metrics.cache_synonyms <- Data_cache.synonyms_detected t.cache
+  end
 
 let access t kind va =
   let m = metrics t in

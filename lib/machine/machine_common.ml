@@ -48,15 +48,15 @@ let charge_fill (os : Os_core.t) l2 ~va ~pa ~write =
   let m = os.Os_core.metrics in
   match l2 with
   | None -> Os_core.charge os c.Cost_model.cache_miss
-  | Some l2 -> begin
-      match Data_cache.access l2 ~space:0 ~va ~pa ~write with
-      | Data_cache.Hit ->
-          m.Metrics.l2_hits <- m.Metrics.l2_hits + 1;
-          Os_core.charge os c.Cost_model.l2_hit
-      | Data_cache.Miss _ ->
-          m.Metrics.l2_misses <- m.Metrics.l2_misses + 1;
-          Os_core.charge os c.Cost_model.cache_miss
-    end
+  | Some l2 ->
+      if Data_cache.access_bits l2 ~space:0 ~va ~pa ~write = 0 then begin
+        m.Metrics.l2_hits <- m.Metrics.l2_hits + 1;
+        Os_core.charge os c.Cost_model.l2_hit
+      end
+      else begin
+        m.Metrics.l2_misses <- m.Metrics.l2_misses + 1;
+        Os_core.charge os c.Cost_model.cache_miss
+      end
 
 (* Drop a physical page from the L2 when its frame is reclaimed. *)
 let flush_l2_page (os : Os_core.t) l2 vpn =

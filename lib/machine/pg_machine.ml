@@ -22,6 +22,8 @@ type t = {
   page_aid : (Va.vpn, int) Hashtbl.t; (* pages moved out of their home *)
   page_rights : (Va.vpn, Rights.t) Hashtbl.t;
   mutable next_aid : int;
+  (* built once, reused on every page fault (see Plb_machine) *)
+  mutable evict_hook : int -> unit;
 }
 
 let name = "page-group"
@@ -52,6 +54,7 @@ let create (config : Config.t) =
     page_aid = Hashtbl.create 1024;
     page_rights = Hashtbl.create 1024;
     next_aid = limbo_aid + 1;
+    evict_hook = ignore;
   }
 
 let os t = t.os
@@ -506,7 +509,7 @@ let flush_page_from_cache t vpn =
   let m = metrics t in
   let lo = Va.va_of_vpn g vpn in
   let hi = lo + Geometry.page_size g in
-  let flushed, _wb = Data_cache.flush_va_range t.cache ~space:0 ~lo ~hi in
+  let flushed = Data_cache.flush_va_range_count t.cache ~space:0 ~lo ~hi in
   m.Metrics.cache_lines_flushed <- m.Metrics.cache_lines_flushed + flushed;
   Os_core.charge t.os ((cost t).Cost_model.cache_line_flush * flushed)
 
@@ -544,9 +547,17 @@ let destroy_segment t seg =
   ignore (Segment_table.destroy t.os.Os_core.segments seg.Segment.id)
 
 let ensure_mapped t vpn =
-  Os_core.ensure_mapped t.os ~vpn ~before_evict:(fun victim ->
-      flush_page_from_cache t victim;
-      ignore (Tlb.invalidate t.tlb ~space:0 ~vpn:victim))
+  (* resident fast path first: the fault handler is the slow path *)
+  let pfn = Os_core.pfn_int t.os ~vpn in
+  if pfn >= 0 then pfn
+  else begin
+    if t.evict_hook == ignore then
+      t.evict_hook <-
+        (fun victim ->
+          flush_page_from_cache t victim;
+          ignore (Tlb.invalidate t.tlb ~space:0 ~vpn:victim));
+    Os_core.ensure_mapped t.os ~vpn ~before_evict:t.evict_hook
+  end
 
 (* --- memory references ----------------------------------------------- *)
 
@@ -559,18 +570,20 @@ let data_path t kind va e =
   let pa = (Tlb.pfn_of e lsl g.Geometry.page_shift) lor Va.offset g va in
   Tlb.mark_used t.tlb ~space:0 ~vpn ~write;
   if write then Os_core.mark_dirty t.os ~vpn;
-  match Data_cache.access t.cache ~space:0 ~va ~pa ~write with
-  | Data_cache.Hit ->
-      m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
-      Os_core.charge t.os c.Cost_model.cache_hit
-  | Data_cache.Miss { writeback } ->
-      m.Metrics.cache_misses <- m.Metrics.cache_misses + 1;
-      Machine_common.charge_fill t.os t.l2 ~va ~pa ~write;
-      if writeback then begin
-        m.Metrics.cache_writebacks <- m.Metrics.cache_writebacks + 1;
-        Os_core.charge t.os c.Cost_model.cache_writeback
-      end;
-      m.Metrics.cache_synonyms <- Data_cache.synonyms_detected t.cache
+  let r = Data_cache.access_bits t.cache ~space:0 ~va ~pa ~write in
+  if r = 0 then begin
+    m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
+    Os_core.charge t.os c.Cost_model.cache_hit
+  end
+  else begin
+    m.Metrics.cache_misses <- m.Metrics.cache_misses + 1;
+    Machine_common.charge_fill t.os t.l2 ~va ~pa ~write;
+    if r land 2 <> 0 then begin
+      m.Metrics.cache_writebacks <- m.Metrics.cache_writebacks + 1;
+      Os_core.charge t.os c.Cost_model.cache_writeback
+    end;
+    m.Metrics.cache_synonyms <- Data_cache.synonyms_detected t.cache
+  end
 
 let access t kind va =
   let m = metrics t in

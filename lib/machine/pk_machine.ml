@@ -42,6 +42,8 @@ type t = {
   keys : key_info array;  (* slot 0 is the trap key, never bound *)
   unit_key : (int, int) Hashtbl.t;  (* protection unit -> key *)
   mutable victim : int;  (* round-robin recycle pointer *)
+  (* built once, reused on every page fault (see Plb_machine) *)
+  mutable evict_hook : int -> unit;
 }
 
 let name = "pk"
@@ -65,6 +67,7 @@ let create (config : Config.t) =
     keys = Array.init config.Config.pk_keys (fun _ -> { signature = []; pages = 0 });
     unit_key = Hashtbl.create 64;
     victim = 0;
+    evict_hook = ignore;
   }
 
 let os t = t.os
@@ -406,9 +409,17 @@ let destroy_segment t seg =
   ignore (Segment_table.destroy t.os.Os_core.segments seg.Segment.id)
 
 let ensure_mapped t vpn =
-  Os_core.ensure_mapped t.os ~vpn ~before_evict:(fun victim ->
-      flush_page_from_cache t victim;
-      ignore (Tlb.invalidate t.tlb ~space:0 ~vpn:victim))
+  (* resident fast path first: the fault handler is the slow path *)
+  let pfn = Os_core.pfn_int t.os ~vpn in
+  if pfn >= 0 then pfn
+  else begin
+    if t.evict_hook == ignore then
+      t.evict_hook <-
+        (fun victim ->
+          flush_page_from_cache t victim;
+          ignore (Tlb.invalidate t.tlb ~space:0 ~vpn:victim));
+    Os_core.ensure_mapped t.os ~vpn ~before_evict:t.evict_hook
+  end
 
 let data_path t kind va e =
   let g = geom t in
@@ -419,18 +430,20 @@ let data_path t kind va e =
   let pa = (Tlb.pfn_of e lsl g.Geometry.page_shift) lor Va.offset g va in
   Tlb.mark_used t.tlb ~space:0 ~vpn ~write;
   if write then Os_core.mark_dirty t.os ~vpn;
-  match Data_cache.access t.cache ~space:0 ~va ~pa ~write with
-  | Data_cache.Hit ->
-      m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
-      Os_core.charge t.os c.Cost_model.cache_hit
-  | Data_cache.Miss { writeback } ->
-      m.Metrics.cache_misses <- m.Metrics.cache_misses + 1;
-      Machine_common.charge_fill t.os t.l2 ~va ~pa ~write;
-      if writeback then begin
-        m.Metrics.cache_writebacks <- m.Metrics.cache_writebacks + 1;
-        Os_core.charge t.os c.Cost_model.cache_writeback
-      end;
-      m.Metrics.cache_synonyms <- Data_cache.synonyms_detected t.cache
+  let r = Data_cache.access_bits t.cache ~space:0 ~va ~pa ~write in
+  if r = 0 then begin
+    m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
+    Os_core.charge t.os c.Cost_model.cache_hit
+  end
+  else begin
+    m.Metrics.cache_misses <- m.Metrics.cache_misses + 1;
+    Machine_common.charge_fill t.os t.l2 ~va ~pa ~write;
+    if r land 2 <> 0 then begin
+      m.Metrics.cache_writebacks <- m.Metrics.cache_writebacks + 1;
+      Os_core.charge t.os c.Cost_model.cache_writeback
+    end;
+    m.Metrics.cache_synonyms <- Data_cache.synonyms_detected t.cache
+  end
 
 let access t kind va =
   let m = metrics t in

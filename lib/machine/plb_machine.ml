@@ -12,6 +12,10 @@ type t = {
      a code segment, and the current code context register *)
   guards : (int, int * Rights.t) Hashtbl.t; (* data seg -> (code seg, rights) *)
   mutable code_context : Segment.t option;
+  (* Built once at creation and reused on every page fault: allocating the
+     eviction callback per fault would break the zero-allocation paging
+     path that the capacity-cliff experiments thrash. *)
+  mutable evict_hook : int -> unit;
 }
 
 let name = "plb"
@@ -37,6 +41,7 @@ let create (config : Config.t) =
     l2 = Machine_common.l2_of_config ~probe config;
     guards = Hashtbl.create 16;
     code_context = None;
+    evict_hook = ignore;
   }
 
 let os t = t.os
@@ -177,6 +182,18 @@ let detach t pd seg =
 (* Pick the coarsest configured protection page size consistent with the OS
    truth at [va] for [pd] (§4.3): the region must lie inside one segment,
    be covered by the attachment with no per-page overrides, and be aligned. *)
+(* Widest configured grain whose naturally-aligned block at [va] lies
+   inside [sbase, slimit); [shifts] is ordered fine-to-coarse, so the
+   last fit wins.  Top-level recursion rather than a fold with closures:
+   this runs on every PLB refill, which must not allocate. *)
+let rec widest_fit shifts va sbase slimit acc =
+  match shifts with
+  | [] -> acc
+  | s :: rest ->
+      let b = va land lnot ((1 lsl s) - 1) in
+      let acc = if b >= sbase && b + (1 lsl s) <= slimit then s else acc in
+      widest_fit rest va sbase slimit acc
+
 let refill_shift t pd va =
   match Plb.shifts t.plb with
   | [ s ] -> s
@@ -186,13 +203,7 @@ let refill_shift t pd va =
       | None -> fine
       | Some seg ->
           if Os_core.has_overrides t.os pd seg then fine
-          else begin
-            let fits s =
-              let base = va land lnot ((1 lsl s) - 1) in
-              base >= seg.Segment.base && base + (1 lsl s) <= Segment.limit seg
-            in
-            List.fold_left (fun acc s -> if fits s then s else acc) fine shifts
-          end
+          else widest_fit shifts va seg.Segment.base (Segment.limit seg) fine
     end
 
 let plb_refill t pd va rights =
@@ -289,7 +300,7 @@ let flush_page_from_cache t vpn =
   let m = metrics t in
   let lo = Va.va_of_vpn g vpn in
   let hi = lo + Geometry.page_size g in
-  let flushed, _wb = Data_cache.flush_va_range t.cache ~space:0 ~lo ~hi in
+  let flushed = Data_cache.flush_va_range_count t.cache ~space:0 ~lo ~hi in
   m.Metrics.cache_lines_flushed <- m.Metrics.cache_lines_flushed + flushed;
   Os_core.charge t.os ((cost t).Cost_model.cache_line_flush * flushed)
 
@@ -318,9 +329,18 @@ let destroy_segment t seg =
   ignore (Segment_table.destroy t.os.Os_core.segments seg.Segment.id)
 
 let ensure_mapped t vpn =
-  Os_core.ensure_mapped t.os ~vpn ~before_evict:(fun victim ->
-      flush_page_from_cache t victim;
-      ignore (Tlb.invalidate t.tlb ~space:0 ~vpn:victim))
+  (* resident fast path first: even entering the fault handler costs a
+     conditional the TLB-refill path need not pay *)
+  let pfn = Os_core.pfn_int t.os ~vpn in
+  if pfn >= 0 then pfn
+  else begin
+    if t.evict_hook == ignore then
+      t.evict_hook <-
+        (fun victim ->
+          flush_page_from_cache t victim;
+          ignore (Tlb.invalidate t.tlb ~space:0 ~vpn:victim));
+    Os_core.ensure_mapped t.os ~vpn ~before_evict:t.evict_hook
+  end
 
 (* The data path once protection has approved the access: probe the VIVT
    cache; on a miss consult the (off-critical-path) TLB and fill. *)
@@ -331,9 +351,10 @@ let data_path t kind va =
   let vpn = Va.vpn_of_va g va in
   let write = kind = Access.Write in
   let pa =
-    match Os_core.pa_of t.os va with
-    | Some pa -> pa
-    | None -> begin
+    (* zero-allocation translation probe: -1 = not mapped *)
+    let pa = Os_core.pa_int t.os va in
+    if pa >= 0 then pa
+    else begin
         (* Not mapped: the cache cannot hold the line, so this access will
            miss and the TLB miss handler pages it in. *)
         m.Metrics.tlb_misses <- m.Metrics.tlb_misses + 1;
@@ -348,15 +369,16 @@ let data_path t kind va =
         (pfn lsl g.Geometry.page_shift) lor Va.offset g va
       end
   in
-  match Data_cache.access t.cache ~space:0 ~va ~pa ~write with
-  | Data_cache.Hit ->
+  let r = Data_cache.access_bits t.cache ~space:0 ~va ~pa ~write in
+  if r = 0 then begin
       m.Metrics.cache_hits <- m.Metrics.cache_hits + 1;
       Os_core.charge t.os c.Cost_model.cache_hit;
       if write then Os_core.mark_dirty t.os ~vpn
-  | Data_cache.Miss { writeback } -> begin
+  end
+  else begin
       m.Metrics.cache_misses <- m.Metrics.cache_misses + 1;
       Machine_common.charge_fill t.os t.l2 ~va ~pa ~write;
-      if writeback then begin
+      if r land 2 <> 0 then begin
         m.Metrics.cache_writebacks <- m.Metrics.cache_writebacks + 1;
         Os_core.charge t.os c.Cost_model.cache_writeback
       end;

@@ -21,3 +21,6 @@ val free : t -> int -> unit
     already free (double free). *)
 
 val is_free : t -> int -> bool
+
+val alloc_int : t -> int
+(** Like {!alloc} but returns [-1] when memory is full; never allocates. *)

@@ -1,43 +1,77 @@
+open Sasos_util
 open Sasos_addr
 
 type record = { segment : Segment.id; rights : Rights.t }
 
+(* Packed check index: the 64-bit check value splits across Flat_tab's two
+   key lanes with full precision — k1 = low 30 bits (non-negative as the
+   lane requires), k2 = bits 30..63 (34 bits, well inside a native int).
+   The record packs as [seg_id lsl 3 lor rights]. *)
+let check_k1 c = Int64.to_int c land 0x3FFF_FFFF
+let check_k2 c = Int64.to_int (Int64.shift_right_logical c 30)
+
+type store =
+  | Cref of (int64, record) Hashtbl.t
+  | Cflat of Flat_tab.t
+
 type t = {
-  rng : Sasos_util.Prng.t;
-  by_check : (int64, record) Hashtbl.t;
+  rng : Prng.t;
+  store : store;
   names : (string, Capability.t) Hashtbl.t;
   segments_of : (int, Segment.t) Hashtbl.t;
       (* segments seen at mint time, for attach *)
 }
 
-let create ?(seed = 0xca9) () =
+let create ?(packed = false) ?(seed = 0xca9) () =
   {
-    rng = Sasos_util.Prng.create ~seed;
-    by_check = Hashtbl.create 64;
+    rng = Prng.create ~seed;
+    store =
+      (if packed then Cflat (Flat_tab.create ~size_hint:64 ())
+       else Cref (Hashtbl.create 64));
     names = Hashtbl.create 64;
     segments_of = Hashtbl.create 64;
   }
 
+let mem_check t c =
+  match t.store with
+  | Cref h -> Hashtbl.mem h c
+  | Cflat f -> Flat_tab.mem f ~k1:(check_k1 c) ~k2:(check_k2 c)
+
+let record_check t c ~segment ~rights =
+  match t.store with
+  | Cref h -> Hashtbl.replace h c { segment; rights }
+  | Cflat f ->
+      Flat_tab.replace f ~k1:(check_k1 c) ~k2:(check_k2 c)
+        ~v:((Segment.id_to_int segment lsl 3) lor Rights.to_int rights)
+
 let fresh_check t =
   (* sparse: collisions are vanishingly unlikely, but loop anyway *)
   let rec go () =
-    let c = Sasos_util.Prng.bits64 t.rng in
-    if Hashtbl.mem t.by_check c then go () else c
+    let c = Prng.bits64 t.rng in
+    if mem_check t c then go () else c
   in
   go ()
 
 let mint t (seg : Segment.t) rights =
   let check = fresh_check t in
-  Hashtbl.replace t.by_check check { segment = seg.Segment.id; rights };
+  record_check t check ~segment:seg.Segment.id ~rights;
   Hashtbl.replace t.segments_of (Segment.id_to_int seg.Segment.id) seg;
   Capability.make ~segment:seg.Segment.id ~rights ~check
 
 let validate t cap =
-  match Hashtbl.find_opt t.by_check (Capability.check cap) with
-  | Some r ->
-      Segment.id_equal r.segment (Capability.segment cap)
-      && Rights.equal r.rights (Capability.rights cap)
-  | None -> false
+  match t.store with
+  | Cref h -> (
+      match Hashtbl.find_opt h (Capability.check cap) with
+      | Some r ->
+          Segment.id_equal r.segment (Capability.segment cap)
+          && Rights.equal r.rights (Capability.rights cap)
+      | None -> false)
+  | Cflat f ->
+      let c = Capability.check cap in
+      let v = Flat_tab.find f ~k1:(check_k1 c) ~k2:(check_k2 c) in
+      v >= 0
+      && v lsr 3 = Segment.id_to_int (Capability.segment cap)
+      && v land 7 = Rights.to_int (Capability.rights cap)
 
 let restrict t cap rights =
   if not (validate t cap) then Error "invalid capability"
@@ -45,12 +79,16 @@ let restrict t cap rights =
     Error "rights exceed the capability's bound"
   else begin
     let check = fresh_check t in
-    Hashtbl.replace t.by_check check
-      { segment = Capability.segment cap; rights };
+    record_check t check ~segment:(Capability.segment cap) ~rights;
     Ok (Capability.make ~segment:(Capability.segment cap) ~rights ~check)
   end
 
-let revoke t cap = Hashtbl.remove t.by_check (Capability.check cap)
+let revoke t cap =
+  match t.store with
+  | Cref h -> Hashtbl.remove h (Capability.check cap)
+  | Cflat f ->
+      let c = Capability.check cap in
+      Flat_tab.remove f ~k1:(check_k1 c) ~k2:(check_k2 c)
 
 let attach t sys pd cap rights =
   if not (validate t cap) then Error "invalid capability"

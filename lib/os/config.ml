@@ -72,6 +72,17 @@ let v ?(geom = default.geom) ?(cost = default.cost) ?(seed = default.seed)
     | Some s -> s
     | None -> [ geom.Geometry.prot_shift ]
   in
+  (* Frame numbers must fit the physical address bits: pfn < 2^(pa_bits -
+     page_shift).  Surfaced at tens-of-millions-of-frames scale geometries,
+     where a too-small pa_bits would silently wrap pfn lanes in the packed
+     TLB entry (31-bit pfn lane) and the packed IPT. *)
+  let pfn_space = 1 lsl (geom.Geometry.pa_bits - geom.Geometry.page_shift) in
+  if frames > pfn_space then
+    invalid_arg
+      (Printf.sprintf
+         "Config.v: %d frames exceed the %d-bit physical address space \
+          (max %d frames of 2^%d bytes)"
+         frames geom.Geometry.pa_bits pfn_space geom.Geometry.page_shift);
   {
     geom;
     cost;

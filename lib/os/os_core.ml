@@ -1,6 +1,48 @@
+open Sasos_util
 open Sasos_addr
 open Sasos_hw
 open Sasos_mem
+
+(* The protection database has two storage backends behind one interface,
+   selected by [Packed_cache.default_backend ()] like the hardware caches:
+
+   - [Sref]: the reference representation — polymorphic Hashtbls keyed by
+     (pd, seg id) / (pd, protection unit) tuples.  Every probe allocates
+     the tuple key and hashes generically.
+
+   - [Sflat]: all three tables rekeyed onto {!Flat_tab} int lanes, so the
+     ground-truth [rights] probe (override, then segment binary search,
+     then attachment) touches only int arrays and never allocates.  Three
+     auxiliary indexes replace the O(#domains) scans that would be
+     catastrophic at million-domain scale geometries:
+       [seg_doms]    seg id -> pds holding an attachment or any override
+                     inside the segment (candidates for
+                     [domains_with_rights]);
+       [unit_over]   protection unit -> number of live-domain overrides
+                     (O(1) [page_has_override]);
+       [dom_live]    created-and-not-destroyed pds, because the reference
+                     semantics consult only created domains.
+
+   Both backends are QCheck-lockstepped (test/test_os_store.ml) and the
+   packed one is additionally gated by the differential harness, corpus
+   replay and the byte-identical report rules via [--backend packed]. *)
+
+type flat_store = {
+  f_attachments : Flat_tab.t; (* k1 = pd, k2 = seg id -> rights *)
+  f_overrides : Flat_tab.t; (* k1 = pd, k2 = prot unit -> rights *)
+  f_override_counts : Flat_tab.t; (* k1 = pd, k2 = seg id -> count *)
+  f_unit_over : Flat_tab.t; (* prot unit (split lanes) -> live count *)
+  f_seg_doms : (int, int list) Hashtbl.t;
+  f_dom_live : Flat_tab.t; (* pd -> 1 *)
+}
+
+type store =
+  | Sref of {
+      attachments : (int * int, Rights.t) Hashtbl.t;
+      overrides : (int * int, Rights.t) Hashtbl.t;
+      override_counts : (int * int, int) Hashtbl.t;
+    }
+  | Sflat of flat_store
 
 type t = {
   config : Config.t;
@@ -11,44 +53,93 @@ type t = {
   frames : Frame_allocator.t;
   ipt : Inverted_page_table.t;
   disk : Backing_store.t;
-  attachments : (int * int, Rights.t) Hashtbl.t;
-  overrides : (int * int, Rights.t) Hashtbl.t;
-  override_counts : (int * int, int) Hashtbl.t; (* (pd, seg id) -> count *)
-  resident : (Va.vpn, unit) Hashtbl.t;
-  resident_fifo : Va.vpn Queue.t;
+  store : store;
+  resident_fifo : Int_queue.t;
   mutable domains : Pd.t list;
   mutable next_pd : int;
   mutable current : Pd.t;
-  rng : Sasos_util.Prng.t;
+  rng : Prng.t;
   probe : Probe.t;
 }
 
 let create (config : Config.t) =
+  let packed = Packed_cache.default_backend () = Packed_cache.Packed in
   {
     config;
     geom = config.Config.geom;
     cost = config.Config.cost;
     metrics = Metrics.create ();
-    segments = Segment_table.create config.Config.geom;
+    segments = Segment_table.create ~packed config.Config.geom;
     frames = Frame_allocator.create ~frames:config.Config.frames;
-    ipt = Inverted_page_table.create ();
+    ipt = Inverted_page_table.create ~packed ();
     disk = Backing_store.create ();
-    attachments = Hashtbl.create 256;
-    overrides = Hashtbl.create 1024;
-    override_counts = Hashtbl.create 256;
-    resident = Hashtbl.create 4096;
-    resident_fifo = Queue.create ();
+    store =
+      (if packed then
+         Sflat
+           {
+             f_attachments = Flat_tab.create ~size_hint:256 ();
+             f_overrides = Flat_tab.create ~size_hint:1024 ();
+             f_override_counts = Flat_tab.create ~size_hint:256 ();
+             f_unit_over = Flat_tab.create ~size_hint:1024 ();
+             f_seg_doms = Hashtbl.create 256;
+             f_dom_live = Flat_tab.create ~size_hint:256 ();
+           }
+       else
+         Sref
+           {
+             attachments = Hashtbl.create 256;
+             overrides = Hashtbl.create 1024;
+             override_counts = Hashtbl.create 256;
+           });
+    resident_fifo = Int_queue.create ~capacity:4096 ();
     domains = [];
     next_pd = 1;
     current = Pd.kernel;
-    rng = Sasos_util.Prng.create ~seed:config.Config.seed;
+    rng = Prng.create ~seed:config.Config.seed;
     probe = Probe.create ();
   }
+
+(* Protection-unit keys split across Flat_tab's two lanes: units reach
+   va lsr prot_shift ~ 2^49, beyond one non-negative 30-bit lane. *)
+let unit_k1 u = u land 0x3FFF_FFFF
+let unit_k2 u = u lsr 30
+
+let live s pd = Flat_tab.mem s.f_dom_live ~k1:pd ~k2:0
+
+let sd_add s sid pd =
+  let cur =
+    match Hashtbl.find_opt s.f_seg_doms sid with Some l -> l | None -> []
+  in
+  if not (List.mem pd cur) then Hashtbl.replace s.f_seg_doms sid (pd :: cur)
+
+(* Drop pd from the segment's candidate list iff it no longer holds an
+   attachment or any override count there. *)
+let sd_drop_if_orphan s sid pd =
+  if
+    Flat_tab.find s.f_attachments ~k1:pd ~k2:sid < 0
+    && Flat_tab.find s.f_override_counts ~k1:pd ~k2:sid < 0
+  then
+    match Hashtbl.find_opt s.f_seg_doms sid with
+    | None -> ()
+    | Some l -> (
+        match List.filter (fun p -> p <> pd) l with
+        | [] -> Hashtbl.remove s.f_seg_doms sid
+        | l' -> Hashtbl.replace s.f_seg_doms sid l')
+
+let unit_over_bump s u delta =
+  let k1 = unit_k1 u and k2 = unit_k2 u in
+  let c = Flat_tab.find s.f_unit_over ~k1 ~k2 in
+  let c = (if c < 0 then 0 else c) + delta in
+  if c <= 0 then Flat_tab.remove s.f_unit_over ~k1 ~k2
+  else Flat_tab.replace s.f_unit_over ~k1 ~k2 ~v:c
 
 let new_domain t =
   let pd = Pd.of_int t.next_pd in
   t.next_pd <- t.next_pd + 1;
   t.domains <- pd :: t.domains;
+  (match t.store with
+  | Sref _ -> ()
+  | Sflat s -> Flat_tab.replace s.f_dom_live ~k1:(Pd.to_int pd) ~k2:0 ~v:1);
   pd
 
 let domain_list t = List.rev t.domains
@@ -58,39 +149,83 @@ let destroy_domain t pd =
     invalid_arg "Os_core.destroy_domain: domain is running";
   t.domains <- List.filter (fun d -> not (Pd.equal d pd)) t.domains;
   let i = Pd.to_int pd in
-  let drop tbl =
-    let keys =
-      Hashtbl.fold (fun (d, k) _ acc -> if d = i then (d, k) :: acc else acc)
-        tbl []
-    in
-    List.iter (Hashtbl.remove tbl) keys
-  in
-  drop t.attachments;
-  drop t.overrides;
-  drop t.override_counts
+  match t.store with
+  | Sref s ->
+      let drop tbl =
+        let keys =
+          Hashtbl.fold
+            (fun (d, k) _ acc -> if d = i then (d, k) :: acc else acc)
+            tbl []
+        in
+        List.iter (Hashtbl.remove tbl) keys
+      in
+      drop s.attachments;
+      drop s.overrides;
+      drop s.override_counts
+  | Sflat s ->
+      let was_live = live s i in
+      let collect tab =
+        Flat_tab.fold tab
+          (fun k1 k2 _ acc -> if k1 = i then k2 :: acc else acc)
+          []
+      in
+      let att_segs = collect s.f_attachments in
+      let over_units = collect s.f_overrides in
+      let count_segs = collect s.f_override_counts in
+      List.iter (fun sid -> Flat_tab.remove s.f_attachments ~k1:i ~k2:sid)
+        att_segs;
+      List.iter
+        (fun u ->
+          Flat_tab.remove s.f_overrides ~k1:i ~k2:u;
+          if was_live then unit_over_bump s u (-1))
+        over_units;
+      List.iter
+        (fun sid -> Flat_tab.remove s.f_override_counts ~k1:i ~k2:sid)
+        count_segs;
+      Flat_tab.remove s.f_dom_live ~k1:i ~k2:0;
+      List.iter
+        (fun sid -> sd_drop_if_orphan s sid i)
+        (List.sort_uniq compare (att_segs @ count_segs))
 
 let prot_unit t va = va lsr t.geom.Geometry.prot_shift
 
 let rights t pd va =
-  match Hashtbl.find_opt t.overrides (Pd.to_int pd, prot_unit t va) with
-  | Some r -> r
-  | None -> begin
-      match Segment_table.find_by_va t.segments va with
-      | None -> Rights.none
-      | Some seg -> begin
-          match
-            Hashtbl.find_opt t.attachments
-              (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
-          with
-          | Some r -> r
+  match t.store with
+  | Sref s -> (
+      match Hashtbl.find_opt s.overrides (Pd.to_int pd, prot_unit t va) with
+      | Some r -> r
+      | None -> begin
+          match Segment_table.find_by_va t.segments va with
           | None -> Rights.none
-        end
-    end
+          | Some seg -> begin
+              match
+                Hashtbl.find_opt s.attachments
+                  (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
+              with
+              | Some r -> r
+              | None -> Rights.none
+            end
+        end)
+  | Sflat s ->
+      let pdi = Pd.to_int pd in
+      let u = prot_unit t va in
+      let o = Flat_tab.find s.f_overrides ~k1:pdi ~k2:u in
+      if o >= 0 then Rights.of_int o
+      else
+        let sid = Segment_table.find_id_by_va t.segments va in
+        if sid < 0 then Rights.none
+        else
+          let a = Flat_tab.find s.f_attachments ~k1:pdi ~k2:sid in
+          if a >= 0 then Rights.of_int a else Rights.none
 
 let set_attachment t pd seg r =
-  Hashtbl.replace t.attachments
-    (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
-    r
+  let sid = Segment.id_to_int seg.Segment.id in
+  match t.store with
+  | Sref s -> Hashtbl.replace s.attachments (Pd.to_int pd, sid) r
+  | Sflat s ->
+      let pdi = Pd.to_int pd in
+      Flat_tab.replace s.f_attachments ~k1:pdi ~k2:sid ~v:(Rights.to_int r);
+      sd_add s sid pdi
 
 let count_key t pd va =
   Option.map
@@ -98,45 +233,104 @@ let count_key t pd va =
     (Segment_table.find_by_va t.segments va)
 
 let remove_attachment t pd (seg : Segment.t) =
-  Hashtbl.remove t.attachments (Pd.to_int pd, Segment.id_to_int seg.Segment.id);
-  (* per-page overrides within the segment die with the attachment *)
+  let sid = Segment.id_to_int seg.Segment.id in
+  let pdi = Pd.to_int pd in
   let shift = t.geom.Geometry.prot_shift in
   let lo = seg.Segment.base lsr shift in
   let hi = (Segment.limit seg - 1) lsr shift in
-  for unit = lo to hi do
-    Hashtbl.remove t.overrides (Pd.to_int pd, unit)
-  done;
-  Hashtbl.remove t.override_counts
-    (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
+  match t.store with
+  | Sref s ->
+      Hashtbl.remove s.attachments (pdi, sid);
+      (* per-page overrides within the segment die with the attachment *)
+      for unit = lo to hi do
+        Hashtbl.remove s.overrides (pdi, unit)
+      done;
+      Hashtbl.remove s.override_counts (pdi, sid)
+  | Sflat s ->
+      Flat_tab.remove s.f_attachments ~k1:pdi ~k2:sid;
+      let was_live = live s pdi in
+      for unit = lo to hi do
+        if Flat_tab.find s.f_overrides ~k1:pdi ~k2:unit >= 0 then begin
+          Flat_tab.remove s.f_overrides ~k1:pdi ~k2:unit;
+          if was_live then unit_over_bump s unit (-1)
+        end
+      done;
+      Flat_tab.remove s.f_override_counts ~k1:pdi ~k2:sid;
+      sd_drop_if_orphan s sid pdi
 
 let attachment t pd (seg : Segment.t) =
-  Hashtbl.find_opt t.attachments
-    (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
+  let sid = Segment.id_to_int seg.Segment.id in
+  match t.store with
+  | Sref s -> Hashtbl.find_opt s.attachments (Pd.to_int pd, sid)
+  | Sflat s ->
+      let v = Flat_tab.find s.f_attachments ~k1:(Pd.to_int pd) ~k2:sid in
+      if v < 0 then None else Some (Rights.of_int v)
 
 let bump_count t pd va delta =
-  match count_key t pd va with
-  | None -> ()
-  | Some key ->
-      let c = Option.value (Hashtbl.find_opt t.override_counts key) ~default:0 in
-      let c = c + delta in
-      if c <= 0 then Hashtbl.remove t.override_counts key
-      else Hashtbl.replace t.override_counts key c
+  match t.store with
+  | Sref s -> (
+      match count_key t pd va with
+      | None -> ()
+      | Some key ->
+          let c =
+            Option.value (Hashtbl.find_opt s.override_counts key) ~default:0
+          in
+          let c = c + delta in
+          if c <= 0 then Hashtbl.remove s.override_counts key
+          else Hashtbl.replace s.override_counts key c)
+  | Sflat s -> (
+      match Segment_table.find_id_by_va t.segments va with
+      | -1 -> ()
+      | sid ->
+          let pdi = Pd.to_int pd in
+          let c = Flat_tab.find s.f_override_counts ~k1:pdi ~k2:sid in
+          let c = (if c < 0 then 0 else c) + delta in
+          if c <= 0 then begin
+            Flat_tab.remove s.f_override_counts ~k1:pdi ~k2:sid;
+            sd_drop_if_orphan s sid pdi
+          end
+          else begin
+            Flat_tab.replace s.f_override_counts ~k1:pdi ~k2:sid ~v:c;
+            sd_add s sid pdi
+          end)
 
 let set_override t pd va r =
-  let key = (Pd.to_int pd, prot_unit t va) in
-  if not (Hashtbl.mem t.overrides key) then bump_count t pd va 1;
-  Hashtbl.replace t.overrides key r
+  let u = prot_unit t va in
+  match t.store with
+  | Sref s ->
+      let key = (Pd.to_int pd, u) in
+      if not (Hashtbl.mem s.overrides key) then bump_count t pd va 1;
+      Hashtbl.replace s.overrides key r
+  | Sflat s ->
+      let pdi = Pd.to_int pd in
+      if Flat_tab.find s.f_overrides ~k1:pdi ~k2:u < 0 then begin
+        bump_count t pd va 1;
+        if live s pdi then unit_over_bump s u 1
+      end;
+      Flat_tab.replace s.f_overrides ~k1:pdi ~k2:u ~v:(Rights.to_int r)
 
 let clear_override t pd va =
-  let key = (Pd.to_int pd, prot_unit t va) in
-  if Hashtbl.mem t.overrides key then begin
-    Hashtbl.remove t.overrides key;
-    bump_count t pd va (-1)
-  end
+  let u = prot_unit t va in
+  match t.store with
+  | Sref s ->
+      let key = (Pd.to_int pd, u) in
+      if Hashtbl.mem s.overrides key then begin
+        Hashtbl.remove s.overrides key;
+        bump_count t pd va (-1)
+      end
+  | Sflat s ->
+      let pdi = Pd.to_int pd in
+      if Flat_tab.find s.f_overrides ~k1:pdi ~k2:u >= 0 then begin
+        Flat_tab.remove s.f_overrides ~k1:pdi ~k2:u;
+        bump_count t pd va (-1);
+        if live s pdi then unit_over_bump s u (-1)
+      end
 
 let has_overrides t pd (seg : Segment.t) =
-  Hashtbl.mem t.override_counts
-    (Pd.to_int pd, Segment.id_to_int seg.Segment.id)
+  let sid = Segment.id_to_int seg.Segment.id in
+  match t.store with
+  | Sref s -> Hashtbl.mem s.override_counts (Pd.to_int pd, sid)
+  | Sflat s -> Flat_tab.find s.f_override_counts ~k1:(Pd.to_int pd) ~k2:sid >= 0
 
 let override_units_in_segment t pd (seg : Segment.t) =
   if not (has_overrides t pd seg) then []
@@ -144,26 +338,66 @@ let override_units_in_segment t pd (seg : Segment.t) =
     let shift = t.geom.Geometry.prot_shift in
     let lo = seg.Segment.base lsr shift in
     let hi = (Segment.limit seg - 1) lsr shift in
+    let pdi = Pd.to_int pd in
     let units = ref [] in
-    for unit = hi downto lo do
-      if Hashtbl.mem t.overrides (Pd.to_int pd, unit) then
-        units := unit :: !units
-    done;
+    (match t.store with
+    | Sref s ->
+        for unit = hi downto lo do
+          if Hashtbl.mem s.overrides (pdi, unit) then units := unit :: !units
+        done
+    | Sflat s ->
+        for unit = hi downto lo do
+          if Flat_tab.find s.f_overrides ~k1:pdi ~k2:unit >= 0 then
+            units := unit :: !units
+        done);
     !units
   end
 
 let page_has_override t va =
   let unit = prot_unit t va in
-  List.exists
-    (fun pd -> Hashtbl.mem t.overrides (Pd.to_int pd, unit))
-    t.domains
+  match t.store with
+  | Sref s ->
+      List.exists
+        (fun pd -> Hashtbl.mem s.overrides (Pd.to_int pd, unit))
+        t.domains
+  | Sflat s ->
+      Flat_tab.find s.f_unit_over ~k1:(unit_k1 unit) ~k2:(unit_k2 unit) > 0
 
 let domains_with_rights t va =
-  List.filter_map
-    (fun pd ->
-      let r = rights t pd va in
-      if Rights.equal r Rights.none then None else Some (pd, r))
-    (domain_list t)
+  match t.store with
+  | Sref _ ->
+      List.filter_map
+        (fun pd ->
+          let r = rights t pd va in
+          if Rights.equal r Rights.none then None else Some (pd, r))
+        (domain_list t)
+  | Sflat s -> (
+      let keep pdi =
+        if not (live s pdi) then None
+        else
+          let pd = Pd.of_int pdi in
+          let r = rights t pd va in
+          if Rights.equal r Rights.none then None else Some (pd, r)
+      in
+      match Segment_table.find_id_by_va t.segments va with
+      | -1 ->
+          (* outside every live segment only overrides can grant; the
+             per-unit live count tells us whether any exist at all *)
+          let unit = prot_unit t va in
+          if Flat_tab.find s.f_unit_over ~k1:(unit_k1 unit) ~k2:(unit_k2 unit)
+             <= 0
+          then []
+          else
+            List.filter_map (fun pd -> keep (Pd.to_int pd)) (domain_list t)
+      | sid ->
+          let pds =
+            match Hashtbl.find_opt s.f_seg_doms sid with
+            | Some l -> l
+            | None -> []
+          in
+          (* candidate lists are unordered; reference order is creation
+             order, which is ascending pd since ids are monotonic *)
+          List.filter_map keep (List.sort_uniq compare pds))
 
 let charge t cycles = t.metrics.Metrics.cycles <- t.metrics.Metrics.cycles + cycles
 
@@ -171,57 +405,58 @@ let kernel_entry t =
   t.metrics.Metrics.kernel_entries <- t.metrics.Metrics.kernel_entries + 1;
   charge t t.cost.Cost_model.kernel_trap
 
-let note_resident t vpn =
-  Hashtbl.replace t.resident vpn ();
-  Queue.push vpn t.resident_fifo
+let note_resident t vpn = Int_queue.push t.resident_fifo vpn
 
 let unmap t ~vpn ~write_back =
-  match Inverted_page_table.find t.ipt ~vpn with
-  | None -> ()
-  | Some m ->
-      if write_back && m.Inverted_page_table.dirty then begin
-        let bytes = Geometry.page_size t.geom in
-        Backing_store.write t.disk ~vpn ~bytes_used:bytes;
-        t.metrics.Metrics.page_outs <- t.metrics.Metrics.page_outs + 1;
-        charge t t.cost.Cost_model.page_out
-      end;
-      ignore (Inverted_page_table.unmap t.ipt ~vpn);
-      Hashtbl.remove t.resident vpn;
-      Frame_allocator.free t.frames m.Inverted_page_table.pfn
+  let bits = Inverted_page_table.unmap_bits t.ipt ~vpn in
+  if bits >= 0 then begin
+    if write_back && Inverted_page_table.bits_dirty bits then begin
+      let bytes = Geometry.page_size t.geom in
+      Backing_store.write t.disk ~vpn ~bytes_used:bytes;
+      t.metrics.Metrics.page_outs <- t.metrics.Metrics.page_outs + 1;
+      charge t t.cost.Cost_model.page_out
+    end;
+    Frame_allocator.free t.frames (Inverted_page_table.bits_pfn bits)
+  end
 
 let rec evict_oldest t ~before_evict =
-  match Queue.take_opt t.resident_fifo with
-  | None -> failwith "Os_core: no resident page to evict"
-  | Some victim ->
-      (* the FIFO may contain stale entries for pages already unmapped *)
-      if Hashtbl.mem t.resident victim then begin
-        before_evict victim;
-        unmap t ~vpn:victim ~write_back:true
-      end
-      else evict_oldest t ~before_evict
+  let victim = Int_queue.pop t.resident_fifo in
+  if victim < 0 then failwith "Os_core: no resident page to evict"
+  else if
+    (* the FIFO may contain stale entries for pages already unmapped;
+       residency is exactly IPT membership *)
+    Inverted_page_table.is_mapped t.ipt ~vpn:victim
+  then begin
+    before_evict victim;
+    unmap t ~vpn:victim ~write_back:true
+  end
+  else evict_oldest t ~before_evict
+
+(* Top-level recursion, not a local [let rec]: a closure per page fault
+   would defeat the zero-allocation eviction path. *)
+let rec acquire_frame t ~before_evict =
+  let f = Frame_allocator.alloc_int t.frames in
+  if f >= 0 then f
+  else begin
+    evict_oldest t ~before_evict;
+    acquire_frame t ~before_evict
+  end
 
 let ensure_mapped t ~vpn ~before_evict =
-  match Inverted_page_table.find t.ipt ~vpn with
-  | Some m -> m.Inverted_page_table.pfn
-  | None -> begin
-      t.metrics.Metrics.page_faults <- t.metrics.Metrics.page_faults + 1;
-      let rec get_frame () =
-        match Frame_allocator.alloc t.frames with
-        | Some f -> f
-        | None ->
-            evict_oldest t ~before_evict;
-            get_frame ()
-      in
-      let pfn = get_frame () in
-      (* page-in from disk if a copy exists; else zero-fill (cheap) *)
-      if Backing_store.resident t.disk ~vpn then begin
-        t.metrics.Metrics.page_ins <- t.metrics.Metrics.page_ins + 1;
-        charge t t.cost.Cost_model.page_in
-      end;
-      Inverted_page_table.map t.ipt ~vpn ~pfn;
-      note_resident t vpn;
-      pfn
-    end
+  let bits = Inverted_page_table.find_bits t.ipt ~vpn in
+  if bits >= 0 then Inverted_page_table.bits_pfn bits
+  else begin
+    t.metrics.Metrics.page_faults <- t.metrics.Metrics.page_faults + 1;
+    let pfn = acquire_frame t ~before_evict in
+    (* page-in from disk if a copy exists; else zero-fill (cheap) *)
+    if Backing_store.resident t.disk ~vpn then begin
+      t.metrics.Metrics.page_ins <- t.metrics.Metrics.page_ins + 1;
+      charge t t.cost.Cost_model.page_in
+    end;
+    Inverted_page_table.map t.ipt ~vpn ~pfn;
+    note_resident t vpn;
+    pfn
+  end
 
 let is_resident t ~vpn = Inverted_page_table.is_mapped t.ipt ~vpn
 
@@ -230,13 +465,22 @@ let pfn_of t ~vpn =
     (fun m -> m.Inverted_page_table.pfn)
     (Inverted_page_table.find t.ipt ~vpn)
 
+let pfn_int t ~vpn =
+  let bits = Inverted_page_table.find_bits t.ipt ~vpn in
+  if bits < 0 then -1 else Inverted_page_table.bits_pfn bits
+
 let pa_of t va =
   let vpn = Va.vpn_of_va t.geom va in
   Option.map
     (fun pfn -> (pfn lsl t.geom.Geometry.page_shift) lor Va.offset t.geom va)
     (pfn_of t ~vpn)
 
-let mark_dirty t ~vpn =
-  match Inverted_page_table.find t.ipt ~vpn with
-  | Some m -> m.Inverted_page_table.dirty <- true
-  | None -> ()
+let pa_int t va =
+  let vpn = Va.vpn_of_va t.geom va in
+  let bits = Inverted_page_table.find_bits t.ipt ~vpn in
+  if bits < 0 then -1
+  else
+    (Inverted_page_table.bits_pfn bits lsl t.geom.Geometry.page_shift)
+    lor Va.offset t.geom va
+
+let mark_dirty t ~vpn = Inverted_page_table.set_dirty t.ipt ~vpn

@@ -13,6 +13,16 @@ open Sasos_addr
 open Sasos_hw
 open Sasos_mem
 
+type store
+(** The protection database — per-(domain, segment) attachment rights,
+    per-(domain, protection-unit) overrides, and override counts — on one
+    of two storage backends: the reference tuple-keyed Hashtbls, or flat
+    {!Sasos_util.Flat_tab} int lanes whose ground-truth probes never
+    allocate (plus the candidate/count indexes that keep
+    {!domains_with_rights} and {!page_has_override} off O(#domains) scans
+    at million-domain geometries). Selected at {!create} time by
+    [Packed_cache.default_backend ()], i.e. the CLI's [--backend] flag. *)
+
 type t = {
   config : Config.t;
   geom : Geometry.t;
@@ -22,13 +32,10 @@ type t = {
   frames : Frame_allocator.t;
   ipt : Inverted_page_table.t;
   disk : Backing_store.t;
-  attachments : (int * int, Rights.t) Hashtbl.t;  (** (pd, seg id) → rights *)
-  overrides : (int * int, Rights.t) Hashtbl.t;
-      (** (pd, protection unit) → rights; takes precedence over attachment *)
-  override_counts : (int * int, int) Hashtbl.t;
-      (** (pd, segment id) → number of live overrides inside the segment *)
-  resident : (Va.vpn, unit) Hashtbl.t;
-  resident_fifo : Va.vpn Queue.t;  (** eviction order when memory fills *)
+  store : store;  (** the protection truth (see {!store}) *)
+  resident_fifo : Sasos_util.Int_queue.t;
+      (** eviction order when memory fills; residency itself is IPT
+          membership *)
   mutable domains : Pd.t list;  (** newest first *)
   mutable next_pd : int;
   mutable current : Pd.t;
@@ -110,7 +117,15 @@ val unmap : t -> vpn:Va.vpn -> write_back:bool -> unit
 
 val is_resident : t -> vpn:Va.vpn -> bool
 val pfn_of : t -> vpn:Va.vpn -> int option
+
+val pfn_int : t -> vpn:Va.vpn -> int
+(** Frame number of a mapped page, or [-1]. Never allocates. *)
+
 val pa_of : t -> Va.t -> int option
 (** Physical byte address of a mapped virtual address. *)
+
+val pa_int : t -> Va.t -> int
+(** Physical byte address, or [-1] if unmapped. Never allocates — the
+    hot-loop form of {!pa_of}. *)
 
 val mark_dirty : t -> vpn:Va.vpn -> unit

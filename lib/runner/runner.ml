@@ -61,31 +61,11 @@ let run_one ?(profile = false) ?sample_every ?ring_capacity index
     promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
   }
 
-let map_pool ?(jobs = 1) f items =
-  if jobs < 1 then invalid_arg "Runner.map_pool: jobs must be >= 1";
-  let tasks = Array.of_list items in
-  let n = Array.length tasks in
-  let results = Array.make n None in
-  let next = Atomic.make 0 in
-  let worker () =
-    Printexc.record_backtrace true;
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (f tasks.(i));
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let jobs = min jobs (max 1 n) in
-  if jobs = 1 then worker ()
-  else begin
-    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join helpers
-  end;
-  Array.to_list (Array.map Option.get results)
+(* The pool itself lives in Sasos_util.Pool — the bottom of the layering
+   — so the sharded simulation (whose experiments this runner executes)
+   can fan out on the same primitive without a dependency cycle. *)
+let map_pool = Sasos_util.Pool.map_pool
+let map_pool_n = Sasos_util.Pool.map_pool_n
 
 let run ?jobs ?profile ?sample_every ?ring_capacity experiments =
   (match jobs with

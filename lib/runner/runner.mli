@@ -39,7 +39,21 @@ val map_pool : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     raise: an exception in a helper domain propagates out of the join and
     loses the other items' results. This is the pool under both the
     experiment registry ([run]) and the conformance harness
-    (`sasos check`). @raise Invalid_argument when [jobs < 1]. *)
+    (`sasos check`) and the sharded simulation (`sasos scale`); it is an
+    alias for {!Sasos_util.Pool.map_pool}.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val map_pool_n :
+  ?jobs:int -> ?chunk:int -> init:'b -> n:int -> (int -> 'b) -> 'b array
+(** Chunked, index-generated variant of {!map_pool} for very large work
+    lists: [map_pool_n ~init ~n f] computes [f i] for [i = 0 .. n-1] into
+    a result array preallocated with [init] — no input list, no per-item
+    closure or option box, and workers grab contiguous index chunks
+    ([chunk], default [n / (jobs * 8)]) from one atomic counter so a
+    million-item list costs a handful of atomic operations per worker.
+    Results are in index order regardless of [jobs]; [f] must tolerate
+    concurrent calls from several domains.
+    @raise Invalid_argument when [jobs < 1], [n < 0] or [chunk < 1]. *)
 
 val run :
   ?jobs:int ->

@@ -1,0 +1,542 @@
+open Sasos_addr
+open Sasos_hw
+open Sasos_os
+open Sasos_util
+module Sys_select = Sasos_machine.Sys_select
+module Obs = Sasos_obs.Obs
+
+type config = {
+  domains : int;
+  pages : int;
+  shards : int;
+  rounds : int;
+  active : int;
+  burst : int;
+  rotate : int;
+  churn : float;
+  pages_per_seg : int;
+  segs_per_dom : int;
+  theta : float;
+  tlb_entries : int;
+  plb_entries : int;
+  pg_entries : int;
+  pk_keys : int;
+  frames : int;
+  variant : Sys_select.variant;
+  seed : int;
+}
+
+let default =
+  {
+    domains = 4096;
+    pages = 64 * 1024;
+    shards = 2;
+    rounds = 64;
+    active = 64;
+    burst = 8;
+    rotate = 1;
+    churn = 0.02;
+    pages_per_seg = 16;
+    segs_per_dom = 2;
+    theta = 0.8;
+    tlb_entries = 64;
+    plb_entries = 64;
+    pg_entries = 16;
+    pk_keys = 8;
+    frames = 4096;
+    variant = Sys_select.Plb;
+    seed = 42;
+  }
+
+let total_segments cfg = (cfg.pages + cfg.pages_per_seg - 1) / cfg.pages_per_seg
+
+(* Message ints, 63 bits:
+     bit  0        kind (0 attach, 1 detach)
+     bits 1..3     rights
+     bits 4..33    global domain id (30 bits)
+     bits 34..62   global segment id (29 bits; may reach the sign bit,
+                   decoded with lsr so a negative message is fine) *)
+let msg_kind m = m land 1
+let msg_rights m = (m lsr 1) land 7
+let msg_dom m = (m lsr 4) land 0x3FFF_FFFF
+let msg_seg m = m lsr 34
+
+let dom_limit = 1 lsl 30
+let seg_limit = 1 lsl 29
+let churn_one = 1 lsl 20
+let cdf_scale = 1 lsl 30
+let rw_bits = (Rights.rw :> int)
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let validate cfg =
+  if cfg.shards < 1 then fail "Shard: shards must be >= 1 (got %d)" cfg.shards;
+  if cfg.domains < cfg.shards then
+    fail "Shard: need at least one domain per shard (%d domains, %d shards)"
+      cfg.domains cfg.shards;
+  if cfg.domains >= dom_limit then
+    fail "Shard: at most 2^30 domains (got %d)" cfg.domains;
+  if cfg.pages_per_seg < 1 then
+    fail "Shard: pages_per_seg must be >= 1 (got %d)" cfg.pages_per_seg;
+  let segs = total_segments cfg in
+  if segs < cfg.shards then
+    fail "Shard: need at least one segment per shard (%d segments, %d shards)"
+      segs cfg.shards;
+  if segs >= seg_limit then fail "Shard: at most 2^29 segments (got %d)" segs;
+  if cfg.rounds < 0 then fail "Shard: rounds must be >= 0 (got %d)" cfg.rounds;
+  if cfg.active < 1 || cfg.active > cfg.domains then
+    fail "Shard: active must be in [1, domains] (got %d of %d)" cfg.active
+      cfg.domains;
+  if cfg.burst < 1 then fail "Shard: burst must be >= 1 (got %d)" cfg.burst;
+  if cfg.rotate < 0 then fail "Shard: rotate must be >= 0 (got %d)" cfg.rotate;
+  if not (cfg.churn >= 0.0 && cfg.churn <= 1.0) then
+    fail "Shard: churn must be in [0, 1] (got %g)" cfg.churn;
+  if cfg.segs_per_dom < 1 then
+    fail "Shard: segs_per_dom must be >= 1 (got %d)" cfg.segs_per_dom;
+  if not (cfg.theta >= 0.0) then
+    fail "Shard: theta must be >= 0 (got %g)" cfg.theta;
+  List.iter
+    (fun (name, v) ->
+      if v < 4 || not (Bits.is_power_of_two v) then
+        fail "Shard: %s must be a power of two >= 4 (got %d)" name v)
+    [
+      ("tlb_entries", cfg.tlb_entries);
+      ("plb_entries", cfg.plb_entries);
+      ("pg_entries", cfg.pg_entries);
+    ];
+  if cfg.pk_keys < 2 then
+    fail "Shard: pk_keys must be >= 2 (got %d)" cfg.pk_keys;
+  if cfg.frames < 1 then fail "Shard: frames must be >= 1 (got %d)" cfg.frames
+
+(* Wide structures model a per-shard machine: 4-way set-associative once
+   there are enough entries for more than one set. *)
+let sets_ways entries = if entries <= 4 then (1, entries) else (entries / 4, 4)
+
+let machine_config cfg =
+  let d = Geometry.default in
+  let pa_bits =
+    max d.Geometry.pa_bits (d.Geometry.page_shift + Bits.ceil_log2 cfg.frames)
+  in
+  let pd_id_bits =
+    max d.Geometry.pd_id_bits (Bits.ceil_log2 (cfg.domains + 1))
+  in
+  let geom = Geometry.v ~pa_bits ~pd_id_bits () in
+  let tlb_sets, tlb_ways = sets_ways cfg.tlb_entries in
+  let plb_sets, plb_ways = sets_ways cfg.plb_entries in
+  Config.v ~geom ~tlb_sets ~tlb_ways ~plb_sets ~plb_ways
+    ~pg_entries:cfg.pg_entries ~pk_keys:cfg.pk_keys ~frames:cfg.frames
+    ~seed:cfg.seed ()
+
+(* Scaled int-CDF of a Zipf(theta) distribution over [0, n): page 0 is the
+   hottest. Sampling is a linear scan (n is pages_per_seg, small) from the
+   hot end, so the expected scan length is short. *)
+let zipf_cdf n theta =
+  let w = Array.make n 0.0 in
+  let tot = ref 0.0 in
+  for k = 0 to n - 1 do
+    let p = 1.0 /. (float_of_int (k + 1) ** theta) in
+    w.(k) <- p;
+    tot := !tot +. p
+  done;
+  let cdf = Array.make n 0 in
+  let acc = ref 0.0 in
+  let scale = float_of_int cdf_scale in
+  for k = 0 to n - 1 do
+    acc := !acc +. w.(k);
+    cdf.(k) <- int_of_float (!acc /. !tot *. scale)
+  done;
+  cdf.(n - 1) <- cdf_scale;
+  cdf
+
+let rec zipf_scan (cdf : int array) r i n =
+  if i >= n - 1 || Array.unsafe_get cdf i > r then i else zipf_scan cdf r (i + 1) n
+
+let zipf_pick (cdf : int array) r = zipf_scan cdf r 0 (Array.length cdf)
+
+type plan = {
+  cfg : config;
+  total_segs : int;
+  mutable churn : float;
+  mutable churn_scaled : int;  (* churn probability out of 2^20 *)
+  cdf : int array;
+  page_shift : int;
+}
+
+type shard = {
+  sid : int;
+  sys : System_intf.packed;
+  obs : Obs.t;
+  pds : Pd.t array;
+  segs : Segment.t array;
+  proxies : Flat_tab.t;  (* global domain id -> local proxy pd *)
+  mutable n_proxies : int;
+  mutable rng : int;  (* Prng.Split state for page selection *)
+  outbox : int array;
+  mutable out_len : int;
+  inbox : int array;
+  mutable in_len : int;
+  mutable msgs_in : int;
+  mutable msgs_out : int;
+  setup : Metrics.t;  (* counter snapshot right after [prepare] *)
+}
+
+type t = { plan : plan; shards : shard array; mutable round : int }
+
+(* Global id [g] lives on shard [g mod shards] at local index [g / shards];
+   same partition for segments. *)
+let owned n shards sid = (n + shards - 1 - sid) / shards
+
+(* Local segment slot [k] of local domain [i]: a fixed stride coprime to
+   any table size spreads each domain's attachments over the shard's
+   segments. *)
+let seg_slot nloc i k = (i + (k * 7919)) mod nloc
+
+let scale_churn c =
+  let s = int_of_float ((c *. float_of_int churn_one) +. 0.5) in
+  if s > churn_one then churn_one else s
+
+let setup_shard p ~profile sid =
+  let cfg = p.cfg in
+  let obs = if profile then Obs.create () else Obs.disabled in
+  let mconfig = machine_config cfg in
+  let build () = Sys_select.make cfg.variant mconfig in
+  let sys = if profile then Obs.with_ambient obs build else build () in
+  let nloc_dom = owned cfg.domains cfg.shards sid in
+  let nloc_seg = owned p.total_segs cfg.shards sid in
+  let segs =
+    Array.init nloc_seg (fun _ ->
+        System_ops.new_segment sys ~pages:cfg.pages_per_seg ())
+  in
+  let pds = Array.init nloc_dom (fun _ -> System_ops.new_domain sys) in
+  for i = 0 to nloc_dom - 1 do
+    let pd = pds.(i) in
+    for k = 0 to cfg.segs_per_dom - 1 do
+      System_ops.attach sys pd segs.(seg_slot nloc_seg i k) Rights.rw
+    done
+  done;
+  {
+    sid;
+    sys;
+    obs;
+    pds;
+    segs;
+    proxies = Flat_tab.create ~size_hint:64 ();
+    n_proxies = 0;
+    rng = Prng.Split.init ((cfg.seed * 0x9E3779B1) lxor (sid * 0x85EBCA6B));
+    outbox = Array.make cfg.active 0;
+    out_len = 0;
+    inbox = Array.make cfg.active 0;
+    in_len = 0;
+    msgs_in = 0;
+    msgs_out = 0;
+    setup = Metrics.copy (System_ops.metrics sys);
+  }
+
+(* Stateless churn decision for (domain g, round pair t2): both rounds of a
+   pair recompute the same draw, so every attach emitted on the even round
+   is followed by the matching detach on the odd round — churn never leaks
+   attachments. Two separately-stepped Split states keep the probability
+   test and the segment choice decorrelated. *)
+let churn_state seed g t2 =
+  Prng.Split.next
+    (Prng.Split.init (seed lxor (g * 0x27D4EB2F) lxor (t2 * 0x165667B1)))
+
+let phase_traffic p (sh : shard) r =
+  let cfg = p.cfg in
+  let shards = cfg.shards in
+  let domains = cfg.domains in
+  let t2 = r lsr 1 in
+  let w0 = if cfg.rotate = 0 then 0 else t2 * cfg.rotate mod domains in
+  let detach_bit = r land 1 in
+  let nloc_seg = Array.length sh.segs in
+  let sys = sh.sys in
+  sh.out_len <- 0;
+  for j = 0 to cfg.active - 1 do
+    let g =
+      let g = w0 + j in
+      if g >= domains then g - domains else g
+    in
+    if g mod shards = sh.sid then begin
+      let i = g / shards in
+      System_ops.switch_domain sys (Array.unsafe_get sh.pds i);
+      for b = 0 to cfg.burst - 1 do
+        let seg =
+          Array.unsafe_get sh.segs (seg_slot nloc_seg i (b mod cfg.segs_per_dom))
+        in
+        sh.rng <- Prng.Split.next sh.rng;
+        let page = zipf_pick p.cdf (Prng.Split.draw sh.rng ~bound:cdf_scale) in
+        let va = seg.Segment.base + (page lsl p.page_shift) in
+        let kind = if b land 3 = 3 then Access.Write else Access.Read in
+        ignore (System_ops.access sys kind va)
+      done;
+      if p.churn_scaled > 0 then begin
+        let st = churn_state cfg.seed g t2 in
+        if Prng.Split.draw st ~bound:churn_one < p.churn_scaled then begin
+          let st2 = Prng.Split.next st in
+          let gseg = Prng.Split.draw st2 ~bound:p.total_segs in
+          let msg =
+            detach_bit lor (rw_bits lsl 1) lor (g lsl 4) lor (gseg lsl 34)
+          in
+          Array.unsafe_set sh.outbox sh.out_len msg;
+          sh.out_len <- sh.out_len + 1
+        end
+      end
+    end
+  done;
+  sh.msgs_out <- sh.msgs_out + sh.out_len
+
+(* Runs on the coordinating domain between the two phases: inboxes are
+   filled in (source shard, emission order), so their contents do not
+   depend on how phase 1 was scheduled. *)
+let route p (shards : shard array) =
+  let s = Array.length shards in
+  for d = 0 to s - 1 do
+    (Array.unsafe_get shards d).in_len <- 0
+  done;
+  for src = 0 to s - 1 do
+    let sh = Array.unsafe_get shards src in
+    for m = 0 to sh.out_len - 1 do
+      let msg = Array.unsafe_get sh.outbox m in
+      let dst = Array.unsafe_get shards (msg_seg msg mod p.cfg.shards) in
+      Array.unsafe_set dst.inbox dst.in_len msg;
+      dst.in_len <- dst.in_len + 1
+    done
+  done
+
+let phase_apply p (sh : shard) =
+  let shards = p.cfg.shards in
+  let sys = sh.sys in
+  for m = 0 to sh.in_len - 1 do
+    let msg = Array.unsafe_get sh.inbox m in
+    let g = msg_dom msg in
+    let seg = Array.unsafe_get sh.segs (msg_seg msg / shards) in
+    let pd =
+      if g mod shards = sh.sid then Array.unsafe_get sh.pds (g / shards)
+      else
+        let v = Flat_tab.find sh.proxies ~k1:g ~k2:0 in
+        if v >= 0 then Pd.of_int v
+        else begin
+          let pd = System_ops.new_domain sys in
+          Flat_tab.replace sh.proxies ~k1:g ~k2:0 ~v:(Pd.to_int pd);
+          sh.n_proxies <- sh.n_proxies + 1;
+          pd
+        end
+    in
+    if msg_kind msg = 0 then
+      System_ops.attach sys pd seg (Rights.of_int (msg_rights msg))
+    else if Os_core.attachment (System_ops.os sys) pd seg <> None then
+      System_ops.detach sys pd seg
+  done;
+  sh.msgs_in <- sh.msgs_in + sh.in_len
+
+let do_round t jobs r =
+  let shards = t.shards in
+  let s = Array.length shards in
+  (* jobs = 1 stays in the calling domain with no per-round allocation (the
+     probe-path guardrail in bench/scale.ml depends on this). *)
+  if jobs <= 1 then
+    for d = 0 to s - 1 do
+      phase_traffic t.plan (Array.unsafe_get shards d) r
+    done
+  else
+    ignore
+      (Pool.map_pool_n ~jobs ~chunk:1 ~init:() ~n:s (fun d ->
+           phase_traffic t.plan shards.(d) r));
+  route t.plan shards;
+  if jobs <= 1 then
+    for d = 0 to s - 1 do
+      phase_apply t.plan (Array.unsafe_get shards d)
+    done
+  else
+    ignore
+      (Pool.map_pool_n ~jobs ~chunk:1 ~init:() ~n:s (fun d ->
+           phase_apply t.plan shards.(d)))
+
+let rounds ?(jobs = 1) t n =
+  if jobs < 1 then invalid_arg "Shard.rounds: jobs must be >= 1";
+  if n < 0 then invalid_arg "Shard.rounds: n must be >= 0";
+  for r = t.round to t.round + n - 1 do
+    do_round t jobs r
+  done;
+  t.round <- t.round + n
+
+let set_churn t c =
+  if not (c >= 0.0 && c <= 1.0) then
+    fail "Shard.set_churn: churn must be in [0, 1] (got %g)" c;
+  t.plan.churn <- c;
+  t.plan.churn_scaled <- scale_churn c
+
+let rounds_run t = t.round
+
+let prepare ?(jobs = 1) ?(profile = false) cfg =
+  if jobs < 1 then invalid_arg "Shard.prepare: jobs must be >= 1";
+  validate cfg;
+  let plan =
+    {
+      cfg;
+      total_segs = total_segments cfg;
+      churn = cfg.churn;
+      churn_scaled = scale_churn cfg.churn;
+      cdf = zipf_cdf cfg.pages_per_seg cfg.theta;
+      page_shift = (machine_config cfg).Config.geom.Geometry.page_shift;
+    }
+  in
+  let shards =
+    if jobs <= 1 then Array.init cfg.shards (setup_shard plan ~profile)
+    else
+      Array.map
+        (function Some sh -> sh | None -> assert false)
+        (Pool.map_pool_n ~jobs ~chunk:1 ~init:None ~n:cfg.shards (fun sid ->
+             Some (setup_shard plan ~profile sid)))
+  in
+  { plan; shards; round = 0 }
+
+type shard_report = {
+  sid : int;
+  local_domains : int;
+  local_segments : int;
+  proxies : int;
+  msgs_in : int;
+  msgs_out : int;
+  setup : Metrics.t;
+  total : Metrics.t;
+}
+
+type report = {
+  config : config;
+  total_segs : int;
+  rounds_run : int;
+  aggregate_setup : Metrics.t;
+  aggregate_traffic : Metrics.t;
+  aggregate : Metrics.t;
+  shards : shard_report array;
+  profile : Obs.summary option;
+}
+
+let report (t : t) =
+  let shard_report (sh : shard) =
+    {
+      sid = sh.sid;
+      local_domains = Array.length sh.pds;
+      local_segments = Array.length sh.segs;
+      proxies = sh.n_proxies;
+      msgs_in = sh.msgs_in;
+      msgs_out = sh.msgs_out;
+      setup = Metrics.copy sh.setup;
+      total = Metrics.copy (System_ops.metrics sh.sys);
+    }
+  in
+  let shards = Array.map shard_report t.shards in
+  let aggregate_setup = Metrics.create () in
+  let aggregate = Metrics.create () in
+  Array.iter
+    (fun r ->
+      Metrics.add_into aggregate_setup r.setup;
+      Metrics.add_into aggregate r.total)
+    shards;
+  let profile =
+    if Array.exists (fun (sh : shard) -> Obs.enabled sh.obs) t.shards then
+      Some
+        (Obs.merge
+           (Array.to_list (Array.map (fun (sh : shard) -> Obs.summarize sh.obs) t.shards)))
+    else None
+  in
+  {
+    config = { t.plan.cfg with churn = t.plan.churn };
+    total_segs = t.plan.total_segs;
+    rounds_run = t.round;
+    aggregate_setup;
+    aggregate_traffic = Metrics.diff aggregate aggregate_setup;
+    aggregate;
+    shards;
+    profile;
+  }
+
+let render (r : report) =
+  let cfg = r.config in
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.bprintf b fmt in
+  let ci = Tablefmt.cell_int in
+  pf "=== sasos scale: %s domains on %s shards (%s) ===\n" (ci cfg.domains)
+    (ci cfg.shards)
+    (Sys_select.to_string cfg.variant);
+  pf "%s pages in %s segments (%d pages/seg, %d segs/domain)\n"
+    (ci (r.total_segs * cfg.pages_per_seg))
+    (ci r.total_segs) cfg.pages_per_seg cfg.segs_per_dom;
+  pf "rounds %s: active %s, burst %d, rotate %d, churn %.4f, theta %.2f, seed %d\n"
+    (ci r.rounds_run) (ci cfg.active) cfg.burst cfg.rotate cfg.churn cfg.theta
+    cfg.seed;
+  pf "per shard: tlb %d, plb %d, pg %d, keys %d, frames %s\n\n" cfg.tlb_entries
+    cfg.plb_entries cfg.pg_entries cfg.pk_keys (ci cfg.frames);
+  let s = r.aggregate_setup in
+  pf "setup    attaches %s  kernel entries %s  cycles %s\n" (ci s.attaches)
+    (ci s.kernel_entries) (ci s.cycles);
+  let m = r.aggregate_traffic in
+  let pct part whole = Tablefmt.cell_pct (float_of_int part) (float_of_int whole) in
+  pf "traffic  accesses %s (reads %s, writes %s), switches %s\n"
+    (ci m.accesses) (ci m.reads) (ci m.writes) (ci m.domain_switches);
+  pf "  tlb  %s hits  %s misses  (%s hit)\n" (ci m.tlb_hits) (ci m.tlb_misses)
+    (pct m.tlb_hits (m.tlb_hits + m.tlb_misses));
+  pf "  plb  %s hits  %s misses  (%s hit)\n" (ci m.plb_hits) (ci m.plb_misses)
+    (pct m.plb_hits (m.plb_hits + m.plb_misses));
+  pf "  pg   %s hits  %s misses  (%s hit)\n" (ci m.pg_hits) (ci m.pg_misses)
+    (pct m.pg_hits (m.pg_hits + m.pg_misses));
+  pf "  keys %s allocs  %s recycles  %s reg writes\n" (ci m.key_allocs)
+    (ci m.key_recycles) (ci m.key_reg_writes);
+  pf "  faults: protection %s  page %s  page-ins %s\n" (ci m.protection_faults)
+    (ci m.page_faults) (ci m.page_ins);
+  pf "  kernel entries %s  attaches %s  detaches %s  purged %s/%s\n"
+    (ci m.kernel_entries) (ci m.attaches) (ci m.detaches) (ci m.entries_purged)
+    (ci m.entries_inspected);
+  pf "  cycles %s (%s cycles/access)\n" (ci m.cycles)
+    (Tablefmt.cell_float ~dec:2
+       (if m.accesses = 0 then 0.0
+        else float_of_int m.cycles /. float_of_int m.accesses));
+  let routed = Array.fold_left (fun a sh -> a + sh.msgs_in) 0 r.shards in
+  let proxies = Array.fold_left (fun a sh -> a + sh.proxies) 0 r.shards in
+  pf "mailbox  %s messages routed, %s proxy domains\n\n" (ci routed) (ci proxies);
+  let tab =
+    Tablefmt.create
+      [
+        ("shard", Tablefmt.Right);
+        ("domains", Tablefmt.Right);
+        ("segments", Tablefmt.Right);
+        ("proxies", Tablefmt.Right);
+        ("msgs in", Tablefmt.Right);
+        ("msgs out", Tablefmt.Right);
+        ("accesses", Tablefmt.Right);
+        ("tlb hit", Tablefmt.Right);
+        ("plb hit", Tablefmt.Right);
+        ("faults", Tablefmt.Right);
+        ("cycles", Tablefmt.Right);
+      ]
+  in
+  Array.iter
+    (fun sh ->
+      let d = Metrics.diff sh.total sh.setup in
+      Tablefmt.add_row tab
+        [
+          string_of_int sh.sid;
+          ci sh.local_domains;
+          ci sh.local_segments;
+          ci sh.proxies;
+          ci sh.msgs_in;
+          ci sh.msgs_out;
+          ci d.accesses;
+          Tablefmt.cell_pct
+            (float_of_int d.tlb_hits)
+            (float_of_int (d.tlb_hits + d.tlb_misses));
+          Tablefmt.cell_pct
+            (float_of_int d.plb_hits)
+            (float_of_int (d.plb_hits + d.plb_misses));
+          ci (d.protection_faults + d.page_faults);
+          ci d.cycles;
+        ])
+    r.shards;
+  Buffer.add_string b (Tablefmt.render tab);
+  Buffer.contents b
+
+let run ?(jobs = 1) ?(profile = false) cfg =
+  let t = prepare ~jobs ~profile cfg in
+  rounds ~jobs t cfg.rounds;
+  report t

@@ -1,0 +1,121 @@
+(** Sharded million-domain simulation ("planet-scale Opal").
+
+    Partitions a very large protection-domain population across [shards]
+    independent machine instances — each shard owns the domains and
+    segments whose global index is congruent to its shard id, with its
+    own inverted page table, segment/capability tables and protection
+    structures — and drives them with a deterministic active-window
+    traffic generator plus configurable cross-shard attach/detach churn.
+
+    Execution is a two-phase round protocol:
+
+    + {b local execute}: every shard runs its slice of the global active
+      window (domain switch + a burst of Zipf-distributed accesses over
+      the domain's attached segments) and appends any cross-shard
+      attach/detach requests to a preallocated int-encoded outbox;
+    + {b deterministic exchange}: outboxes are routed to the home shard
+      of each message's segment in (source shard, emission order), then
+      every shard applies its inbox — creating a local {e proxy domain}
+      for a remote sender on first contact.
+
+    Shard state is touched by exactly one worker at a time and all
+    per-shard randomness is seeded from [(seed, shard id)], so the
+    aggregate metrics and rendered report are byte-identical for any
+    [jobs] value (gated in test/test_shard.ml and CI). With [jobs = 1]
+    the round loop runs entirely in the calling domain and the access
+    path allocates nothing (the probe-path guardrail in bench/scale.ml);
+    with [jobs > 1] rounds fan out through {!Sasos_util.Pool}. *)
+
+open Sasos_hw
+
+type config = {
+  domains : int;  (** total protection domains, over all shards *)
+  pages : int;  (** total segment pages, over all shards (rounded up
+                    to a whole number of segments) *)
+  shards : int;
+  rounds : int;  (** rounds executed by {!run} *)
+  active : int;  (** size of the global active-domain window per round *)
+  burst : int;  (** accesses per active domain per round *)
+  rotate : int;  (** window advance per round pair; 0 = stationary *)
+  churn : float;  (** per-(active domain, round pair) probability of a
+                      cross-shard attach (even round) + detach (odd
+                      round) of a uniformly chosen global segment *)
+  pages_per_seg : int;
+  segs_per_dom : int;  (** local segments attached per domain at setup *)
+  theta : float;  (** Zipf skew of page selection within a segment *)
+  tlb_entries : int;  (** per-shard; 4-way set-associative when >= 8 *)
+  plb_entries : int;
+  pg_entries : int;
+  pk_keys : int;
+  frames : int;  (** physical frames per shard *)
+  variant : Sasos_machine.Sys_select.variant;
+  seed : int;
+}
+
+val default : config
+(** A small smoke configuration (thousands of domains, 2 shards). *)
+
+val total_segments : config -> int
+(** Segments needed to hold [pages] ([pages_per_seg] pages each). *)
+
+val machine_config : config -> Sasos_os.Config.t
+(** The per-shard hardware configuration [prepare] builds machines from
+    (physical address bits widened to fit [frames]). *)
+
+type t
+(** A prepared simulation: shards set up (machines built, segments and
+    domains created, setup attachments applied), no rounds run yet. *)
+
+val prepare : ?jobs:int -> ?profile:bool -> config -> t
+(** Build every shard (fanned over {!Sasos_util.Pool.map_pool} when
+    [jobs > 1]). With [profile] each shard's machine is built under its
+    own {!Sasos_obs.Obs} collector; summaries merge in shard order, so
+    profile output is deterministic for any [jobs].
+    @raise Invalid_argument on an infeasible configuration (fewer
+    domains or segments than shards, [active] larger than [domains],
+    non-power-of-two structure sizes, churn outside [0..1], ...). *)
+
+val rounds : ?jobs:int -> t -> int -> unit
+(** Execute the next [n] rounds of the two-phase protocol. May be called
+    repeatedly; the window position persists across calls. *)
+
+val set_churn : t -> float -> unit
+(** Override the churn probability of an already-prepared simulation.
+    The probe-path allocation audit in bench/scale.ml uses this to
+    measure a churn-free round window on the same warmed rig. *)
+
+val rounds_run : t -> int
+
+type shard_report = {
+  sid : int;
+  local_domains : int;
+  local_segments : int;
+  proxies : int;  (** proxy domains created for remote senders *)
+  msgs_in : int;
+  msgs_out : int;
+  setup : Metrics.t;  (** metrics charged during [prepare] (copy) *)
+  total : Metrics.t;  (** metrics at report time (copy) *)
+}
+
+type report = {
+  config : config;
+  total_segs : int;
+  rounds_run : int;
+  aggregate_setup : Metrics.t;
+  aggregate_traffic : Metrics.t;  (** totals minus setup, summed in
+                                      shard order *)
+  aggregate : Metrics.t;
+  shards : shard_report array;
+  profile : Sasos_obs.Obs.summary option;
+}
+
+val report : t -> report
+
+val render : report -> string
+(** Deterministic human-readable report: configuration echo, setup and
+    traffic aggregates with derived hit ratios, and a per-shard table.
+    Contains no wall-clock or allocation figures, so two runs of the
+    same configuration are byte-identical regardless of [jobs]. *)
+
+val run : ?jobs:int -> ?profile:bool -> config -> report
+(** [prepare], [config.rounds] rounds, [report]. *)

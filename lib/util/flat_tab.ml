@@ -1,0 +1,201 @@
+(* Open-addressing hash table over flat int-array lanes, following the
+   packed_cache discipline: every lane is an unboxed [int array], lookups
+   return [-1] for "absent" instead of an option, and the probe loops are
+   monomorphized top-level tail recursions (closures or generic compares
+   would allocate / call [caml_equal] on the hot path).
+
+   Keys are a pair of ints.  [k1] doubles as the slot-state lane, so it
+   must be non-negative: [min_int] marks a never-used slot and
+   [min_int + 1] a tombstone.  [k2] may be any int.  Values must be
+   non-negative so the [-1] miss sentinel is unambiguous.
+
+   Capacity is a power of two and the live load factor is kept at or
+   below 1/2, so linear probing always terminates at an empty slot. *)
+
+let free_key = min_int
+let tombstone = min_int + 1
+let absent = -1
+
+type t = {
+  mutable mask : int; (* capacity - 1 *)
+  mutable keys1 : int array;
+  mutable keys2 : int array;
+  mutable vals : int array;
+  mutable live : int; (* slots holding a binding *)
+  mutable used : int; (* live + tombstones *)
+  (* Retired lanes kept for the next same-capacity rehash: a table under
+     steady remove/insert churn (the inverted page table during page
+     replacement) compacts tombstones periodically, and ping-ponging
+     between two lane sets makes that compaction allocation-free.  Empty
+     until the first in-place rehash, so tables that never remove
+     (segment maps, residency counts) pay no extra memory. *)
+  mutable spare1 : int array;
+  mutable spare2 : int array;
+  mutable sparev : int array;
+}
+
+(* Same multiplicative mixers as the packed hardware caches; the final
+   xor-shift spreads high bits into the low slot index. *)
+let hash k1 k2 =
+  let h = (k1 * 0x9e3779b1) lxor (k2 * 0x85ebca6b) in
+  (h lxor (h lsr 16)) land max_int
+
+let capacity_for hint =
+  let rec up c = if c >= hint * 2 && c >= 8 then c else up (c * 2) in
+  up 8
+
+let create ?(size_hint = 4) () =
+  let cap = capacity_for size_hint in
+  {
+    mask = cap - 1;
+    keys1 = Array.make cap free_key;
+    keys2 = Array.make cap 0;
+    vals = Array.make cap absent;
+    live = 0;
+    used = 0;
+    spare1 = [||];
+    spare2 = [||];
+    sparev = [||];
+  }
+
+let length t = t.live
+
+(* Hot probe: returns the value for (k1,k2) or [absent].  Tombstones have
+   k1 = min_int + 1 which can never equal a valid non-negative k1, so the
+   branchless two-lane match from packed_cache works unchanged. *)
+let rec probe_find (keys1 : int array) (keys2 : int array) (vals : int array)
+    mask k1 k2 i =
+  let j = i land mask in
+  let a = Array.unsafe_get keys1 j in
+  if a = free_key then absent
+  else if a lxor k1 lor (Array.unsafe_get keys2 j lxor k2) = 0 then
+    Array.unsafe_get vals j
+  else probe_find keys1 keys2 vals mask k1 k2 (j + 1)
+
+let find t ~k1 ~k2 =
+  probe_find t.keys1 t.keys2 t.vals t.mask k1 k2 (hash k1 k2)
+
+let mem t ~k1 ~k2 = find t ~k1 ~k2 >= 0
+
+(* Slot for insertion: index of the binding if present, otherwise the
+   first reusable slot (tombstone if one was passed, else the empty slot
+   that ended the probe).  Encoded as [j] for a match and [-j - 2] for an
+   insertion point so the caller can tell them apart without allocating. *)
+let rec probe_slot (keys1 : int array) (keys2 : int array) mask k1 k2 i reuse =
+  let j = i land mask in
+  let a = Array.unsafe_get keys1 j in
+  if a = free_key then if reuse >= 0 then -reuse - 2 else -j - 2
+  else if a lxor k1 lor (Array.unsafe_get keys2 j lxor k2) = 0 then j
+  else
+    let reuse = if a = tombstone && reuse < 0 then j else reuse in
+    probe_slot keys1 keys2 mask k1 k2 (j + 1) reuse
+
+let rec insert_fresh (keys1 : int array) (keys2 : int array)
+    (vals : int array) mask k1 k2 v i =
+  let j = i land mask in
+  if Array.unsafe_get keys1 j = free_key then begin
+    Array.unsafe_set keys1 j k1;
+    Array.unsafe_set keys2 j k2;
+    Array.unsafe_set vals j v
+  end
+  else insert_fresh keys1 keys2 vals mask k1 k2 v (j + 1)
+
+let rehash t cap =
+  let keys1 = t.keys1 and keys2 = t.keys2 and vals = t.vals in
+  let n = Array.length keys1 in
+  if cap = n && Array.length t.spare1 = cap then begin
+    (* tombstone compaction at unchanged capacity: reuse the retired
+       lanes instead of allocating — only keys1 needs clearing, the other
+       lanes are never read behind a free slot *)
+    Array.fill t.spare1 0 cap free_key;
+    t.keys1 <- t.spare1;
+    t.keys2 <- t.spare2;
+    t.vals <- t.sparev
+  end
+  else begin
+    t.keys1 <- Array.make cap free_key;
+    t.keys2 <- Array.make cap 0;
+    t.vals <- Array.make cap absent
+  end;
+  if cap = n then begin
+    t.spare1 <- keys1;
+    t.spare2 <- keys2;
+    t.sparev <- vals
+  end
+  else begin
+    (* stale capacity: drop the spares so the next in-place rehash
+       re-seeds them at the new size *)
+    t.spare1 <- [||];
+    t.spare2 <- [||];
+    t.sparev <- [||]
+  end;
+  t.mask <- cap - 1;
+  t.used <- t.live;
+  for j = 0 to n - 1 do
+    let a = Array.unsafe_get keys1 j in
+    if a <> free_key && a <> tombstone then
+      let b = Array.unsafe_get keys2 j in
+      insert_fresh t.keys1 t.keys2 t.vals t.mask a b
+        (Array.unsafe_get vals j) (hash a b)
+  done
+
+let grow_if_needed t =
+  let cap = t.mask + 1 in
+  if t.used * 2 >= cap then
+    (* Double only when the live load demands it; a tombstone-heavy table
+       rehashes in place. *)
+    rehash t (if t.live * 4 >= cap then cap * 2 else cap)
+
+let replace t ~k1 ~k2 ~v =
+  if k1 < 0 then invalid_arg "Flat_tab.replace: negative k1";
+  if v < 0 then invalid_arg "Flat_tab.replace: negative value";
+  let s = probe_slot t.keys1 t.keys2 t.mask k1 k2 (hash k1 k2) (-1) in
+  if s >= 0 then t.vals.(s) <- v
+  else begin
+    let j = -s - 2 in
+    let was_free = t.keys1.(j) = free_key in
+    t.keys1.(j) <- k1;
+    t.keys2.(j) <- k2;
+    t.vals.(j) <- v;
+    t.live <- t.live + 1;
+    if was_free then t.used <- t.used + 1;
+    grow_if_needed t
+  end
+
+(* Single-probe read-modify-write: OR [bits] into the value bound to
+   (k1,k2).  Returns false (and does nothing) when the key is unbound.
+   Used for sticky flag lanes (dirty/referenced bits) on hot paths where
+   find-then-replace would pay the probe twice. *)
+let or_in t ~k1 ~k2 ~bits =
+  if bits < 0 then invalid_arg "Flat_tab.or_in: negative bits";
+  let s = probe_slot t.keys1 t.keys2 t.mask k1 k2 (hash k1 k2) (-1) in
+  if s >= 0 then begin
+    t.vals.(s) <- t.vals.(s) lor bits;
+    true
+  end
+  else false
+
+let remove t ~k1 ~k2 =
+  let s = probe_slot t.keys1 t.keys2 t.mask k1 k2 (hash k1 k2) (-1) in
+  if s >= 0 then begin
+    t.keys1.(s) <- tombstone;
+    t.vals.(s) <- absent;
+    t.live <- t.live - 1
+  end
+
+let iter t f =
+  let keys1 = t.keys1 in
+  for j = 0 to Array.length keys1 - 1 do
+    let a = Array.unsafe_get keys1 j in
+    if a <> free_key && a <> tombstone then f a t.keys2.(j) t.vals.(j)
+  done
+
+let fold t f acc =
+  let keys1 = t.keys1 in
+  let acc = ref acc in
+  for j = 0 to Array.length keys1 - 1 do
+    let a = Array.unsafe_get keys1 j in
+    if a <> free_key && a <> tombstone then
+      acc := f a t.keys2.(j) t.vals.(j) !acc
+  done;
+  !acc

@@ -1,0 +1,45 @@
+(** Flat open-addressing hash table: two int keys -> one int value.
+
+    The packed_cache storage discipline applied to OS tables: all lanes
+    are unboxed [int array]s, [find] is a zero-allocation monomorphized
+    probe returning [-1] for "absent", and the capacity is a power of two
+    with live load kept at or below 1/2 so linear probing terminates.
+
+    Constraints: [k1 >= 0] (its lane doubles as slot state — [min_int]
+    free, [min_int + 1] tombstone), values [>= 0] (so [-1] is an
+    unambiguous miss sentinel); [k2] may be any int. *)
+
+type t
+
+val absent : int
+(** [-1]; the value returned by {!find} when the key is unbound. *)
+
+val create : ?size_hint:int -> unit -> t
+(** [size_hint] is the expected number of bindings; the table starts
+    large enough to hold them without rehashing. Grows as needed. *)
+
+val length : t -> int
+(** Number of live bindings. *)
+
+val find : t -> k1:int -> k2:int -> int
+(** The value bound to [(k1, k2)], or {!absent}. Never allocates. *)
+
+val mem : t -> k1:int -> k2:int -> bool
+
+val replace : t -> k1:int -> k2:int -> v:int -> unit
+(** Bind [(k1, k2)] to [v], replacing any previous binding.
+    @raise Invalid_argument if [k1 < 0] or [v < 0]. *)
+
+val or_in : t -> k1:int -> k2:int -> bits:int -> bool
+(** [or_in t ~k1 ~k2 ~bits] ORs [bits] into the bound value in a single
+    probe; [false] if the key is unbound (nothing happens). Never
+    allocates. @raise Invalid_argument if [bits < 0]. *)
+
+val remove : t -> k1:int -> k2:int -> unit
+(** Remove the binding, if any. *)
+
+val iter : t -> (int -> int -> int -> unit) -> unit
+(** [iter t f] calls [f k1 k2 v] for every binding, in unspecified
+    (slot) order. *)
+
+val fold : t -> (int -> int -> int -> 'a -> 'a) -> 'a -> 'a

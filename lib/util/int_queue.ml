@@ -1,0 +1,39 @@
+(* Growable circular FIFO of non-negative ints: the flat replacement for
+   [Queue.t] on paths where a cons cell per element matters (the resident
+   page eviction FIFO holds one entry per mapped page — tens of millions
+   at scale geometries).  Pop order is exactly Queue's. *)
+
+type t = { mutable buf : int array; mutable head : int; mutable len : int }
+
+let create ?(capacity = 16) () =
+  let cap = max capacity 2 in
+  { buf = Array.make cap 0; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (cap * 2) 0 in
+  let tail = cap - t.head in
+  Array.blit t.buf t.head buf 0 tail;
+  Array.blit t.buf 0 buf tail (cap - tail);
+  t.buf <- buf;
+  t.head <- 0
+
+let push t v =
+  if v < 0 then invalid_arg "Int_queue.push: negative value";
+  if t.len = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.buf.((t.head + t.len) mod cap) <- v;
+  t.len <- t.len + 1
+
+(* Oldest element, or -1 when empty.  Never allocates. *)
+let pop t =
+  if t.len = 0 then -1
+  else begin
+    let v = t.buf.(t.head) in
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    v
+  end

@@ -1,0 +1,14 @@
+(** Growable circular FIFO of non-negative ints — a flat [Queue]
+    replacement (no cons cell per element) for scale-sized FIFOs. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> int -> unit
+(** Enqueue at the tail. @raise Invalid_argument on a negative value. *)
+
+val pop : t -> int
+(** Dequeue the oldest element; [-1] when empty. Never allocates. *)

@@ -1,0 +1,70 @@
+(* Fixed-size pools of OCaml 5 domains over a shared atomic work queue.
+
+   This is the one concurrency primitive in the tree: the experiment
+   runner, the conformance harness and the sharded simulation all map
+   over their work with it. It lives at the bottom of the layering (no
+   dependencies) so the shard layer can use it without pulling in the
+   experiment registry. *)
+
+let map_pool ?(jobs = 1) f items =
+  if jobs < 1 then invalid_arg "Pool.map_pool: jobs must be >= 1";
+  let tasks = Array.of_list items in
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    Printexc.record_backtrace true;
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f tasks.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let jobs = min jobs (max 1 n) in
+  if jobs = 1 then worker ()
+  else begin
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers
+  end;
+  Array.to_list (Array.map Option.get results)
+
+let map_pool_n ?(jobs = 1) ?chunk ~init ~n f =
+  if jobs < 1 then invalid_arg "Pool.map_pool_n: jobs must be >= 1";
+  if n < 0 then invalid_arg "Pool.map_pool_n: n must be >= 0";
+  let jobs = min jobs (max 1 n) in
+  let chunk =
+    match chunk with
+    | Some c when c < 1 -> invalid_arg "Pool.map_pool_n: chunk must be >= 1"
+    | Some c -> c
+    | None ->
+        (* a few grabs per worker: coarse enough that the Atomic is cold,
+           fine enough that a slow chunk can't serialize the tail *)
+        max 1 (n / (jobs * 8))
+  in
+  let results = Array.make n init in
+  let next = Atomic.make 0 in
+  let worker () =
+    Printexc.record_backtrace true;
+    let rec loop () =
+      let lo = Atomic.fetch_and_add next chunk in
+      if lo < n then begin
+        let hi = min n (lo + chunk) in
+        for i = lo to hi - 1 do
+          results.(i) <- f i
+        done;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if jobs = 1 then worker ()
+  else begin
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers
+  end;
+  results

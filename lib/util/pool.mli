@@ -1,0 +1,29 @@
+(** Fixed-size pools of OCaml 5 domains over a shared atomic work queue.
+
+    The single concurrency primitive of the tree: the experiment runner
+    ([Runner.map_pool] is an alias), the conformance harness and the
+    sharded simulation ({!Sasos_shard.Shard}) all fan their work out
+    through it. Results come back in input order regardless of the job
+    count, so any caller that keeps per-item state independent gets
+    byte-identical output across [jobs] values for free. *)
+
+val map_pool : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_pool ~jobs f items] maps [f] over [items] on a fixed-size pool
+    of domains pulling from a shared work queue, returning results in
+    input order. [jobs] defaults to 1 (run in the calling domain, no
+    spawning) and is clamped to the item count. [f] must be safe to call
+    from several domains at once and should not raise: an exception in a
+    helper domain propagates out of the join and loses the other items'
+    results. @raise Invalid_argument when [jobs < 1]. *)
+
+val map_pool_n :
+  ?jobs:int -> ?chunk:int -> init:'b -> n:int -> (int -> 'b) -> 'b array
+(** Chunked, index-generated variant of {!map_pool} for very large work
+    lists: [map_pool_n ~init ~n f] computes [f i] for [i = 0 .. n-1]
+    into a result array preallocated with [init] — no input list, no
+    per-item closure or option box, and workers grab contiguous index
+    chunks ([chunk], default [n / (jobs * 8)]) from one atomic counter
+    so a million-item list costs a handful of atomic operations per
+    worker. Results are in index order regardless of [jobs]; [f] must
+    tolerate concurrent calls from several domains.
+    @raise Invalid_argument when [jobs < 1], [n < 0] or [chunk < 1]. *)

@@ -12,42 +12,49 @@
 let backends = [ Sasos.Hw.Packed_cache.Ref; Sasos.Hw.Packed_cache.Packed ]
 let engines = [ Sasos.Engine.Scalar; Sasos.Engine.Batch ]
 
+(* Replays fan out over the same worker pool the sharded simulation uses
+   (Runner.map_pool, jobs = 2), so the corpus also gates the pooled
+   execution path.  The backend/engine globals stay in the outer
+   sequential loops — they are set once before each pool batch and only
+   read inside it — and results come back in file order, keeping the
+   output byte-identical to a sequential run. *)
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
   if files = [] then begin
     print_endline "corpus: no trace files (add some under test/corpus/)";
     exit 0
   end;
-  let runs =
-    List.concat_map
-      (fun path ->
-        List.concat_map
-          (fun backend ->
-            List.map (fun engine -> (path, backend, engine)) engines)
-          backends)
-      files
-  in
-  let failed =
-    List.filter
-      (fun (path, backend, engine) ->
-        Sasos.Hw.Packed_cache.set_default_backend backend;
-        Sasos.Engine.set_default_engine engine;
-        let tag =
-          Printf.sprintf "%s/%s"
-            (Sasos.Hw.Packed_cache.backend_to_string backend)
-            (Sasos.Engine.to_string engine)
-        in
-        match Sasos.Check.Corpus.replay_file path with
-        | Ok () ->
-            Printf.printf "  ok   %-13s %s\n" tag (Filename.basename path);
-            false
-        | Error msg ->
-            Printf.printf "  FAIL %-13s %s: %s\n" tag
-              (Filename.basename path) msg;
-            true)
-      runs
-  in
+  let failures = ref 0 in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun engine ->
+          Sasos.Hw.Packed_cache.set_default_backend backend;
+          Sasos.Engine.set_default_engine engine;
+          let tag =
+            Printf.sprintf "%s/%s"
+              (Sasos.Hw.Packed_cache.backend_to_string backend)
+              (Sasos.Engine.to_string engine)
+          in
+          let results =
+            Sasos.Runner.map_pool ~jobs:2
+              (fun path -> (path, Sasos.Check.Corpus.replay_file path))
+              files
+          in
+          List.iter
+            (fun (path, outcome) ->
+              match outcome with
+              | Ok () ->
+                  Printf.printf "  ok   %-13s %s\n" tag
+                    (Filename.basename path)
+              | Error msg ->
+                  incr failures;
+                  Printf.printf "  FAIL %-13s %s: %s\n" tag
+                    (Filename.basename path) msg)
+            results)
+        engines)
+    backends;
   Printf.printf "corpus: %d trace(s) x %d backends x %d engines, %d failing\n"
     (List.length files) (List.length backends) (List.length engines)
-    (List.length failed);
-  if failed <> [] then exit 1
+    !failures;
+  if !failures > 0 then exit 1

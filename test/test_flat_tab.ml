@@ -1,0 +1,118 @@
+(* Flat_tab (the packed OS-table store) against a Hashtbl model.
+
+   The key universes mix the geometry boundaries the scale experiments
+   reach: k1 up to the 2^30 - 1 lane limit (the low-vpn split of a
+   49-bit vpn) and k2 across the full int range including negatives
+   (high vpn bits, 64-bit capability check halves). The churn case
+   drives enough remove/insert cycles through a fixed universe to force
+   several in-place tombstone compactions, which exercise the spare-lane
+   ping-pong. *)
+
+open Sasos.Util
+
+let k1s = [| 0; 1; 2; 3; 7; 100; 0x3FFF_FFFE; 0x3FFF_FFFF |]
+
+let k2s =
+  [| 0; 1; -1; 524287; 1 lsl 49; -(1 lsl 49); max_int; min_int + 17 |]
+
+let check_against_model tab model ctx =
+  Alcotest.(check int)
+    (ctx ^ ": length") (Hashtbl.length model) (Flat_tab.length tab);
+  Hashtbl.iter
+    (fun (k1, k2) v ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: find (%d, %d)" ctx k1 k2)
+        v
+        (Flat_tab.find tab ~k1 ~k2))
+    model;
+  Flat_tab.iter tab (fun k1 k2 v ->
+      match Hashtbl.find_opt model (k1, k2) with
+      | Some v' -> Alcotest.(check int) (ctx ^ ": iter value") v' v
+      | None -> Alcotest.failf "%s: iter produced unbound key (%d, %d)" ctx k1 k2)
+
+(* one op: 2 bits of opcode, then indices into the key universes *)
+let apply tab model op =
+  let k1 = k1s.(op lsr 2 land 7) and k2 = k2s.(op lsr 5 land 7) in
+  let v = op lsr 8 land 0xFFFF in
+  match op land 3 with
+  | 0 ->
+      Flat_tab.replace tab ~k1 ~k2 ~v;
+      Hashtbl.replace model (k1, k2) v
+  | 1 ->
+      Flat_tab.remove tab ~k1 ~k2;
+      Hashtbl.remove model (k1, k2)
+  | 2 ->
+      let bound = Hashtbl.mem model (k1, k2) in
+      let did = Flat_tab.or_in tab ~k1 ~k2 ~bits:v in
+      Alcotest.(check bool) "or_in bound" bound did;
+      if bound then
+        Hashtbl.replace model (k1, k2) (Hashtbl.find model (k1, k2) lor v)
+  | _ ->
+      let expect =
+        match Hashtbl.find_opt model (k1, k2) with Some v -> v | None -> -1
+      in
+      Alcotest.(check int) "find" expect (Flat_tab.find tab ~k1 ~k2)
+
+let prop_model =
+  QCheck.Test.make ~count:120 ~name:"flat_tab matches Hashtbl model"
+    QCheck.(list_of_size Gen.(int_range 0 400) (int_bound ((1 lsl 24) - 1)))
+    (fun ops ->
+      let tab = Flat_tab.create ~size_hint:4 () in
+      let model = Hashtbl.create 16 in
+      List.iter (apply tab model) ops;
+      check_against_model tab model "after ops";
+      true)
+
+(* A stable universe under sustained remove/insert churn: tombstones pile
+   up until the table compacts in place (several times over 20k cycles at
+   64 live keys), and the contents must survive every compaction. *)
+let test_tombstone_compaction () =
+  let tab = Flat_tab.create ~size_hint:64 () in
+  let model = Hashtbl.create 64 in
+  for i = 0 to 63 do
+    Flat_tab.replace tab ~k1:i ~k2:(i * 524287) ~v:i;
+    Hashtbl.replace model (i, i * 524287) i
+  done;
+  for round = 1 to 20_000 do
+    let i = round mod 64 in
+    let k2 = i * 524287 in
+    Flat_tab.remove tab ~k1:i ~k2;
+    Hashtbl.remove model (i, k2);
+    let v = round land 0xFFFF in
+    Flat_tab.replace tab ~k1:i ~k2 ~v;
+    Hashtbl.replace model (i, k2) v;
+    if round mod 4096 = 0 then check_against_model tab model "mid-churn"
+  done;
+  check_against_model tab model "after churn"
+
+let test_boundary_keys () =
+  let tab = Flat_tab.create () in
+  let big_k1 = 0x3FFF_FFFF and big_k2 = (1 lsl 49) + 11 in
+  Flat_tab.replace tab ~k1:big_k1 ~k2:big_k2 ~v:max_int;
+  Alcotest.(check int) "30-bit k1, 49-bit k2" max_int
+    (Flat_tab.find tab ~k1:big_k1 ~k2:big_k2);
+  Alcotest.(check int) "same k1, different high k2" (-1)
+    (Flat_tab.find tab ~k1:big_k1 ~k2:(big_k2 + 1));
+  Flat_tab.replace tab ~k1:0 ~k2:min_int ~v:0;
+  Alcotest.(check int) "min_int k2" 0 (Flat_tab.find tab ~k1:0 ~k2:min_int)
+
+let test_invalid_args () =
+  let tab = Flat_tab.create () in
+  Alcotest.check_raises "negative k1"
+    (Invalid_argument "Flat_tab.replace: negative k1") (fun () ->
+      Flat_tab.replace tab ~k1:(-1) ~k2:0 ~v:0);
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Flat_tab.replace: negative value") (fun () ->
+      Flat_tab.replace tab ~k1:0 ~k2:0 ~v:(-2));
+  Alcotest.check_raises "negative or_in bits"
+    (Invalid_argument "Flat_tab.or_in: negative bits") (fun () ->
+      ignore (Flat_tab.or_in tab ~k1:0 ~k2:0 ~bits:(-1)))
+
+let suite =
+  [
+    Qprop.to_alcotest prop_model;
+    Alcotest.test_case "tombstone compaction preserves contents" `Quick
+      test_tombstone_compaction;
+    Alcotest.test_case "boundary keys" `Quick test_boundary_keys;
+    Alcotest.test_case "invalid arguments rejected" `Quick test_invalid_args;
+  ]

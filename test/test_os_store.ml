@@ -1,0 +1,224 @@
+(* Lockstep of the packed (flat int-lane) OS-table backends against the
+   reference record/Hashtbl implementations, under the kind of
+   attach/detach/revoke churn the sharded simulation applies, plus the
+   integer-geometry boundary regressions from the scale work (49-bit
+   vpns, tens of millions of frames). *)
+
+open Sasos
+open Sasos.Os
+open Sasos.Mem
+
+let geom = Geometry.default
+
+(* --- inverted page table: packed Flat lanes vs reference Hashtbl ----- *)
+
+(* vpn universe mixing small pages with the top of the 49-bit vpn space *)
+let vpns =
+  [| 0; 1; 2; 17; 4095; 1 lsl 20; (1 lsl 30) - 1; 1 lsl 30; (1 lsl 49) - 3 |]
+
+let ipt_states ref_t packed_t ctx =
+  Alcotest.(check int)
+    (ctx ^ ": mapped_count")
+    (Inverted_page_table.mapped_count ref_t)
+    (Inverted_page_table.mapped_count packed_t);
+  Array.iter
+    (fun vpn ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: find_bits %d" ctx vpn)
+        (Inverted_page_table.find_bits ref_t ~vpn)
+        (Inverted_page_table.find_bits packed_t ~vpn))
+    vpns
+
+let apply_ipt ref_t packed_t op =
+  let vpn = vpns.(op lsr 2 mod Array.length vpns) in
+  let pfn = op lsr 6 land 0xFFFF in
+  match op land 3 with
+  | 0 ->
+      if not (Inverted_page_table.is_mapped ref_t ~vpn) then begin
+        Inverted_page_table.map ref_t ~vpn ~pfn;
+        Inverted_page_table.map packed_t ~vpn ~pfn
+      end
+  | 1 ->
+      Alcotest.(check int) "unmap_bits"
+        (Inverted_page_table.unmap_bits ref_t ~vpn)
+        (Inverted_page_table.unmap_bits packed_t ~vpn)
+  | 2 ->
+      Inverted_page_table.set_dirty ref_t ~vpn;
+      Inverted_page_table.set_dirty packed_t ~vpn
+  | _ ->
+      Inverted_page_table.set_referenced ref_t ~vpn;
+      Inverted_page_table.set_referenced packed_t ~vpn
+
+let prop_ipt_lockstep =
+  QCheck.Test.make ~count:120 ~name:"inverted page table packed lockstep"
+    QCheck.(list_of_size Gen.(int_range 0 300) (int_bound ((1 lsl 22) - 1)))
+    (fun ops ->
+      let ref_t = Inverted_page_table.create ~packed:false () in
+      let packed_t = Inverted_page_table.create ~packed:true () in
+      List.iter (apply_ipt ref_t packed_t) ops;
+      ipt_states ref_t packed_t "after ops";
+      true)
+
+(* --- backing store (flat lanes since the scale work) vs a model ------ *)
+
+let test_backing_store_model () =
+  let bs = Backing_store.create () in
+  let model = Hashtbl.create 64 in
+  for round = 0 to 5_000 do
+    let vpn = vpns.(round mod Array.length vpns) in
+    match round mod 3 with
+    | 0 ->
+        let bytes = (round land 7) * 512 in
+        Backing_store.write bs ~vpn ~bytes_used:bytes;
+        Hashtbl.replace model vpn bytes
+    | 1 ->
+        Backing_store.drop bs ~vpn;
+        Hashtbl.remove model vpn
+    | _ ->
+        Alcotest.(check (option int))
+          "read" (Hashtbl.find_opt model vpn)
+          (Backing_store.read bs ~vpn)
+  done;
+  Alcotest.(check int) "pages" (Hashtbl.length model) (Backing_store.pages bs);
+  Alcotest.(check int) "bytes"
+    (Hashtbl.fold (fun _ b acc -> acc + b) model 0)
+    (Backing_store.bytes_used bs);
+  Array.iter
+    (fun vpn ->
+      Alcotest.(check bool) "resident" (Hashtbl.mem model vpn)
+        (Backing_store.resident bs ~vpn))
+    vpns
+
+(* --- segment table: packed sorted lanes vs reference map ------------- *)
+
+let seg_states ref_t packed_t probes ctx =
+  Alcotest.(check int)
+    (ctx ^ ": live_count")
+    (Segment_table.live_count ref_t)
+    (Segment_table.live_count packed_t);
+  List.iter
+    (fun va ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: find_id_by_va 0x%x" ctx va)
+        (Segment_table.find_id_by_va ref_t va)
+        (Segment_table.find_id_by_va packed_t va))
+    probes
+
+let prop_segment_lockstep =
+  QCheck.Test.make ~count:60 ~name:"segment table packed lockstep"
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_bound 1023))
+    (fun ops ->
+      let ref_t = Segment_table.create ~packed:false geom in
+      let packed_t = Segment_table.create ~packed:true geom in
+      let segs = ref [] in
+      let probes = ref [ 0; 1; max_int / 2 ] in
+      List.iter
+        (fun op ->
+          let pages = 1 + (op land 7) in
+          if op land 8 = 0 || !segs = [] then begin
+            let a = Segment_table.allocate ref_t ~pages () in
+            let b = Segment_table.allocate packed_t ~pages () in
+            Alcotest.(check int)
+              "same id"
+              (Segment.id_to_int a.Segment.id)
+              (Segment.id_to_int b.Segment.id);
+            Alcotest.(check int) "same base" a.Segment.base b.Segment.base;
+            segs := a :: !segs;
+            probes :=
+              a.Segment.base :: (a.Segment.base + 1)
+              :: (Segment.limit a - 1)
+              :: Segment.limit a (* guard page *) :: !probes
+          end
+          else begin
+            let n = List.length !segs in
+            let victim = List.nth !segs (op lsr 4 mod n) in
+            segs := List.filter (fun s -> s != victim) !segs;
+            ignore (Segment_table.destroy ref_t victim.Segment.id);
+            ignore (Segment_table.destroy packed_t victim.Segment.id)
+          end)
+        ops;
+      seg_states ref_t packed_t !probes "after ops";
+      true)
+
+(* --- capability registry: packed check lanes vs reference ------------ *)
+
+let test_cap_registry_lockstep () =
+  let segs = Segment_table.create geom in
+  let ref_r = Cap_registry.create ~packed:false ~seed:97 () in
+  let packed_r = Cap_registry.create ~packed:true ~seed:97 () in
+  let caps = ref [] in
+  for round = 0 to 400 do
+    match round mod 4 with
+    | 0 ->
+        let seg = Segment_table.allocate segs ~pages:2 () in
+        let a = Cap_registry.mint ref_r seg Rights.rw in
+        let b = Cap_registry.mint packed_r seg Rights.rw in
+        Alcotest.(check bool) "same capability" true (a = b);
+        caps := a :: !caps
+    | 1 when !caps <> [] ->
+        let c = List.nth !caps (round lsr 2 mod List.length !caps) in
+        Alcotest.(check bool) "validate agrees"
+          (Cap_registry.validate ref_r c)
+          (Cap_registry.validate packed_r c)
+    | 2 when !caps <> [] ->
+        let c = List.nth !caps (round lsr 2 mod List.length !caps) in
+        let a = Cap_registry.restrict ref_r c Rights.r in
+        let b = Cap_registry.restrict packed_r c Rights.r in
+        Alcotest.(check bool) "restrict agrees" true (a = b);
+        (match a with Ok c' -> caps := c' :: !caps | Error _ -> ())
+    | 3 when !caps <> [] ->
+        let c = List.nth !caps (round lsr 2 mod List.length !caps) in
+        Cap_registry.revoke ref_r c;
+        Cap_registry.revoke packed_r c
+    | _ -> ()
+  done;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "final validate agrees"
+        (Cap_registry.validate ref_r c)
+        (Cap_registry.validate packed_r c))
+    !caps
+
+(* --- geometry boundary regressions ----------------------------------- *)
+
+let test_frames_exceed_pa_space () =
+  (* 2^20 frames of 2^12 bytes need 32 physical bits; a 24-bit space
+     must be rejected, not silently wrapped in the pfn lane *)
+  let small = Geometry.v ~pa_bits:24 () in
+  let raised =
+    try
+      ignore (Config.v ~geom:small ~frames:(1 lsl 20) ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "frames > 2^pa_bits rejected" true raised;
+  (* exactly filling the space is fine *)
+  ignore (Config.v ~geom:small ~frames:(1 lsl 12) ())
+
+let test_ipt_49_bit_vpn () =
+  let t = Inverted_page_table.create ~packed:true () in
+  let vpn = (1 lsl 49) - 1 in
+  let near = vpn - (1 lsl 30) (* same low-30-bit lane, different high bits *) in
+  Inverted_page_table.map t ~vpn ~pfn:123;
+  Alcotest.(check bool) "top vpn mapped" true
+    (Inverted_page_table.is_mapped t ~vpn);
+  Alcotest.(check bool) "lane-aliased vpn distinct" false
+    (Inverted_page_table.is_mapped t ~vpn:near);
+  Inverted_page_table.set_dirty t ~vpn;
+  let bits = Inverted_page_table.find_bits t ~vpn in
+  Alcotest.(check int) "pfn intact" 123 (Inverted_page_table.bits_pfn bits);
+  Alcotest.(check bool) "dirty" true (Inverted_page_table.bits_dirty bits)
+
+let suite =
+  [
+    Qprop.to_alcotest prop_ipt_lockstep;
+    Alcotest.test_case "backing store matches model" `Quick
+      test_backing_store_model;
+    Qprop.to_alcotest prop_segment_lockstep;
+    Alcotest.test_case "capability registry packed lockstep" `Quick
+      test_cap_registry_lockstep;
+    Alcotest.test_case "frames beyond physical space rejected" `Quick
+      test_frames_exceed_pa_space;
+    Alcotest.test_case "49-bit vpn keeps full precision" `Quick
+      test_ipt_49_bit_vpn;
+  ]

@@ -184,6 +184,34 @@ let test_bad_jobs () =
     (Invalid_argument "Runner.run: jobs must be >= 1") (fun () ->
       ignore (Runner.run ~jobs:0 []))
 
+(* map_pool_n must agree with map_pool on the same work for every jobs /
+   chunk combination, including empty and chunk-larger-than-n shapes. *)
+let prop_map_pool_n_lockstep =
+  QCheck.Test.make ~count:60 ~name:"map_pool_n lockstep vs map_pool"
+    QCheck.(
+      quad (int_bound 600) (int_range 1 6) (int_range 1 128) small_int)
+    (fun (n, jobs, chunk, salt) ->
+      let f i = (i * 31) lxor salt in
+      let expect = Runner.map_pool ~jobs f (List.init n (fun i -> i)) in
+      let got =
+        Array.to_list (Runner.map_pool_n ~jobs ~chunk ~init:0 ~n f)
+      in
+      let got_default =
+        Array.to_list (Runner.map_pool_n ~jobs ~init:0 ~n f)
+      in
+      expect = got && expect = got_default)
+
+let test_map_pool_n_bad_args () =
+  Alcotest.check_raises "chunk=0 rejected"
+    (Invalid_argument "Pool.map_pool_n: chunk must be >= 1") (fun () ->
+      ignore (Runner.map_pool_n ~chunk:0 ~init:0 ~n:3 (fun i -> i)));
+  Alcotest.check_raises "n<0 rejected"
+    (Invalid_argument "Pool.map_pool_n: n must be >= 0") (fun () ->
+      ignore (Runner.map_pool_n ~init:0 ~n:(-1) (fun i -> i)));
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.map_pool_n: jobs must be >= 1") (fun () ->
+      ignore (Runner.map_pool_n ~jobs:0 ~init:0 ~n:3 (fun i -> i)))
+
 let suite =
   [
     Alcotest.test_case "jobs=1 vs jobs=4 byte-identical" `Quick
@@ -195,4 +223,7 @@ let suite =
       test_real_experiments_parallel;
     Alcotest.test_case "JSON metrics shape" `Quick test_json_shape;
     Alcotest.test_case "jobs < 1 rejected" `Quick test_bad_jobs;
+    Qprop.to_alcotest prop_map_pool_n_lockstep;
+    Alcotest.test_case "map_pool_n bad args rejected" `Quick
+      test_map_pool_n_bad_args;
   ]

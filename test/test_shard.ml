@@ -1,0 +1,118 @@
+(* The sharded simulation's headline guarantees (see lib/shard/shard.mli):
+   byte-identical reports for any worker count, aggregates that really are
+   the sum of the per-shard metrics, graceful single-shard operation, and
+   loud rejection of infeasible configurations. *)
+
+open Sasos
+
+let small =
+  {
+    Shard.default with
+    Shard.domains = 256;
+    pages = 4096;
+    shards = 3;
+    rounds = 12;
+    active = 32;
+    burst = 4;
+    rotate = 1;
+    churn = 0.1;
+    frames = 512;
+  }
+
+let test_jobs_byte_identical () =
+  let a = Shard.render (Shard.run ~jobs:1 small) in
+  let b = Shard.render (Shard.run ~jobs:4 small) in
+  Alcotest.(check string) "render jobs=1 vs jobs=4" a b
+
+let test_aggregate_is_sum () =
+  let r = Shard.run ~jobs:2 small in
+  let sum f = Array.fold_left (fun acc s -> acc + f s.Shard.total) 0 r.Shard.shards in
+  Alcotest.(check int) "accesses"
+    (sum (fun m -> m.Metrics.accesses))
+    r.Shard.aggregate.Metrics.accesses;
+  Alcotest.(check int) "tlb misses"
+    (sum (fun m -> m.Metrics.tlb_misses))
+    r.Shard.aggregate.Metrics.tlb_misses;
+  Alcotest.(check int) "page faults"
+    (sum (fun m -> m.Metrics.page_faults))
+    r.Shard.aggregate.Metrics.page_faults;
+  Alcotest.(check int) "shard count" small.Shard.shards
+    (Array.length r.Shard.shards)
+
+let test_single_shard () =
+  let r = Shard.run { small with Shard.shards = 1; churn = 0.0 } in
+  Alcotest.(check int) "one shard" 1 (Array.length r.Shard.shards);
+  Alcotest.(check int) "all domains local" small.Shard.domains
+    r.Shard.shards.(0).Shard.local_domains;
+  Alcotest.(check bool) "traffic ran" true
+    (r.Shard.aggregate_traffic.Metrics.accesses > 0);
+  (* churn-free single shard exchanges nothing and creates no proxies *)
+  Alcotest.(check int) "no messages" 0 r.Shard.shards.(0).Shard.msgs_in;
+  Alcotest.(check int) "no proxies" 0 r.Shard.shards.(0).Shard.proxies
+
+let test_rounds_resumable () =
+  (* 12 rounds in one call and 12 rounds in 4+8 must agree: the window
+     position and churn pairing persist across calls *)
+  let a = Shard.prepare small in
+  Shard.rounds a small.Shard.rounds;
+  let b = Shard.prepare small in
+  Shard.rounds b 4;
+  Shard.rounds b (small.Shard.rounds - 4);
+  Alcotest.(check string) "split round calls"
+    (Shard.render (Shard.report a))
+    (Shard.render (Shard.report b))
+
+let test_validation () =
+  let reject name cfg =
+    let raised =
+      try
+        ignore (Shard.prepare cfg);
+        false
+      with Invalid_argument _ -> true
+    in
+    Alcotest.(check bool) name true raised
+  in
+  reject "shards = 0" { small with Shard.shards = 0 };
+  reject "more shards than domains" { small with Shard.shards = 512 };
+  reject "active > domains" { small with Shard.active = 257 };
+  reject "churn > 1" { small with Shard.churn = 1.5 };
+  reject "non-power-of-two tlb" { small with Shard.tlb_entries = 48 };
+  reject "frames = 0" { small with Shard.frames = 0 }
+
+(* Determinism across jobs for arbitrary feasible configurations and all
+   five machine variants — the property the mailbox protocol exists for. *)
+let prop_determinism =
+  let variants =
+    [|
+      Machines.Plb; Machines.Page_group; Machines.Pk; Machines.Conv_asid;
+      Machines.Conv_flush;
+    |]
+  in
+  QCheck.Test.make ~count:12 ~name:"shard report independent of jobs"
+    QCheck.(quad (int_bound 4) (int_bound 3) (int_bound 1000) (int_bound 3))
+    (fun (variant_ix, shards_ix, seed, jobs_ix) ->
+      let cfg =
+        {
+          small with
+          Shard.variant = variants.(variant_ix);
+          shards = 1 + shards_ix;
+          rounds = 8;
+          seed;
+        }
+      in
+      let jobs = 2 + jobs_ix in
+      Shard.render (Shard.run ~jobs:1 cfg)
+      = Shard.render (Shard.run ~jobs cfg))
+
+let suite =
+  [
+    Alcotest.test_case "render byte-identical across jobs" `Quick
+      test_jobs_byte_identical;
+    Alcotest.test_case "aggregate equals shard sum" `Quick
+      test_aggregate_is_sum;
+    Alcotest.test_case "single shard runs clean" `Quick test_single_shard;
+    Alcotest.test_case "rounds resumable across calls" `Quick
+      test_rounds_resumable;
+    Alcotest.test_case "infeasible configs rejected" `Quick test_validation;
+    Qprop.to_alcotest prop_determinism;
+  ]
