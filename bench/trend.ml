@@ -1,0 +1,59 @@
+(* Standalone perf-trend watchdog: render the accesses/sec trajectory
+   across committed BENCH_*.json files and optionally gate on it (exit
+   1 with a first-diverging-series diagnostic). `sasos bench-diff` is
+   the same logic behind the main CLI; this thin binary exists so CI
+   and dune rules can run the gate without the full CLI. *)
+
+module Trend = Sasos.Trend
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let dir = ref "." in
+  let min_ratio = ref None in
+  let files = ref [] in
+  let spec =
+    [
+      ( "--dir",
+        Arg.Set_string dir,
+        "DIR directory holding BENCH_*.json (default .; ignored when FILEs \
+         are given)" );
+      ( "--min-ratio",
+        Arg.Float (fun r -> min_ratio := Some r),
+        "R fail when a series' newest rate is below R x its best earlier \
+         rate" );
+    ]
+  in
+  Arg.parse spec
+    (fun f -> files := f :: !files)
+    "trend [--dir DIR] [--min-ratio R] [FILE ...]";
+  let series =
+    match !files with
+    | [] -> Trend.load_dir !dir
+    | fs ->
+        (* sort by basename: BENCH numbering is the chronology *)
+        let fs =
+          List.sort (fun a b -> compare (Filename.basename a) (Filename.basename b)) fs
+        in
+        Trend.of_files
+          (List.map (fun f -> (Filename.basename f, read_file f)) fs)
+  in
+  if series = [] then begin
+    print_endline "bench-diff: no BENCH_*.json series found";
+    exit (if !min_ratio = None then 0 else 1)
+  end;
+  print_string (Trend.render series);
+  match !min_ratio with
+  | None -> ()
+  | Some r -> (
+      match Trend.check ~min_ratio:r series with
+      | [] ->
+          Printf.printf "bench-diff: %d series within %.2fx of best\n"
+            (List.length series) r
+      | failures ->
+          List.iter (fun f -> prerr_endline (Trend.render_failure f)) failures;
+          exit 1)

@@ -314,6 +314,41 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+(* one flag-wiring helper shared by check/scale/top (report keeps only
+   --profile): the observability export triple. Any export path implies
+   profiling, which [obs_flags_profiling] resolves. *)
+let obs_flags_term =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Run under the observability collector and print the merged \
+             cycle-attribution table after the report.")
+  in
+  let obs_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the sasos-obs/1 profile JSON to $(docv) (implies \
+             profiling).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON of the profiled run to $(docv) \
+             (open in Perfetto or chrome://tracing; implies profiling).")
+  in
+  Term.(const (fun p j c -> (p, j, c)) $ profile $ obs_json $ chrome)
+
+let obs_flags_profiling (profile, obs_json, chrome) =
+  profile || obs_json <> None || chrome <> None
+
 (* shared by profile/report/check: write the chosen observability exports *)
 let emit_profile ?(table = false) ?out ?json ?chrome summary =
   (match (table, out) with
@@ -331,9 +366,10 @@ let profile_cmd =
      experiment/trace phases per machine model, sample miss ratios and \
      occupancy over simulated time, and export the result as a table, \
      sasos-obs/1 JSON, or a Chrome trace_event file (load with Perfetto / \
-     chrome://tracing). Give either --experiment (registry ids, profiled \
+     chrome://tracing). Give one of --experiment (registry ids, profiled \
      through the parallel runner; output is byte-identical for any --jobs \
-     value) or --workload with --machine and the usual geometry flags. All \
+     value), --workload with --machine and the usual geometry flags, or \
+     --shards (the sharded scale rig under per-shard collectors). All \
      timestamps are simulated cycles, so output is deterministic."
   in
   let experiments =
@@ -350,18 +386,28 @@ let profile_cmd =
       & info [ "workload" ] ~docv:"WORKLOAD"
           ~doc:"Workload to run under the profiler (see 'sasos list').")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Profile the sharded scale rig instead: run 'sasos scale' \
+             defaults with $(docv) shards under per-shard collectors (one \
+             Chrome track per shard, cross-shard flow events).")
+  in
   let machine =
     Arg.(
       value
       & opt machine_conv Sasos.Machines.Plb
       & info [ "m"; "machine" ] ~docv:"MACHINE"
-          ~doc:"Machine model for --workload mode.")
+          ~doc:"Machine model for --workload and --shards modes.")
   in
   let jobs =
     Arg.(
       value & opt int 1
       & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:"Worker domains for --experiment mode.")
+          ~doc:"Worker domains for --experiment and --shards modes.")
   in
   let sample =
     Arg.(
@@ -398,8 +444,8 @@ let profile_cmd =
             "Write a Chrome trace_event JSON file to $(docv) (open in \
              Perfetto or chrome://tracing).")
   in
-  let run backend engine experiments wname machine jobs sample ring out json
-      chrome config =
+  let run backend engine experiments wname shards machine jobs sample ring out
+      json chrome config =
     set_backend backend;
     set_engine engine;
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
@@ -407,10 +453,23 @@ let profile_cmd =
     else if ring < 1 then `Error (false, "--ring must be >= 1")
     else
       let summary =
-        match (experiments, wname) with
-        | Some _, Some _ -> Error "give either --experiment or --workload, not both"
-        | None, None -> Error "give one of --experiment or --workload"
-        | Some ids, None -> (
+        match (experiments, wname, shards) with
+        | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+            Error "give only one of --experiment, --workload or --shards"
+        | None, None, None ->
+            Error "give one of --experiment, --workload or --shards"
+        | None, None, Some shards -> (
+            let cfg = { Sasos.Shard.default with shards; variant = machine } in
+            match
+              Sasos.Shard.run ~jobs ~profile:true ~sample_every:sample
+                ~ring_capacity:ring cfg
+            with
+            | exception Invalid_argument msg -> Error msg
+            | r -> (
+                match r.Sasos.Shard.profile with
+                | Some s -> Ok s
+                | None -> Error "no profile collected"))
+        | Some ids, None, None -> (
             match
               String.split_on_char ',' ids
               |> List.map String.trim
@@ -436,7 +495,7 @@ let profile_cmd =
                         match Sasos.Runner.merged_profile results with
                         | Some s -> Ok s
                         | None -> Error "no profile collected"))))
-        | None, Some wname -> (
+        | None, Some wname, None -> (
             match Sasos.Workloads.Registry.find wname with
             | None ->
                 Error
@@ -466,7 +525,8 @@ let profile_cmd =
     Term.(
       ret
         (const run $ backend_term $ engine_term $ experiments $ wname
-        $ machine $ jobs $ sample $ ring $ out $ json $ chrome $ config_term))
+        $ shards $ machine $ jobs $ sample $ ring $ out $ json $ chrome
+        $ config_term))
 
 let report_cmd =
   let doc =
@@ -640,27 +700,9 @@ let check_cmd =
                 file in $(docv) on all machines and compare against the \
                 recorded outcomes.")
   in
-  let profile =
-    Arg.(value & flag
-         & info [ "profile" ]
-             ~doc:
-               "Profile the differential pass (cycle attribution per machine \
-                and operation) and print the merged table after the report.")
-  in
-  let obs_json =
-    Arg.(value & opt (some string) None
-         & info [ "obs-json" ] ~docv:"FILE"
-             ~doc:"Write the sasos-obs/1 profile JSON to $(docv) \
-                   (implies profiling).")
-  in
-  let chrome =
-    Arg.(value & opt (some string) None
-         & info [ "chrome-out" ] ~docv:"FILE"
-             ~doc:"Write a Chrome trace_event JSON of the profiled run to \
-                   $(docv) (implies profiling).")
-  in
   let run backend engine ops scripts seed jobs machines domains segments
-      pages mutate save corpus profile obs_json chrome =
+      pages mutate save corpus obs_flags =
+    let profile, obs_json, chrome = obs_flags in
     set_backend backend;
     set_engine engine;
     let variants =
@@ -720,7 +762,7 @@ let check_cmd =
               pages_per_seg = pages;
             }
           in
-          let profiling = profile || obs_json <> None || chrome <> None in
+          let profiling = obs_flags_profiling obs_flags in
           let report =
             Sasos.Check.Harness.run ~jobs ~profile:profiling ?mutation
               ?variants ~geom ~ops ~scripts ~seed ()
@@ -768,19 +810,11 @@ let check_cmd =
       ret
         (const run $ backend_term $ engine_term $ ops $ scripts $ seed
         $ jobs $ machines $ domains $ segments $ pages $ mutate $ save
-        $ corpus $ profile $ obs_json $ chrome))
+        $ corpus $ obs_flags_term))
 
-let scale_cmd =
-  let doc =
-    "Sharded many-domain simulation: partition the domain/segment \
-     population across independent machine instances (one inverted page \
-     table, segment/capability table and protection structures per shard), \
-     drive an active window of domains with Zipf traffic each round, and \
-     exchange cross-shard attach/detach churn through a deterministic \
-     mailbox between rounds. Aggregate and per-shard metrics are \
-     byte-identical for any --jobs value. Scales to millions of domains \
-     (see bench/scale.exe)."
-  in
+(* one term builder behind both `sasos scale` and `sasos top` (the
+   latter is scale with the live dashboard always on) *)
+let scale_cmd_make ~name ~doc ~live_default =
   let d = Sasos.Shard.default in
   let popt name docv doc default =
     Arg.(value & opt int default & info [ name ] ~docv ~doc)
@@ -858,35 +892,42 @@ let scale_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the scale report to $(docv) instead of stdout.")
   in
-  let profile =
+  let sample =
     Arg.(
-      value & flag
-      & info [ "profile" ]
+      value & opt int 1000
+      & info [ "sample" ] ~docv:"N"
           ~doc:
-            "Run each shard's machine under the observability collector and \
-             print the merged cycle-attribution table after the report.")
+            "Per-shard sampler stride: one time-series point every $(docv) \
+             accesses on each shard (profiled runs).")
   in
-  let obs_json =
+  let ring =
+    Arg.(
+      value & opt int 512
+      & info [ "ring" ] ~docv:"N"
+          ~doc:"Per-shard ring-buffer capacity: keep the last $(docv) samples.")
+  in
+  let live =
     Arg.(
       value
-      & opt (some string) None
-      & info [ "obs-json" ] ~docv:"FILE"
-          ~doc:"Write the sasos-obs/1 profile JSON to $(docv) (implies \
-                profiling).")
-  in
-  let chrome =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "chrome-out" ] ~docv:"FILE"
-          ~doc:"Write a Chrome trace_event JSON of the profiled run to \
-                $(docv) (implies profiling).")
+      & opt ~vopt:(Some 8) (some int) None
+      & info [ "live" ] ~docv:"N"
+          ~doc:
+            "Refresh a per-shard terminal dashboard (throughput, miss \
+             ratios, backlog sparkline) every $(docv) rounds (default 8 \
+             when given without a value) while the simulation runs. \
+             Implies profiling.")
   in
   let run backend domains pages shards rounds active burst rotate churn
       pages_per_seg segs_per_dom theta tlb plb pg keys frames machine seed
-      jobs out profile obs_json chrome =
+      jobs out obs_flags sample ring live =
     set_backend backend;
+    let profile, obs_json, chrome = obs_flags in
+    let live = match live with Some n -> Some n | None -> live_default in
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else if sample < 1 then `Error (false, "--sample must be >= 1")
+    else if ring < 1 then `Error (false, "--ring must be >= 1")
+    else if (match live with Some n -> n < 1 | None -> false) then
+      `Error (false, "--live must be >= 1")
     else
       let cfg =
         {
@@ -910,8 +951,37 @@ let scale_cmd =
           seed;
         }
       in
-      let profiling = profile || obs_json <> None || chrome <> None in
-      match Sasos.Shard.run ~jobs ~profile:profiling cfg with
+      (* the dashboard reads the ring sampler, so live implies profiling *)
+      let profiling = obs_flags_profiling obs_flags || live <> None in
+      let simulate () =
+        let t =
+          Sasos.Shard.prepare ~jobs ~profile:profiling ~sample_every:sample
+            ~ring_capacity:ring cfg
+        in
+        (match live with
+        | None -> Sasos.Shard.rounds ~jobs t cfg.Sasos.Shard.rounds
+        | Some every ->
+            (* repaint in place on a terminal; plain frame stream when
+               redirected, so logs stay readable *)
+            let ansi = Unix.isatty Unix.stdout in
+            let rec go remaining =
+              if remaining > 0 then begin
+                let n = min every remaining in
+                Sasos.Shard.rounds ~jobs t n;
+                if ansi then print_string "\027[2J\027[H";
+                print_string
+                  (Sasos.Dash.render
+                     ~round:(Sasos.Shard.rounds_run t)
+                     ~rounds:cfg.Sasos.Shard.rounds
+                     (Sasos.Shard.live_rows t));
+                flush stdout;
+                go (remaining - n)
+              end
+            in
+            go cfg.Sasos.Shard.rounds);
+        Sasos.Shard.report t
+      in
+      match simulate () with
       | exception Invalid_argument msg -> `Error (false, msg)
       | r -> (
           let text = Sasos.Shard.render r in
@@ -930,13 +1000,81 @@ let scale_cmd =
               Option.iter (Printf.printf "wrote Chrome trace to %s\n") chrome;
               `Ok ())
   in
-  Cmd.v (Cmd.info "scale" ~doc)
+  Cmd.v (Cmd.info name ~doc)
     Term.(
       ret
         (const run $ backend_term $ domains $ pages $ shards $ rounds $ active
         $ burst $ rotate $ churn $ pages_per_seg $ segs_per_dom $ theta $ tlb
-        $ plb $ pg $ keys $ frames $ machine $ seed $ jobs $ out $ profile
-        $ obs_json $ chrome))
+        $ plb $ pg $ keys $ frames $ machine $ seed $ jobs $ out
+        $ obs_flags_term $ sample $ ring $ live))
+
+let scale_cmd =
+  scale_cmd_make ~name:"scale" ~live_default:None
+    ~doc:
+      "Sharded many-domain simulation: partition the domain/segment \
+       population across independent machine instances (one inverted page \
+       table, segment/capability table and protection structures per shard), \
+       drive an active window of domains with Zipf traffic each round, and \
+       exchange cross-shard attach/detach churn through a deterministic \
+       mailbox between rounds. Aggregate and per-shard metrics are \
+       byte-identical for any --jobs value. Scales to millions of domains \
+       (see bench/scale.exe). With --profile/--obs-json/--chrome-out each \
+       shard runs under its own collector: the Chrome trace has one process \
+       per shard with round phase spans and cross-shard message flow arrows."
+let top_cmd =
+  scale_cmd_make ~name:"top" ~live_default:(Some 4)
+    ~doc:
+      "Live dashboard over the sharded simulation: 'sasos scale' with the \
+       per-shard terminal dashboard always on (refresh every 4 rounds \
+       unless --live overrides), showing per-shard throughput, miss ratios, \
+       fault rate and a mailbox-backlog sparkline from the ring sampler."
+
+let bench_diff_cmd =
+  let doc =
+    "Perf-trend watchdog: parse every committed BENCH_*.json checkpoint \
+     (schemas sasos-bench/1 and /2), render the accesses/sec trajectory of \
+     each benchmark series as a sparkline, and with --min-ratio fail (exit \
+     1) when any series' newest rate has regressed below that fraction of \
+     the series' best earlier rate, naming the first diverging metric."
+  in
+  let dir =
+    let doc = "Directory holding the BENCH_*.json checkpoints." in
+    Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let min_ratio =
+    let doc =
+      "Fail when a series' newest accesses/sec is below $(docv) times its \
+       best earlier value."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "min-ratio" ] ~docv:"R" ~doc)
+  in
+  let run dir min_ratio =
+    match Sasos.Trend.load_dir dir with
+    | exception Sys_error msg -> `Error (false, msg)
+    | exception Sasos.Trend.Json.Parse_error msg -> `Error (false, msg)
+    | [] ->
+        print_endline "bench-diff: no BENCH_*.json series found";
+        if min_ratio = None then `Ok ()
+        else `Error (false, "no series to gate on")
+    | series -> (
+        print_string (Sasos.Trend.render series);
+        match min_ratio with
+        | None -> `Ok ()
+        | Some r -> (
+            match Sasos.Trend.check ~min_ratio:r series with
+            | exception Invalid_argument msg -> `Error (false, msg)
+            | [] ->
+                Printf.printf "bench-diff: %d series within %.2fx of best\n"
+                  (List.length series) r;
+                `Ok ()
+            | failures ->
+                List.iter
+                  (fun f -> prerr_endline (Sasos.Trend.render_failure f))
+                  failures;
+                `Error (false, "benchmark regression detected")))
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc) Term.(ret (const run $ dir $ min_ratio))
 
 let info_cmd =
   let doc = "Print the default geometry and cost model." in
@@ -979,5 +1117,7 @@ let () =
             report_cmd;
             check_cmd;
             scale_cmd;
+            top_cmd;
+            bench_diff_cmd;
             info_cmd;
           ]))

@@ -33,6 +33,7 @@ module Util = struct
   module Tablefmt = Sasos_util.Tablefmt
   module Summary = Sasos_util.Summary
   module Histogram = Sasos_util.Histogram
+  module Sparkline = Sasos_util.Sparkline
   module Flat_tab = Sasos_util.Flat_tab
   module Int_queue = Sasos_util.Int_queue
   module Pool = Sasos_util.Pool
@@ -126,6 +127,8 @@ end
 module Obs = Sasos_obs.Obs
 module Runner = Sasos_runner.Runner
 module Shard = Sasos_shard.Shard
+module Dash = Sasos_shard.Dash
+module Trend = Sasos_trend.Trend
 module Engine = Sasos_engine.Engine
 module Kernel = Sasos_engine.Kernel
 

@@ -9,6 +9,7 @@ let cpa_bucket_width = 25
 type op_row = { scope : string; op : string; count : int; delta : M.t }
 type phase_row = { phase : string; p_count : int; p_cycles : int }
 type phase_event = { pname : string; ts : int; dur : int; depth : int }
+type flow_event = { fl_id : int; fl_name : string; fl_ts : int }
 
 type sample = {
   s_scope : string;
@@ -21,6 +22,10 @@ type sample = {
   plb_mr : float;
   tlb_mr : float;
   pg_mr : float;
+  fault_rate : float;
+  g_backlog : int;
+  g_proxies : int;
+  g_skew : float;
   occupancy : int array;
 }
 
@@ -34,10 +39,16 @@ type summary = {
   phases : phase_row list;
   phase_events : phase_event list;
   phase_events_dropped : int;
+  flows_out : flow_event list;
+  flows_in : flow_event list;
+  flows_dropped : int;
   samples : sample list;
   samples_seen : int;
   cpa_hist : int array;
   wall_ns : int64;
+  track : int;  (* -1 = untracked *)
+  label : string;  (* "" = none *)
+  tracks : summary list;  (* per-track sections of a merge_tracks *)
 }
 
 type op_acc = { mutable a_count : int; a_delta : M.t }
@@ -59,6 +70,16 @@ type state = {
   mutable pevent_count : int;
   mutable pevents_dropped : int;
   max_phase_events : int;
+  mutable flows_out : flow_event list;  (* newest first *)
+  mutable flows_in : flow_event list;  (* newest first *)
+  mutable flow_count : int;
+  mutable flows_dropped : int;
+  max_flow_events : int;
+  track : int;
+  label : string;
+  mutable g_backlog : int;
+  mutable g_proxies : int;
+  mutable g_skew : float;
   mutable machs : mach_state list;  (* newest first *)
   clock_fn : unit -> int64;
   wall_start : int64;
@@ -131,14 +152,20 @@ let dummy_sample =
     plb_mr = 0.;
     tlb_mr = 0.;
     pg_mr = 0.;
+    fault_rate = 0.;
+    g_backlog = 0;
+    g_proxies = 0;
+    g_skew = 0.;
     occupancy = [||];
   }
 
 let create ?(sample_every = 1000) ?(ring_capacity = 512)
-    ?(max_phase_events = 4096) ?(clock = fun () -> 0L) () =
+    ?(max_phase_events = 4096) ?(max_flow_events = 65536) ?(track = -1)
+    ?(label = "") ?(clock = fun () -> 0L) () =
   if sample_every < 1 then invalid_arg "Obs.create: sample_every >= 1";
   if ring_capacity < 1 then invalid_arg "Obs.create: ring_capacity >= 1";
   if max_phase_events < 0 then invalid_arg "Obs.create: max_phase_events >= 0";
+  if max_flow_events < 0 then invalid_arg "Obs.create: max_flow_events >= 0";
   let st =
     {
       sample_every;
@@ -155,6 +182,16 @@ let create ?(sample_every = 1000) ?(ring_capacity = 512)
       pevent_count = 0;
       pevents_dropped = 0;
       max_phase_events;
+      flows_out = [];
+      flows_in = [];
+      flow_count = 0;
+      flows_dropped = 0;
+      max_flow_events;
+      track;
+      label;
+      g_backlog = 0;
+      g_proxies = 0;
+      g_skew = 0.;
       machs = [];
       clock_fn = clock;
       wall_start = clock ();
@@ -258,6 +295,12 @@ let take_sample mh =
       plb_mr = M.plb_miss_ratio w;
       tlb_mr = M.tlb_miss_ratio w;
       pg_mr = M.pg_miss_ratio w;
+      fault_rate =
+        float_of_int (w.M.protection_faults + w.M.page_faults)
+        /. float_of_int (max 1 w.M.accesses);
+      g_backlog = st.g_backlog;
+      g_proxies = st.g_proxies;
+      g_skew = st.g_skew;
       occupancy = Array.copy mh.m_probe.P.occupancy;
     }
   in
@@ -273,6 +316,46 @@ let tick mh =
     mh.since <- 0;
     take_sample mh
   end
+
+(* -- flows & gauges ------------------------------------------------------ *)
+
+let flow_out t ~id ~name =
+  match t.state with
+  | None -> ()
+  | Some st ->
+      if st.flow_count < st.max_flow_events then begin
+        st.flows_out <-
+          { fl_id = id; fl_name = name; fl_ts = st.clock } :: st.flows_out;
+        st.flow_count <- st.flow_count + 1
+      end
+      else st.flows_dropped <- st.flows_dropped + 1
+
+let flow_in t ~id ~name =
+  match t.state with
+  | None -> ()
+  | Some st ->
+      if st.flow_count < st.max_flow_events then begin
+        st.flows_in <-
+          { fl_id = id; fl_name = name; fl_ts = st.clock } :: st.flows_in;
+        st.flow_count <- st.flow_count + 1
+      end
+      else st.flows_dropped <- st.flows_dropped + 1
+
+let set_gauges t ~backlog ~proxies ~skew =
+  match t.state with
+  | None -> ()
+  | Some st ->
+      st.g_backlog <- backlog;
+      st.g_proxies <- proxies;
+      st.g_skew <- skew
+
+let peek_samples t =
+  match t.state with
+  | None -> []
+  | Some st ->
+      let cap = Array.length st.ring in
+      let oldest = (st.ring_head - st.ring_len + cap) mod cap in
+      List.init st.ring_len (fun i -> st.ring.((oldest + i) mod cap))
 
 (* -- summaries ----------------------------------------------------------- *)
 
@@ -335,11 +418,17 @@ let summarize t =
         phases;
         phase_events;
         phase_events_dropped = st.pevents_dropped;
+        flows_out = List.rev st.flows_out;
+        flows_in = List.rev st.flows_in;
+        flows_dropped = st.flows_dropped;
         samples;
         samples_seen = st.ring_seen;
         cpa_hist =
           Array.init (cpa_buckets + 1) (fun i -> Histogram.bucket st.cpa i);
         wall_ns = Int64.sub (st.clock_fn ()) st.wall_start;
+        track = st.track;
+        label = st.label;
+        tracks = [];
       }
 
 let merge summaries =
@@ -348,6 +437,10 @@ let merge summaries =
   let machines = Hashtbl.create 8 in
   let cpa = Array.make (cpa_buckets + 1) 0 in
   let pevents = ref []
+  and flows_out = ref []
+  and flows_in = ref []
+  and fdropped = ref 0
+  and tracks = ref []
   and samples = ref []
   and offset = ref 0
   and total = ref 0
@@ -393,6 +486,14 @@ let merge summaries =
         (fun e -> pevents := { e with ts = e.ts + !offset } :: !pevents)
         s.phase_events;
       List.iter
+        (fun f -> flows_out := { f with fl_ts = f.fl_ts + !offset } :: !flows_out)
+        s.flows_out;
+      List.iter
+        (fun f -> flows_in := { f with fl_ts = f.fl_ts + !offset } :: !flows_in)
+        s.flows_in;
+      fdropped := !fdropped + s.flows_dropped;
+      tracks := List.rev_append s.tracks !tracks;
+      List.iter
         (fun sm -> samples := { sm with s_clock = sm.s_clock + !offset } :: !samples)
         s.samples;
       Array.iteri
@@ -421,10 +522,137 @@ let merge summaries =
       |> List.sort (fun a b -> compare a.phase b.phase);
     phase_events = List.rev !pevents;
     phase_events_dropped = !dropped;
+    flows_out = List.rev !flows_out;
+    flows_in = List.rev !flows_in;
+    flows_dropped = !fdropped;
     samples = List.rev !samples;
     samples_seen = !seen;
     cpa_hist = cpa;
     wall_ns = !wall;
+    track = -1;
+    label = "";
+    tracks = List.rev !tracks;
+  }
+
+(* Parallel-timeline merge: unlike [merge], per-summary clocks are NOT
+   rebased end-to-end — each input keeps its own timeline and survives
+   verbatim in [tracks], so exporters can lay them out side by side
+   (one Chrome process per track). Aggregates (ops, phases, cpa,
+   totals) are summed; the merged clock is the max over tracks, i.e.
+   the virtual makespan of the parallel run. Inputs are sorted by
+   track id, so the result is a pure function of the track set and
+   stays byte-identical however the shards were scheduled. *)
+let merge_tracks summaries =
+  if summaries = [] then invalid_arg "Obs.merge_tracks: empty list";
+  List.iter
+    (fun (s : summary) ->
+      if s.track < 0 then
+        invalid_arg "Obs.merge_tracks: untracked summary (create ~track)";
+      if s.tracks <> [] then
+        invalid_arg "Obs.merge_tracks: input is already a track merge")
+    summaries;
+  let summaries =
+    List.stable_sort (fun (a : summary) b -> compare a.track b.track) summaries
+  in
+  let rec check_dup = function
+    | (a : summary) :: (b :: _ as tl) ->
+        if a.track = b.track then
+          invalid_arg
+            (Printf.sprintf "Obs.merge_tracks: duplicate track id %d" a.track);
+        check_dup tl
+    | _ -> ()
+  in
+  check_dup summaries;
+  let ops = Hashtbl.create 64 and phases = Hashtbl.create 16 in
+  let machines = Hashtbl.create 8 in
+  let cpa = Array.make (cpa_buckets + 1) 0 in
+  let clock = ref 0
+  and total = ref 0
+  and pdropped = ref 0
+  and fdropped = ref 0
+  and seen = ref 0
+  and wall = ref 0L
+  and sample_every = ref 0
+  and ring_capacity = ref 0 in
+  List.iter
+    (fun (s : summary) ->
+      sample_every := max !sample_every s.sample_every;
+      ring_capacity := max !ring_capacity s.ring_capacity;
+      clock := max !clock s.clock;
+      total := !total + s.total_cycles;
+      pdropped := !pdropped + s.phase_events_dropped;
+      fdropped := !fdropped + s.flows_dropped;
+      seen := !seen + s.samples_seen;
+      wall := Int64.add !wall s.wall_ns;
+      List.iter
+        (fun (m, n) ->
+          Hashtbl.replace machines m
+            (n + Option.value ~default:0 (Hashtbl.find_opt machines m)))
+        s.machines;
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt ops (r.scope, r.op) with
+          | Some a ->
+              a.a_count <- a.a_count + r.count;
+              M.add_into a.a_delta r.delta
+          | None ->
+              Hashtbl.add ops (r.scope, r.op)
+                { a_count = r.count; a_delta = M.copy r.delta })
+        s.ops;
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt phases r.phase with
+          | Some a ->
+              a.pa_count <- a.pa_count + r.p_count;
+              a.pa_cycles <- a.pa_cycles + r.p_cycles
+          | None ->
+              Hashtbl.add phases r.phase
+                { pa_count = r.p_count; pa_cycles = r.p_cycles })
+        s.phases;
+      Array.iteri
+        (fun i c -> if i <= cpa_buckets then cpa.(i) <- cpa.(i) + c)
+        s.cpa_hist)
+    summaries;
+  let samples =
+    List.concat_map
+      (fun (s : summary) ->
+        List.map
+          (fun sm ->
+            { sm with s_scope = Printf.sprintf "s%d:%s" s.track sm.s_scope })
+          s.samples)
+      summaries
+  in
+  {
+    sample_every = !sample_every;
+    ring_capacity = !ring_capacity;
+    machines =
+      List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) machines []);
+    total_cycles = !total;
+    clock = !clock;
+    ops =
+      Hashtbl.fold
+        (fun (scope, op) a l ->
+          { scope; op; count = a.a_count; delta = M.copy a.a_delta } :: l)
+        ops []
+      |> List.sort (fun a b -> compare (a.scope, a.op) (b.scope, b.op));
+    phases =
+      Hashtbl.fold
+        (fun phase a l ->
+          { phase; p_count = a.pa_count; p_cycles = a.pa_cycles } :: l)
+        phases []
+      |> List.sort (fun a b -> compare a.phase b.phase);
+    phase_events = [];
+    phase_events_dropped = !pdropped;
+    flows_out = [];
+    flows_in = [];
+    flows_dropped = !fdropped;
+    samples;
+    samples_seen = !seen;
+    cpa_hist = cpa;
+    wall_ns = !wall;
+    track = -1;
+    label = "";
+    tracks = summaries;
   }
 
 (* -- exporters ----------------------------------------------------------- *)
@@ -585,20 +813,54 @@ let json_of_sample sm =
         Printf.sprintf "%s:%d" (jstr name) v)
   in
   Printf.sprintf
-    "{\"scope\":%s,\"clock\":%d,\"accesses\":%d,\"cycles\":%d,\"d_accesses\":%d,\"d_cycles\":%d,\"cache_mr\":%s,\"plb_mr\":%s,\"tlb_mr\":%s,\"pg_mr\":%s,\"occupancy\":{%s}}"
+    "{\"scope\":%s,\"clock\":%d,\"accesses\":%d,\"cycles\":%d,\"d_accesses\":%d,\"d_cycles\":%d,\"cache_mr\":%s,\"plb_mr\":%s,\"tlb_mr\":%s,\"pg_mr\":%s,\"fault_rate\":%s,\"backlog\":%d,\"proxies\":%d,\"skew\":%s,\"occupancy\":{%s}}"
     (jstr sm.s_scope) sm.s_clock sm.s_accesses sm.s_cycles sm.d_accesses
     sm.d_cycles (jfloat sm.cache_mr) (jfloat sm.plb_mr) (jfloat sm.tlb_mr)
-    (jfloat sm.pg_mr) (String.concat "," occ)
+    (jfloat sm.pg_mr) (jfloat sm.fault_rate) sm.g_backlog sm.g_proxies
+    (jfloat sm.g_skew) (String.concat "," occ)
 
-let to_json ?(indent = false) (s : summary) =
-  let nl = indent in
-  let sep = if nl then ",\n  " else "," in
-  let b = Buffer.create 8192 in
-  Buffer.add_string b (if nl then "{\n  " else "{");
+let json_of_flow (f : flow_event) =
+  Printf.sprintf "{\"id\":%d,\"name\":%s,\"ts\":%d}" f.fl_id (jstr f.fl_name)
+    f.fl_ts
+
+(* [top] controls the one-per-document bits: the schema tag stays
+   top-level only (downstream validators count its occurrences), and
+   nested track sections carry [track]/[label]/flow lists instead. *)
+let rec summary_fields ~nl ~top (s : summary) =
   let field k v = Printf.sprintf "%s:%s" (jstr k) v in
-  let fields =
-    [
-      field "schema" (jstr "sasos-obs/1");
+  let schema_fields =
+    if top then [ field "schema" (jstr "sasos-obs/1") ] else []
+  in
+  let track_fields =
+    (if s.track >= 0 then [ field "track" (string_of_int s.track) ] else [])
+    @ if s.label <> "" then [ field "label" (jstr s.label) ] else []
+  in
+  let flow_fields =
+    if s.flows_out = [] && s.flows_in = [] && s.flows_dropped = 0 then []
+    else
+      [
+        field "flows_out" (jarray ~nl (List.map json_of_flow s.flows_out));
+        field "flows_in" (jarray ~nl (List.map json_of_flow s.flows_in));
+        field "flows_dropped" (string_of_int s.flows_dropped);
+      ]
+  in
+  let tracks_fields =
+    if s.tracks = [] then []
+    else
+      [
+        field "tracks"
+          (jarray ~nl
+             (List.map
+                (fun tr ->
+                  "{"
+                  ^ String.concat ","
+                      (summary_fields ~nl:false ~top:false tr)
+                  ^ "}")
+                s.tracks));
+      ]
+  in
+  schema_fields @ track_fields
+  @ [
       field "sample_every" (string_of_int s.sample_every);
       field "ring_capacity" (string_of_int s.ring_capacity);
       field "machines"
@@ -636,15 +898,25 @@ let to_json ?(indent = false) (s : summary) =
             (Array.to_list (Array.map string_of_int s.cpa_hist))
         ^ "]");
     ]
-  in
-  Buffer.add_string b (String.concat sep fields);
+  @ flow_fields @ tracks_fields
+
+let to_json ?(indent = false) (s : summary) =
+  let nl = indent in
+  let sep = if nl then ",\n  " else "," in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b (if nl then "{\n  " else "{");
+  Buffer.add_string b (String.concat sep (summary_fields ~nl ~top:true s));
   Buffer.add_string b (if nl then "\n}" else "}");
   Buffer.contents b
 
-let to_chrome (s : summary) =
-  let b = Buffer.create 8192 in
-  let events = ref [] in
-  let emit e = events := e :: !events in
+(* One Chrome process per summary. For an untracked (leaf) summary the
+   caller passes pid 1 / "sasos" and the output matches the historical
+   single-process layout byte for byte; a tracked summary becomes its
+   own process (pid = shard id, sorted by id) and additionally carries
+   flow begin/end events and a per-shard gauges counter. Flow events sit
+   on tid 0 at a ts inside the round's phase slice, so Perfetto binds
+   the arrow to that slice. *)
+let chrome_emit_summary ~pid ~pname emit (s : summary) =
   let scopes = List.map fst s.machines in
   let tid_of scope =
     let rec go i = function
@@ -655,23 +927,46 @@ let to_chrome (s : summary) =
     go 0 scopes
   in
   emit
-    "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"sasos\"}}";
+    (Printf.sprintf
+       "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":%s}}"
+       pid (jstr pname));
+  if s.track >= 0 then
+    emit
+      (Printf.sprintf
+         "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_sort_index\",\"args\":{\"sort_index\":%d}}"
+         pid s.track);
   emit
-    "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"phases\"}}";
+    (Printf.sprintf
+       "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"phases\"}}"
+       pid);
   List.iter
     (fun scope ->
       emit
         (Printf.sprintf
-           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}"
-           (tid_of scope) (jstr scope)))
+           "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}"
+           pid (tid_of scope) (jstr scope)))
     scopes;
   List.iter
     (fun e ->
       emit
         (Printf.sprintf
-           "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"cat\":\"phase\",\"name\":%s,\"ts\":%d,\"dur\":%d,\"args\":{\"depth\":%d}}"
-           (jstr e.pname) e.ts e.dur e.depth))
+           "{\"ph\":\"X\",\"pid\":%d,\"tid\":0,\"cat\":\"phase\",\"name\":%s,\"ts\":%d,\"dur\":%d,\"args\":{\"depth\":%d}}"
+           pid (jstr e.pname) e.ts e.dur e.depth))
     s.phase_events;
+  List.iter
+    (fun (f : flow_event) ->
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"s\",\"pid\":%d,\"tid\":0,\"cat\":\"msg\",\"name\":%s,\"id\":%d,\"ts\":%d}"
+           pid (jstr f.fl_name) f.fl_id f.fl_ts))
+    s.flows_out;
+  List.iter
+    (fun (f : flow_event) ->
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":%d,\"tid\":0,\"cat\":\"msg\",\"name\":%s,\"id\":%d,\"ts\":%d}"
+           pid (jstr f.fl_name) f.fl_id f.fl_ts))
+    s.flows_in;
   (* Aggregate op rows laid end-to-end per machine track: the "op"
      category durations sum exactly to total_cycles. *)
   List.iter
@@ -682,8 +977,9 @@ let to_chrome (s : summary) =
           if String.equal r.scope scope then begin
             emit
               (Printf.sprintf
-                 "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"cat\":\"op\",\"name\":%s,\"ts\":%d,\"dur\":%d,\"args\":{\"count\":%d}}"
-                 (tid_of scope) (jstr r.op) !cursor r.delta.M.cycles r.count);
+                 "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"cat\":\"op\",\"name\":%s,\"ts\":%d,\"dur\":%d,\"args\":{\"count\":%d}}"
+                 pid (tid_of scope) (jstr r.op) !cursor r.delta.M.cycles
+                 r.count);
             cursor := !cursor + r.delta.M.cycles
           end)
         s.ops)
@@ -692,22 +988,54 @@ let to_chrome (s : summary) =
     (fun sm ->
       emit
         (Printf.sprintf
-           "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":%s,\"ts\":%d,\"args\":{\"cache\":%s,\"plb\":%s,\"tlb\":%s,\"pg\":%s}}"
+           "{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"name\":%s,\"ts\":%d,\"args\":{\"cache\":%s,\"plb\":%s,\"tlb\":%s,\"pg\":%s}}"
+           pid
            (jstr ("miss_ratios:" ^ sm.s_scope))
            sm.s_clock (jfloat sm.cache_mr) (jfloat sm.plb_mr)
            (jfloat sm.tlb_mr) (jfloat sm.pg_mr));
       let occ i = if Array.length sm.occupancy > i then sm.occupancy.(i) else 0 in
       emit
         (Printf.sprintf
-           "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":%s,\"ts\":%d,\"args\":{\"plb\":%d,\"tlb\":%d,\"pg_cache\":%d,\"l1_cache\":%d,\"l2_cache\":%d}}"
+           "{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"name\":%s,\"ts\":%d,\"args\":{\"plb\":%d,\"tlb\":%d,\"pg_cache\":%d,\"l1_cache\":%d,\"l2_cache\":%d}}"
+           pid
            (jstr ("occupancy:" ^ sm.s_scope))
            sm.s_clock
            (occ (P.index P.Plb))
            (occ (P.index P.Tlb))
            (occ (P.index P.Pg_cache))
            (occ (P.index P.L1_cache))
-           (occ (P.index P.L2_cache))))
+           (occ (P.index P.L2_cache)));
+      if s.track >= 0 then
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"name\":\"gauges\",\"ts\":%d,\"args\":{\"fault_rate\":%s,\"backlog\":%d,\"proxies\":%d,\"skew\":%s}}"
+             pid sm.s_clock (jfloat sm.fault_rate) sm.g_backlog sm.g_proxies
+             (jfloat sm.g_skew)))
     s.samples;
+  ()
+
+let to_chrome (s : summary) =
+  let b = Buffer.create 8192 in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  (match s.tracks with
+  | [] ->
+      let pid = if s.track >= 0 then s.track else 1 in
+      let pname =
+        if s.label <> "" then s.label
+        else if s.track >= 0 then Printf.sprintf "track %d" s.track
+        else "sasos"
+      in
+      chrome_emit_summary ~pid ~pname emit s
+  | tracks ->
+      List.iter
+        (fun (tr : summary) ->
+          let pname =
+            if tr.label <> "" then tr.label
+            else Printf.sprintf "track %d" tr.track
+          in
+          chrome_emit_summary ~pid:tr.track ~pname emit tr)
+        tracks);
   Buffer.add_string b "{\"traceEvents\":[\n";
   Buffer.add_string b (String.concat ",\n" (List.rev !events));
   Buffer.add_string b "\n]}\n";

@@ -45,18 +45,32 @@ val create :
   ?sample_every:int ->
   ?ring_capacity:int ->
   ?max_phase_events:int ->
+  ?max_flow_events:int ->
+  ?track:int ->
+  ?label:string ->
   ?clock:(unit -> int64) ->
   unit ->
   t
 (** An enabled collector. [sample_every] (default 1000) is the number of
-    simulated accesses between sampler points; [ring_capacity] (default
-    512) bounds the retained samples (oldest evicted first);
+    simulated accesses between sampler points, counted {e per collector,
+    per machine instance}: each registered machine keeps its own
+    access countdown against this collector's threshold, so in a sharded
+    run where every shard owns its own collector, a 1-shard and a
+    4-shard run sample each shard's time-series at the same density
+    (one point per [sample_every] accesses {e on that shard}), rather
+    than diluting a global budget across shards. [ring_capacity]
+    (default 512) bounds the retained samples (oldest evicted first);
     [max_phase_events] (default 4096) bounds the retained per-instance
     phase events (further events still aggregate, but are dropped from
-    the event log and counted in [phase_events_dropped]). [clock] is a
-    monotonic nanosecond clock used only for the [wall_ns] summary field;
-    it defaults to [fun () -> 0L] so that profile output is
-    byte-identical across runs.
+    the event log and counted in [phase_events_dropped]);
+    [max_flow_events] (default 65536) bounds the retained flow
+    begin/end records the same way (overflow counted in
+    [flows_dropped]). [track] (default [-1] = untracked) gives the
+    collector a Chrome-trace process identity — shard id in sharded
+    runs — and [label] a human-readable process name for that track.
+    [clock] is a monotonic nanosecond clock used only for the [wall_ns]
+    summary field; it defaults to [fun () -> 0L] so that profile output
+    is byte-identical across runs.
     @raise Invalid_argument on non-positive sizes. *)
 
 val enabled : t -> bool
@@ -123,8 +137,35 @@ val op_end : machine -> string -> unit
 
 val tick : machine -> unit
 (** One simulated access completed — the sampler heartbeat. Every
-    [sample_every] ticks the collector records a sample (windowed miss
-    ratios, occupancy gauges, cycles-per-access) into the ring buffer. *)
+    [sample_every] ticks {e of this machine instance} the collector
+    records a sample (windowed miss ratios, fault rate, shard gauges,
+    occupancy, cycles-per-access) into the ring buffer. The countdown is
+    per machine handle, so each instrumented machine contributes points
+    at its own access density regardless of how many machines share the
+    collector. *)
+
+(** {2 Flow events and shard gauges}
+
+    Cross-collector message tracing for the sharded rig: when shard A
+    emits a mailbox message applied by shard B, A records {!flow_out}
+    and B records {!flow_in} under the same caller-chosen id, and
+    {!to_chrome} renders the pair as a Chrome flow arrow from A's
+    emission span to B's application span. All are no-ops on
+    {!disabled}. *)
+
+val flow_out : t -> id:int -> name:string -> unit
+(** Record a flow begin at the current virtual clock. Retained up to
+    [max_flow_events] per collector (shared budget with {!flow_in});
+    overflow increments [flows_dropped]. *)
+
+val flow_in : t -> id:int -> name:string -> unit
+(** Record the matching flow end at the current virtual clock of the
+    {e receiving} collector. *)
+
+val set_gauges : t -> backlog:int -> proxies:int -> skew:float -> unit
+(** Publish the shard-level gauges copied into every subsequent sample:
+    mailbox backlog depth, proxy-domain count, and load-imbalance skew
+    (this shard's access share relative to the mean shard). *)
 
 (** {2 Summaries} *)
 
@@ -144,6 +185,12 @@ type phase_event = {
   depth : int;  (** nesting depth, outermost = 0 *)
 }
 
+type flow_event = {
+  fl_id : int;  (** caller-chosen id matching a {!flow_out}/{!flow_in} pair *)
+  fl_name : string;
+  fl_ts : int;  (** virtual-clock cycles on the recording collector *)
+}
+
 type sample = {
   s_scope : string;  (** model of the machine that crossed the threshold *)
   s_clock : int;  (** virtual clock when taken *)
@@ -155,8 +202,18 @@ type sample = {
   plb_mr : float;
   tlb_mr : float;
   pg_mr : float;
+  fault_rate : float;
+      (** windowed (protection + page) faults per access *)
+  g_backlog : int;  (** last {!set_gauges} values at sampling time *)
+  g_proxies : int;
+  g_skew : float;
   occupancy : int array;  (** per {!Sasos_hw.Probe.structure} slot *)
 }
+
+val peek_samples : t -> sample list
+(** The ring buffer's current contents, oldest first — readable mid-run
+    (unlike {!summarize}, open spans are fine), which is what the live
+    dashboard polls between rounds. [[]] on {!disabled}. *)
 
 type summary = {
   sample_every : int;
@@ -171,12 +228,20 @@ type summary = {
   phases : phase_row list;  (** sorted by name *)
   phase_events : phase_event list;  (** chronological *)
   phase_events_dropped : int;
+  flows_out : flow_event list;  (** emission order *)
+  flows_in : flow_event list;  (** application order *)
+  flows_dropped : int;
   samples : sample list;  (** oldest first; at most [ring_capacity] *)
   samples_seen : int;  (** total taken, including evicted *)
   cpa_hist : int array;
       (** cycles-per-access histogram, deci-cycles in {!cpa_bucket_width}
           buckets plus a final overflow bucket *)
   wall_ns : int64;
+  track : int;  (** the collector's [track], [-1] = untracked *)
+  label : string;  (** the collector's [label], [""] = none *)
+  tracks : summary list;
+      (** per-track sections when this summary came from {!merge_tracks};
+          [[]] for a leaf or {!merge} result *)
 }
 
 val cpa_buckets : int
@@ -197,17 +262,42 @@ val merge : summary list -> summary
     summary's clock starts where the previous one ended). Inputs are not
     mutated. @raise Invalid_argument on an empty list. *)
 
+val merge_tracks : summary list -> summary
+(** Parallel-timeline aggregation for per-shard collectors: unlike
+    {!merge}, the inputs' virtual clocks are {e not} rebased — each
+    summary keeps its own timeline and survives verbatim in the result's
+    [tracks] field, ordered by track id. Aggregate tables (ops, phases,
+    machines, histograms, totals) are summed; the merged [clock] is the
+    max over tracks (the virtual makespan); top-level [phase_events] and
+    flow lists are empty because that detail lives per track; merged
+    samples are the per-track samples with scopes prefixed
+    ["s<track>:"]. Sorting by track id makes the result a pure function
+    of the track set: summaries collected from any worker schedule
+    ([--jobs 1] or [N]) merge to byte-identical output.
+    @raise Invalid_argument on an empty list, an untracked input
+    ([track < 0]), a duplicate track id, or an input that is itself a
+    track merge. *)
+
 val render_table : summary -> string
 (** Human-readable attribution: per-op cycle breakdown (share of total,
     key event counts), phase table, and sampler digest. *)
 
 val to_json : ?indent:bool -> summary -> string
-(** [sasos-obs/1] JSON document. Deterministic field order. *)
+(** [sasos-obs/1] JSON document. Deterministic field order. The schema
+    tag appears exactly once (top level); a {!merge_tracks} summary adds
+    a [tracks] array of compact per-shard sections, and flow lists are
+    emitted only when non-empty, so untracked output is unchanged. *)
 
 val to_chrome : summary -> string
 (** Chrome [trace_event] JSON (the [{"traceEvents": [...]}] envelope)
-    loadable in Perfetto. Phase events appear on one track with their
-    virtual-clock extents (cycles rendered as microseconds); per-op
-    aggregate rows are laid end-to-end on one track per machine model,
-    so the sum of ["cat":"op"] durations equals [total_cycles]; sampler
-    series appear as counter events. *)
+    loadable in Perfetto. A leaf summary renders as one process (pid 1,
+    ["sasos"]): phase events on one track with their virtual-clock
+    extents (cycles rendered as microseconds), per-op aggregate rows
+    laid end-to-end on one track per machine model (so the sum of
+    ["cat":"op"] durations equals [total_cycles]), and sampler series as
+    counter events. A {!merge_tracks} summary renders one process {e per
+    shard} (pid = track id, sorted via [process_sort_index]), each with
+    its own phase/op/counter tracks plus a per-shard [gauges] counter,
+    and every {!flow_out}/{!flow_in} pair becomes a Chrome flow arrow
+    ([ph:"s"] → [ph:"f","bp":"e"]) from the emitting shard's round slice
+    to the applying shard's round slice. *)

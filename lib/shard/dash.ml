@@ -1,0 +1,48 @@
+(* Live terminal dashboard for the sharded rig: a pure renderer over
+   per-shard gauge rows sampled from the obs ring buffer. No ANSI
+   control here — the CLI owns cursor movement — so the same string is
+   testable byte-for-byte and printable once in non-interactive runs. *)
+
+module Sparkline = Sasos_util.Sparkline
+module Tablefmt = Sasos_util.Tablefmt
+
+type row = {
+  sid : int;
+  accesses : int;  (* cumulative on the shard *)
+  cyc_per_acc : float;  (* windowed, from the newest sample *)
+  tlb_mr : float;
+  plb_mr : float;
+  fault_rate : float;
+  backlog : int;
+  proxies : int;
+  skew : float;
+  backlog_series : float array;  (* oldest first, from the ring *)
+}
+
+let spark_width = 24
+
+(* Pad [s] to [w] terminal cells (sparklines are multi-byte, so byte
+   padding would misalign the column). *)
+let pad_cells w s =
+  let c = Sparkline.cells s in
+  if c >= w then s else s ^ String.make (w - c) ' '
+
+let render ~round ~rounds (rows : row array) =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "sasos top — round %d/%d, %d shard%s\n" round rounds
+    (Array.length rows)
+    (if Array.length rows = 1 then "" else "s");
+  Printf.bprintf b "%5s %12s %8s %8s %8s %10s %8s %8s %6s %s\n" "shard"
+    "accesses" "cyc/acc" "tlb mr" "plb mr" "faults/acc" "backlog" "proxies"
+    "skew" "backlog trend";
+  Array.iter
+    (fun r ->
+      Printf.bprintf b "%5d %12s %8.2f %8.4f %8.4f %10.5f %8d %8d %6.2f %s\n"
+        r.sid
+        (Tablefmt.cell_int r.accesses)
+        r.cyc_per_acc r.tlb_mr r.plb_mr r.fault_rate r.backlog r.proxies
+        r.skew
+        (pad_cells spark_width
+           (Sparkline.render ~width:spark_width r.backlog_series)))
+    rows;
+  Buffer.contents b

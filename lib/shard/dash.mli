@@ -1,0 +1,29 @@
+(** Live terminal dashboard for the sharded rig.
+
+    A pure renderer: {!Shard.live_rows} snapshots per-shard gauges from
+    the obs ring sampler between rounds, and {!render} turns them into a
+    fixed-width text block (throughput, miss ratios, fault rate, mailbox
+    backlog with a sparkline of its recent history). The caller decides
+    how to display it — [sasos scale --live] and [sasos top] repaint the
+    terminal with ANSI home/clear between rounds; tests compare the
+    string directly. Contains no wall-clock input, so output is a pure
+    function of the rows. *)
+
+type row = {
+  sid : int;
+  accesses : int;  (** cumulative accesses on the shard *)
+  cyc_per_acc : float;  (** windowed cycles/access from the newest sample *)
+  tlb_mr : float;  (** windowed miss ratios from the newest sample *)
+  plb_mr : float;
+  fault_rate : float;  (** windowed (protection + page) faults / access *)
+  backlog : int;  (** messages in the shard's inbox last exchange *)
+  proxies : int;  (** proxy domains materialised so far *)
+  skew : float;  (** shard accesses relative to the mean shard *)
+  backlog_series : float array;  (** backlog gauge history, oldest first *)
+}
+
+val spark_width : int
+(** Terminal cells of the sparkline column. *)
+
+val render : round:int -> rounds:int -> row array -> string
+(** One dashboard frame: header line plus one row per shard. *)

@@ -160,6 +160,7 @@ type plan = {
   mutable churn_scaled : int;  (* churn probability out of 2^20 *)
   cdf : int array;
   page_shift : int;
+  profiled : bool;
 }
 
 type shard = {
@@ -172,8 +173,10 @@ type shard = {
   mutable n_proxies : int;
   mutable rng : int;  (* Prng.Split state for page selection *)
   outbox : int array;
+  outbox_fid : int array;  (* flow id per outbox slot, same index *)
   mutable out_len : int;
   inbox : int array;
+  inbox_fid : int array;
   mutable in_len : int;
   mutable msgs_in : int;
   mutable msgs_out : int;
@@ -195,9 +198,14 @@ let scale_churn c =
   let s = int_of_float ((c *. float_of_int churn_one) +. 0.5) in
   if s > churn_one then churn_one else s
 
-let setup_shard p ~profile sid =
+let setup_shard p ?sample_every ?ring_capacity ~profile sid =
   let cfg = p.cfg in
-  let obs = if profile then Obs.create () else Obs.disabled in
+  let obs =
+    if profile then
+      Obs.create ?sample_every ?ring_capacity ~track:sid
+        ~label:(Printf.sprintf "shard %d" sid) ()
+    else Obs.disabled
+  in
   let mconfig = machine_config cfg in
   let build () = Sys_select.make cfg.variant mconfig in
   let sys = if profile then Obs.with_ambient obs build else build () in
@@ -224,8 +232,10 @@ let setup_shard p ~profile sid =
     n_proxies = 0;
     rng = Prng.Split.init ((cfg.seed * 0x9E3779B1) lxor (sid * 0x85EBCA6B));
     outbox = Array.make cfg.active 0;
+    outbox_fid = Array.make cfg.active 0;
     out_len = 0;
     inbox = Array.make cfg.active 0;
+    inbox_fid = Array.make cfg.active 0;
     in_len = 0;
     msgs_in = 0;
     msgs_out = 0;
@@ -241,6 +251,13 @@ let churn_state seed g t2 =
   Prng.Split.next
     (Prng.Split.init (seed lxor (g * 0x27D4EB2F) lxor (t2 * 0x165667B1)))
 
+(* Flow ids: one id namespace per (round, shard), [active + 1] wide —
+   a shard emits at most [active] messages per round, so ids are unique
+   across the whole run and a pure function of (round, shard, emission
+   index), independent of worker scheduling. *)
+let flow_id_base (cfg : config) r sid =
+  ((r * cfg.shards) + sid) * (cfg.active + 1)
+
 let phase_traffic p (sh : shard) r =
   let cfg = p.cfg in
   let shards = cfg.shards in
@@ -250,6 +267,9 @@ let phase_traffic p (sh : shard) r =
   let detach_bit = r land 1 in
   let nloc_seg = Array.length sh.segs in
   let sys = sh.sys in
+  let fid_base = flow_id_base cfg r sh.sid in
+  let flow_name = if detach_bit = 1 then "detach" else "attach" in
+  Obs.phase_begin sh.obs "local-execute";
   sh.out_len <- 0;
   for j = 0 to cfg.active - 1 do
     let g =
@@ -278,12 +298,15 @@ let phase_traffic p (sh : shard) r =
             detach_bit lor (rw_bits lsl 1) lor (g lsl 4) lor (gseg lsl 34)
           in
           Array.unsafe_set sh.outbox sh.out_len msg;
+          Array.unsafe_set sh.outbox_fid sh.out_len (fid_base + sh.out_len);
+          Obs.flow_out sh.obs ~id:(fid_base + sh.out_len) ~name:flow_name;
           sh.out_len <- sh.out_len + 1
         end
       end
     end
   done;
-  sh.msgs_out <- sh.msgs_out + sh.out_len
+  sh.msgs_out <- sh.msgs_out + sh.out_len;
+  Obs.phase_end sh.obs "local-execute"
 
 (* Runs on the coordinating domain between the two phases: inboxes are
    filled in (source shard, emission order), so their contents do not
@@ -299,6 +322,8 @@ let route p (shards : shard array) =
       let msg = Array.unsafe_get sh.outbox m in
       let dst = Array.unsafe_get shards (msg_seg msg mod p.cfg.shards) in
       Array.unsafe_set dst.inbox dst.in_len msg;
+      Array.unsafe_set dst.inbox_fid dst.in_len
+        (Array.unsafe_get sh.outbox_fid m);
       dst.in_len <- dst.in_len + 1
     done
   done
@@ -306,8 +331,12 @@ let route p (shards : shard array) =
 let phase_apply p (sh : shard) =
   let shards = p.cfg.shards in
   let sys = sh.sys in
+  Obs.phase_begin sh.obs "mailbox-exchange";
   for m = 0 to sh.in_len - 1 do
     let msg = Array.unsafe_get sh.inbox m in
+    Obs.flow_in sh.obs
+      ~id:(Array.unsafe_get sh.inbox_fid m)
+      ~name:(if msg_kind msg = 0 then "attach" else "detach");
     let g = msg_dom msg in
     let seg = Array.unsafe_get sh.segs (msg_seg msg / shards) in
     let pd =
@@ -327,7 +356,29 @@ let phase_apply p (sh : shard) =
     else if Os_core.attachment (System_ops.os sys) pd seg <> None then
       System_ops.detach sys pd seg
   done;
-  sh.msgs_in <- sh.msgs_in + sh.in_len
+  sh.msgs_in <- sh.msgs_in + sh.in_len;
+  Obs.phase_end sh.obs "mailbox-exchange"
+
+(* Runs on the coordinator after every worker has joined: publish the
+   round's shard gauges so the next sampler points (and the live
+   dashboard) carry them. Inputs are post-round metrics, which are
+   deterministic for any [jobs], so the gauges are too. *)
+let update_gauges t =
+  let shards = t.shards in
+  let s = Array.length shards in
+  let total = ref 0 in
+  for d = 0 to s - 1 do
+    total :=
+      !total
+      + (System_ops.metrics (Array.unsafe_get shards d).sys).Metrics.accesses
+  done;
+  let mean = float_of_int !total /. float_of_int s in
+  for d = 0 to s - 1 do
+    let sh = Array.unsafe_get shards d in
+    let acc = (System_ops.metrics sh.sys).Metrics.accesses in
+    Obs.set_gauges sh.obs ~backlog:sh.in_len ~proxies:sh.n_proxies
+      ~skew:(if mean > 0.0 then float_of_int acc /. mean else 0.0)
+  done
 
 let do_round t jobs r =
   let shards = t.shards in
@@ -350,7 +401,10 @@ let do_round t jobs r =
   else
     ignore
       (Pool.map_pool_n ~jobs ~chunk:1 ~init:() ~n:s (fun d ->
-           phase_apply t.plan shards.(d)))
+           phase_apply t.plan shards.(d)));
+  (* Gated so the unprofiled jobs=1 round loop stays allocation-free
+     (bench/scale.ml guardrail): the float work below boxes. *)
+  if t.plan.profiled then update_gauges t
 
 let rounds ?(jobs = 1) t n =
   if jobs < 1 then invalid_arg "Shard.rounds: jobs must be >= 1";
@@ -368,7 +422,7 @@ let set_churn t c =
 
 let rounds_run t = t.round
 
-let prepare ?(jobs = 1) ?(profile = false) cfg =
+let prepare ?(jobs = 1) ?(profile = false) ?sample_every ?ring_capacity cfg =
   if jobs < 1 then invalid_arg "Shard.prepare: jobs must be >= 1";
   validate cfg;
   let plan =
@@ -379,15 +433,17 @@ let prepare ?(jobs = 1) ?(profile = false) cfg =
       churn_scaled = scale_churn cfg.churn;
       cdf = zipf_cdf cfg.pages_per_seg cfg.theta;
       page_shift = (machine_config cfg).Config.geom.Geometry.page_shift;
+      profiled = profile;
     }
   in
+  let setup sid = setup_shard plan ?sample_every ?ring_capacity ~profile sid in
   let shards =
-    if jobs <= 1 then Array.init cfg.shards (setup_shard plan ~profile)
+    if jobs <= 1 then Array.init cfg.shards setup
     else
       Array.map
         (function Some sh -> sh | None -> assert false)
         (Pool.map_pool_n ~jobs ~chunk:1 ~init:None ~n:cfg.shards (fun sid ->
-             Some (setup_shard plan ~profile sid)))
+             Some (setup sid)))
   in
   { plan; shards; round = 0 }
 
@@ -434,10 +490,13 @@ let report (t : t) =
       Metrics.add_into aggregate_setup r.setup;
       Metrics.add_into aggregate r.total)
     shards;
+  (* Track merge, not the sequential [Obs.merge]: each shard keeps its
+     own timeline (Chrome process) and the summaries are collected in
+     shard-id order whatever [jobs] was, so the result is byte-stable. *)
   let profile =
     if Array.exists (fun (sh : shard) -> Obs.enabled sh.obs) t.shards then
       Some
-        (Obs.merge
+        (Obs.merge_tracks
            (Array.to_list (Array.map (fun (sh : shard) -> Obs.summarize sh.obs) t.shards)))
     else None
   in
@@ -536,7 +595,52 @@ let render (r : report) =
   Buffer.add_string b (Tablefmt.render tab);
   Buffer.contents b
 
-let run ?(jobs = 1) ?(profile = false) cfg =
-  let t = prepare ~jobs ~profile cfg in
+(* Mid-run gauge snapshot for the live dashboard: reads only the ring
+   sampler and per-shard counters, never [summarize] (spans may be
+   open), so it is safe between rounds and free when unprofiled. *)
+let live_rows (t : t) =
+  let shards = t.shards in
+  let total =
+    Array.fold_left
+      (fun a (sh : shard) -> a + (System_ops.metrics sh.sys).Metrics.accesses)
+      0 shards
+  in
+  let mean = float_of_int total /. float_of_int (Array.length shards) in
+  Array.map
+    (fun (sh : shard) ->
+      let m = System_ops.metrics sh.sys in
+      let samples = Obs.peek_samples sh.obs in
+      let newest =
+        List.fold_left (fun _ sm -> Some sm) None samples
+      in
+      let cyc_per_acc, tlb_mr, plb_mr, fault_rate =
+        match newest with
+        | Some sm ->
+            ( float_of_int sm.Obs.d_cycles
+              /. float_of_int (max 1 sm.Obs.d_accesses),
+              sm.Obs.tlb_mr,
+              sm.Obs.plb_mr,
+              sm.Obs.fault_rate )
+        | None -> (0.0, 0.0, 0.0, 0.0)
+      in
+      {
+        Dash.sid = sh.sid;
+        accesses = m.Metrics.accesses;
+        cyc_per_acc;
+        tlb_mr;
+        plb_mr;
+        fault_rate;
+        backlog = sh.in_len;
+        proxies = sh.n_proxies;
+        skew =
+          (if mean > 0.0 then float_of_int m.Metrics.accesses /. mean else 0.0);
+        backlog_series =
+          Array.of_list
+            (List.map (fun sm -> float_of_int sm.Obs.g_backlog) samples);
+      })
+    shards
+
+let run ?(jobs = 1) ?(profile = false) ?sample_every ?ring_capacity cfg =
+  let t = prepare ~jobs ~profile ?sample_every ?ring_capacity cfg in
   rounds ~jobs t cfg.rounds;
   report t

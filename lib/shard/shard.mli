@@ -66,11 +66,26 @@ type t
 (** A prepared simulation: shards set up (machines built, segments and
     domains created, setup attachments applied), no rounds run yet. *)
 
-val prepare : ?jobs:int -> ?profile:bool -> config -> t
+val prepare :
+  ?jobs:int ->
+  ?profile:bool ->
+  ?sample_every:int ->
+  ?ring_capacity:int ->
+  config ->
+  t
 (** Build every shard (fanned over {!Sasos_util.Pool.map_pool} when
     [jobs > 1]). With [profile] each shard's machine is built under its
-    own {!Sasos_obs.Obs} collector; summaries merge in shard order, so
-    profile output is deterministic for any [jobs].
+    own {!Sasos_obs.Obs} collector carrying the shard id as its Chrome
+    track ([Obs.create ~track:sid ~label:"shard <sid>"], with
+    [sample_every]/[ring_capacity] passed through): every round each
+    shard records a ["local-execute"] and a ["mailbox-exchange"] phase
+    span, every cross-shard message a flow begin on the emitting shard
+    and a flow end on its home shard (under one deterministic id — a
+    pure function of round, shard and emission index), and the ring
+    sampler carries the round gauges (mailbox backlog, proxy count,
+    access skew). Summaries combine with {!Sasos_obs.Obs.merge_tracks}
+    in shard-id order, so profile output is byte-identical for any
+    [jobs].
     @raise Invalid_argument on an infeasible configuration (fewer
     domains or segments than shards, [active] larger than [domains],
     non-power-of-two structure sizes, churn outside [0..1], ...). *)
@@ -117,5 +132,18 @@ val render : report -> string
     Contains no wall-clock or allocation figures, so two runs of the
     same configuration are byte-identical regardless of [jobs]. *)
 
-val run : ?jobs:int -> ?profile:bool -> config -> report
+val live_rows : t -> Dash.row array
+(** Per-shard dashboard rows for the current instant: cumulative
+    accesses, the newest ring-sampler point's windowed ratios, the
+    mailbox/proxy/skew gauges and the backlog history. Safe to call
+    between rounds while spans are open (it never summarizes); on an
+    unprofiled simulation the sampler-derived fields are zero. *)
+
+val run :
+  ?jobs:int ->
+  ?profile:bool ->
+  ?sample_every:int ->
+  ?ring_capacity:int ->
+  config ->
+  report
 (** [prepare], [config.rounds] rounds, [report]. *)

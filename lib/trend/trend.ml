@@ -1,0 +1,328 @@
+(* Perf-trend watchdog over committed BENCH_*.json files.
+
+   Every benchmark commit appends a numbered BENCH_NNNN.json, so the
+   sorted file list is a chronological trajectory. This module parses
+   both bench schemas (sasos-bench/1: one flat result object;
+   sasos-bench/2: a "rows" array of per-configuration results), folds
+   them into named series of accesses/sec points, renders the
+   trajectory, and flags the newest point of any series that fell below
+   [min_ratio] of the series' best earlier point. *)
+
+module Sparkline = Sasos_util.Sparkline
+module Tablefmt = Sasos_util.Tablefmt
+
+(* -- a minimal JSON reader ----------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+  let parse (s : string) =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () <> c then fail "expected %c at byte %d" c !pos;
+      advance ()
+    in
+    let literal lit v =
+      String.iter (fun c -> expect c) lit;
+      v
+    in
+    let string_body () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'u' ->
+                (* decoded only far enough to keep scanning *)
+                advance ();
+                advance ();
+                advance ();
+                Buffer.add_char b '?'
+            | c -> Buffer.add_char b c);
+            advance ();
+            go ()
+        | '\000' -> fail "unterminated string"
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while num_char (peek ()) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number at byte %d" start
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = string_body () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              if peek () = ',' then begin
+                advance ();
+                members ((k, v) :: acc)
+              end
+              else begin
+                expect '}';
+                Obj (List.rev ((k, v) :: acc))
+              end
+            in
+            members []
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then begin
+            advance ();
+            Arr []
+          end
+          else
+            let rec elements acc =
+              let v = value () in
+              skip_ws ();
+              if peek () = ',' then begin
+                advance ();
+                elements (v :: acc)
+              end
+              else begin
+                expect ']';
+                Arr (List.rev (v :: acc))
+              end
+            in
+            elements []
+      | '"' -> Str (string_body ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> number ()
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing bytes at %d" !pos;
+    v
+
+  let mem k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let str = function Str s -> Some s | _ -> None
+  let num = function Num f -> Some f | _ -> None
+end
+
+(* -- series extraction ---------------------------------------------------- *)
+
+type point = { file : string; rate : float; alloc : float }
+type series = { name : string; points : point list (* chronological *) }
+
+(* Configuration keys that distinguish rows of one benchmark. Fixed
+   order so the series name is stable whatever the JSON field order. *)
+let discriminators = [ "backend"; "engine"; "policy"; "shards" ]
+
+let series_name ~bench row =
+  let parts =
+    List.filter_map
+      (fun k ->
+        match Json.mem k row with
+        | Some (Json.Str s) -> Some (Printf.sprintf "%s=%s" k s)
+        | Some (Json.Num f) ->
+            Some
+              (if Float.is_integer f then
+                 Printf.sprintf "%s=%d" k (int_of_float f)
+               else Printf.sprintf "%s=%g" k f)
+        | _ -> None)
+      discriminators
+  in
+  String.concat " " (bench :: parts)
+
+let row_point ~file row =
+  match Json.mem "accesses_per_sec" row with
+  | Some (Json.Num rate) ->
+      let alloc =
+        match Json.mem "alloc_words_per_access" row with
+        | Some (Json.Num a) -> a
+        | _ -> 0.0
+      in
+      Some { file; rate; alloc }
+  | _ -> None
+
+(* One file's (series name, point) pairs. Raises [Json.Parse_error] on
+   malformed JSON; an unknown schema yields no points rather than an
+   error so a future /3 schema doesn't brick the watchdog. *)
+let parse_file ~file contents =
+  let doc = Json.parse contents in
+  let bench_of obj fallback =
+    match Json.mem "bench" obj with
+    | Some (Json.Str b) -> b
+    | _ -> (
+        match Json.mem "benchmark" obj with
+        | Some (Json.Str b) -> b
+        | _ -> fallback)
+  in
+  match Json.mem "schema" doc with
+  | Some (Json.Str "sasos-bench/1") ->
+      (* flat: the document itself is the single result row *)
+      let bench = bench_of doc "bench" in
+      Option.to_list
+        (Option.map
+           (fun p -> (series_name ~bench doc, p))
+           (row_point ~file doc))
+  | Some (Json.Str "sasos-bench/2") -> (
+      match Json.mem "rows" doc with
+      | Some (Json.Arr rows) ->
+          List.filter_map
+            (fun row ->
+              let bench = bench_of row (bench_of doc "bench") in
+              Option.map
+                (fun p -> (series_name ~bench row, p))
+                (row_point ~file row))
+            rows
+      | _ -> [])
+  | _ -> []
+
+let of_files files =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (file, contents) ->
+      List.iter
+        (fun (name, p) ->
+          match Hashtbl.find_opt tbl name with
+          | Some ps -> ps := p :: !ps
+          | None ->
+              Hashtbl.add tbl name (ref [ p ]);
+              order := name :: !order)
+        (parse_file ~file contents))
+    files;
+  List.rev_map
+    (fun name -> { name; points = List.rev !(Hashtbl.find tbl name) })
+    !order
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let bench_file_re name =
+  String.length name > 6
+  && String.sub name 0 6 = "BENCH_"
+  && Filename.check_suffix name ".json"
+
+let scan_dir dir =
+  Sys.readdir dir |> Array.to_list |> List.filter bench_file_re
+  |> List.sort compare
+
+let load_dir dir =
+  of_files
+    (List.map
+       (fun name ->
+         let ic = open_in_bin (Filename.concat dir name) in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () -> (name, really_input_string ic (in_channel_length ic))))
+       (scan_dir dir))
+
+(* -- the watchdog --------------------------------------------------------- *)
+
+type failure = {
+  f_series : string;
+  last : float;
+  last_file : string;
+  best : float;
+  best_file : string;
+  ratio : float;  (* last /. best *)
+}
+
+let check ~min_ratio series =
+  if not (min_ratio > 0.0) then
+    invalid_arg "Trend.check: min_ratio must be > 0";
+  List.filter_map
+    (fun s ->
+      match List.rev s.points with
+      | [] | [ _ ] -> None (* nothing earlier to diverge from *)
+      | newest :: earlier ->
+          let best =
+            List.fold_left
+              (fun acc p -> if p.rate > acc.rate then p else acc)
+              (List.hd earlier) earlier
+          in
+          let ratio = newest.rate /. Float.max best.rate 1.0 in
+          if ratio < min_ratio then
+            Some
+              {
+                f_series = s.name;
+                last = newest.rate;
+                last_file = newest.file;
+                best = best.rate;
+                best_file = best.file;
+                ratio;
+              }
+          else None)
+    series
+
+let render series =
+  let b = Buffer.create 1024 in
+  let ci f = Tablefmt.cell_int (int_of_float f) in
+  Printf.bprintf b "%-40s %6s %14s %14s %7s  %s\n" "series" "runs" "first"
+    "last" "ratio" "trajectory";
+  List.iter
+    (fun s ->
+      let rates = Array.of_list (List.map (fun p -> p.rate) s.points) in
+      let n = Array.length rates in
+      let first = rates.(0) and last = rates.(n - 1) in
+      let best = Array.fold_left Float.max 1.0 rates in
+      Printf.bprintf b "%-40s %6d %14s %14s %6.2fx  %s\n" s.name n (ci first)
+        (ci last)
+        (last /. best)
+        (Sparkline.render ~width:16 rates))
+    series;
+  Buffer.contents b
+
+let render_failure f =
+  Printf.sprintf
+    "bench-diff: %s regressed: %s acc/s (%s) is %.2fx of best %s acc/s (%s)"
+    f.f_series
+    (Tablefmt.cell_int (int_of_float f.last))
+    f.last_file f.ratio
+    (Tablefmt.cell_int (int_of_float f.best))
+    f.best_file

@@ -1,0 +1,65 @@
+(* Unicode block-element sparklines for terminal dashboards and trend
+   tables. Pure string construction: same input, same bytes. *)
+
+let glyphs = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let levels = Array.length glyphs - 1
+
+(* Downsample [values] to at most [width] points by taking the mean of
+   each equal-width slice, so a long series still reads left-to-right. *)
+let resample width (values : float array) =
+  let n = Array.length values in
+  if n <= width then Array.copy values
+  else
+    Array.init width (fun i ->
+        let lo = i * n / width and hi = max (i * n / width + 1) ((i + 1) * n / width) in
+        let acc = ref 0.0 in
+        for j = lo to hi - 1 do
+          acc := !acc +. values.(j)
+        done;
+        !acc /. float_of_int (hi - lo))
+
+let render ?(width = 32) (values : float array) =
+  if width < 1 then invalid_arg "Sparkline.render: width must be >= 1";
+  let values = resample width values in
+  let n = Array.length values in
+  if n = 0 then ""
+  else begin
+    let lo = ref infinity and hi = ref neg_infinity in
+    Array.iter
+      (fun v ->
+        if v < !lo then lo := v;
+        if v > !hi then hi := v)
+      values;
+    let span = !hi -. !lo in
+    let b = Buffer.create (3 * n) in
+    Array.iter
+      (fun v ->
+        let level =
+          if span <= 0.0 then if !hi > 0.0 then levels else 1
+          else
+            let l = 1 + int_of_float ((v -. !lo) /. span *. float_of_int (levels - 1)) in
+            if l > levels then levels else if l < 1 then 1 else l
+        in
+        Buffer.add_string b glyphs.(level))
+      values;
+    Buffer.contents b
+  end
+
+(* Terminal cells occupied by [render]'s output: every glyph is one
+   column wide regardless of its byte length, which Tablefmt's byte-based
+   padding would miscount. *)
+let cells s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let c = Char.code s.[i] in
+      let step =
+        if c < 0x80 then 1 else if c < 0xE0 then 2 else if c < 0xF0 then 3 else 4
+      in
+      go (i + step) (acc + 1)
+  in
+  go 0 0

@@ -1,0 +1,15 @@
+(** Unicode sparklines (eighth-block glyphs) for terminal dashboards and
+    trend tables. Deterministic: the output depends only on the input
+    values and [width]. *)
+
+val render : ?width:int -> float array -> string
+(** [render values] maps each value to one of eight block glyphs scaled
+    between the series minimum and maximum; series longer than [width]
+    (default 32) are mean-downsampled to [width] points. A flat non-zero
+    series renders full blocks, a flat zero/negative-free series renders
+    the lowest block, and the empty series renders [""].
+    @raise Invalid_argument when [width < 1]. *)
+
+val cells : string -> int
+(** Terminal columns occupied by a rendered sparkline (UTF-8 aware, one
+    column per glyph) — use instead of [String.length] when padding. *)

@@ -1,0 +1,74 @@
+(* The live dashboard renderer (lib/shard/dash.ml) and the sparkline it
+   builds on: pure, deterministic, cell-aligned output regardless of the
+   multi-byte glyphs in the trend column. *)
+
+open Sasos
+
+let row sid series =
+  {
+    Dash.sid;
+    accesses = 1_000 * (sid + 1);
+    cyc_per_acc = 250.0 +. float_of_int sid;
+    tlb_mr = 0.25;
+    plb_mr = 0.5;
+    fault_rate = 0.01;
+    backlog = sid;
+    proxies = 2 * sid;
+    skew = 1.0;
+    backlog_series = series;
+  }
+
+let test_render_shape () =
+  let frame =
+    Dash.render ~round:4 ~rounds:16
+      [| row 0 [| 0.0; 1.0; 2.0 |]; row 1 [| 5.0; 5.0; 5.0 |] |]
+  in
+  let lines = String.split_on_char '\n' frame in
+  (* header + column line + one row per shard + trailing newline *)
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  Alcotest.(check string) "header" "sasos top — round 4/16, 2 shards"
+    (List.hd lines);
+  let again =
+    Dash.render ~round:4 ~rounds:16
+      [| row 0 [| 0.0; 1.0; 2.0 |]; row 1 [| 5.0; 5.0; 5.0 |] |]
+  in
+  Alcotest.(check string) "pure renderer" frame again;
+  (* singular form for one shard *)
+  let one = Dash.render ~round:1 ~rounds:1 [| row 0 [||] |] in
+  Alcotest.(check bool) "singular shard" true
+    (List.hd (String.split_on_char '\n' one) = "sasos top — round 1/1, 1 shard")
+
+let test_sparkline () =
+  (* a flat series renders one repeated level; a ramp strictly ascends *)
+  let flat = Util.Sparkline.render ~width:4 [| 3.0; 3.0; 3.0; 3.0 |] in
+  Alcotest.(check int) "flat width in cells" 4 (Util.Sparkline.cells flat);
+  let ramp = Util.Sparkline.render ~width:8 (Array.init 8 float_of_int) in
+  Alcotest.(check int) "ramp width in cells" 8 (Util.Sparkline.cells ramp);
+  Alcotest.(check bool) "ramp ends higher than it starts" true (ramp <> flat);
+  (* downsampling: many points still fit the requested width *)
+  let long = Util.Sparkline.render ~width:8 (Array.init 1000 float_of_int) in
+  Alcotest.(check int) "downsampled width" 8 (Util.Sparkline.cells long);
+  (* degenerate inputs don't raise *)
+  Alcotest.(check int) "empty series" 0
+    (Util.Sparkline.cells (Util.Sparkline.render [||]));
+  ignore (Util.Sparkline.render ~width:3 [| nan; 1.0 |])
+
+let test_cell_alignment () =
+  (* rows with different spark glyph mixes still end at the same cell
+     column: pad_cells pads by display cells, not bytes *)
+  let frame =
+    Dash.render ~round:2 ~rounds:2
+      [| row 0 [| 0.0; 7.0 |]; row 1 [| 1.0; 1.0 |] |]
+  in
+  match String.split_on_char '\n' frame with
+  | _hdr :: _cols :: r0 :: r1 :: _ ->
+      Alcotest.(check int) "equal display width"
+        (Util.Sparkline.cells r0) (Util.Sparkline.cells r1)
+  | _ -> Alcotest.fail "unexpected frame shape"
+
+let suite =
+  [
+    Alcotest.test_case "render shape and purity" `Quick test_render_shape;
+    Alcotest.test_case "sparkline" `Quick test_sparkline;
+    Alcotest.test_case "cell alignment" `Quick test_cell_alignment;
+  ]

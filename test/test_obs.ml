@@ -373,6 +373,206 @@ let test_chrome_parse_back () =
     (Some s.Obs.total_cycles)
     (Option.map int_of_float (Json.num "total_cycles" obs))
 
+(* -- tracks, flows and gauges ------------------------------------------- *)
+
+(* a tiny tracked collector with one op span, a flow in each direction
+   and published gauges — enough structure to exercise every new field *)
+let tracked_summary ?(track = 0) ?(flows = true) () =
+  let o =
+    Obs.create ~sample_every:2 ~ring_capacity:8 ~track
+      ~label:(Printf.sprintf "shard %d" track)
+      ()
+  in
+  let metrics = Metrics.create () in
+  let m =
+    Obs.register_machine o ~model:"plb" ~metrics ~probe:(Hw.Probe.create ())
+  in
+  Obs.phase_begin o "local-execute";
+  Obs.op_begin m "access";
+  metrics.Metrics.accesses <- metrics.Metrics.accesses + 4;
+  metrics.Metrics.page_faults <- metrics.Metrics.page_faults + 1;
+  metrics.Metrics.cycles <- metrics.Metrics.cycles + 100;
+  Obs.op_end m "access";
+  if flows then Obs.flow_out o ~id:(7 + track) ~name:"attach";
+  Obs.phase_end o "local-execute";
+  Obs.phase_begin o "mailbox-exchange";
+  if flows then Obs.flow_in o ~id:(100 + track) ~name:"detach";
+  Obs.phase_end o "mailbox-exchange";
+  Obs.set_gauges o ~backlog:3 ~proxies:2 ~skew:1.25;
+  Obs.tick m;
+  Obs.tick m;
+  Obs.summarize o
+
+let test_flows_and_gauges () =
+  let s = tracked_summary () in
+  Alcotest.(check int) "track id" 0 s.Obs.track;
+  Alcotest.(check string) "label" "shard 0" s.Obs.label;
+  (match (s.Obs.flows_out, s.Obs.flows_in) with
+  | [ fo ], [ fi ] ->
+      Alcotest.(check int) "flow out id" 7 fo.Obs.fl_id;
+      Alcotest.(check string) "flow out name" "attach" fo.Obs.fl_name;
+      Alcotest.(check bool) "flow out ts on virtual clock" true
+        (fo.Obs.fl_ts >= 0 && fo.Obs.fl_ts <= s.Obs.clock);
+      Alcotest.(check int) "flow in id" 100 fi.Obs.fl_id
+  | _ -> Alcotest.fail "expected one flow each way");
+  Alcotest.(check int) "no drops" 0 s.Obs.flows_dropped;
+  (* gauges land in every sample taken after set_gauges *)
+  match s.Obs.samples with
+  | sm :: _ ->
+      Alcotest.(check int) "backlog gauge" 3 sm.Obs.g_backlog;
+      Alcotest.(check int) "proxies gauge" 2 sm.Obs.g_proxies;
+      Alcotest.(check (float 1e-9)) "skew gauge" 1.25 sm.Obs.g_skew;
+      (* fault rate is windowed: (1 page fault) / (4 accesses) *)
+      Alcotest.(check (float 1e-9)) "windowed fault rate" 0.25
+        sm.Obs.fault_rate
+  | [] -> Alcotest.fail "expected a sample"
+
+let test_flow_budget () =
+  let o = Obs.create ~max_flow_events:2 () in
+  Obs.flow_out o ~id:1 ~name:"a";
+  Obs.flow_in o ~id:2 ~name:"b";
+  Obs.flow_out o ~id:3 ~name:"c";
+  Obs.flow_in o ~id:4 ~name:"d";
+  let s = Obs.summarize o in
+  Alcotest.(check int) "retained"
+    2
+    (List.length s.Obs.flows_out + List.length s.Obs.flows_in);
+  Alcotest.(check int) "dropped" 2 s.Obs.flows_dropped;
+  (* disabled collector: flows and gauges are nops, peek returns [] *)
+  Obs.flow_out Obs.disabled ~id:9 ~name:"x";
+  Obs.set_gauges Obs.disabled ~backlog:1 ~proxies:1 ~skew:1.0;
+  Alcotest.(check int) "peek on disabled" 0
+    (List.length (Obs.peek_samples Obs.disabled))
+
+let test_peek_samples_mid_run () =
+  let o = Obs.create ~sample_every:1 ~ring_capacity:4 () in
+  let metrics = Metrics.create () in
+  let m =
+    Obs.register_machine o ~model:"plb" ~metrics ~probe:(Hw.Probe.create ())
+  in
+  (* peek works with an open phase — summarize would raise here *)
+  Obs.phase_begin o "round";
+  metrics.Metrics.accesses <- 10;
+  Obs.tick m;
+  metrics.Metrics.accesses <- 25;
+  Obs.tick m;
+  let peeked = Obs.peek_samples o in
+  Alcotest.(check int) "two samples" 2 (List.length peeked);
+  Alcotest.(check (list int)) "oldest first" [ 10; 25 ]
+    (List.map (fun sm -> sm.Obs.s_accesses) peeked);
+  Obs.phase_end o "round"
+
+let test_merge_tracks () =
+  let s0 = tracked_summary ~track:0 () in
+  let s1 = tracked_summary ~track:1 () in
+  let before = Obs.to_json s0 in
+  (* registry order is reversed input order here; merge must sort by id *)
+  let m = Obs.merge_tracks [ s1; s0 ] in
+  Alcotest.(check int) "aggregate cycles summed"
+    (s0.Obs.total_cycles + s1.Obs.total_cycles)
+    m.Obs.total_cycles;
+  Alcotest.(check int) "clock is makespan max"
+    (max s0.Obs.clock s1.Obs.clock)
+    m.Obs.clock;
+  Alcotest.(check (list int)) "tracks sorted by id" [ 0; 1 ]
+    (List.map (fun t -> t.Obs.track) m.Obs.tracks);
+  Alcotest.(check bool) "tracks kept verbatim" true
+    (List.exists (fun t -> Obs.to_json t = before) m.Obs.tracks);
+  (* per-track timelines are not rebased: each track keeps its own ts *)
+  List.iter
+    (fun t ->
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) "flow ts within its own track clock" true
+            (f.Obs.fl_ts <= t.Obs.clock))
+        t.Obs.flows_out)
+    m.Obs.tracks;
+  (* top-level samples get a per-shard scope prefix *)
+  List.iter
+    (fun sm ->
+      Alcotest.(check bool) "sample scope prefixed" true
+        (String.length sm.Obs.s_scope > 2 && sm.Obs.s_scope.[0] = 's'))
+    m.Obs.samples;
+  (* invalid inputs rejected loudly *)
+  Alcotest.(check bool) "empty input" true
+    (raises_invalid (fun () -> Obs.merge_tracks []));
+  let untracked, _ = run_profiled_workload () in
+  Alcotest.(check bool) "untracked input" true
+    (raises_invalid (fun () -> Obs.merge_tracks [ untracked ]));
+  Alcotest.(check bool) "duplicate track ids" true
+    (raises_invalid (fun () -> Obs.merge_tracks [ s0; s0 ]));
+  Alcotest.(check bool) "nested merge" true
+    (raises_invalid (fun () -> Obs.merge_tracks [ m ]))
+
+let test_tracked_chrome_and_json () =
+  let m = Obs.merge_tracks [ tracked_summary ~track:1 (); tracked_summary () ] in
+  (* JSON: schema appears exactly once (top level only); nested tracks
+     carry their ids and labels *)
+  let js = Obs.to_json ~indent:true m in
+  let count_schema s =
+    let rec go from acc =
+      match String.index_from_opt s from '"' with
+      | None -> acc
+      | Some i ->
+          if
+            i + 13 <= String.length s
+            && String.sub s i 13 = {|"sasos-obs/1"|}
+          then go (i + 1) (acc + 1)
+          else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "schema only at top level" 1 (count_schema js);
+  let doc = Json.parse js in
+  (match Json.mem "tracks" doc with
+  | Some (Json.Arr (t0 :: _)) ->
+      Alcotest.(check (option int)) "track id in JSON" (Some 0)
+        (Option.map int_of_float (Json.num "track" t0));
+      Alcotest.(check (option string)) "label in JSON" (Some "shard 0")
+        (Json.str "label" t0)
+  | _ -> Alcotest.fail "no tracks array in JSON");
+  (* Chrome: one process per track, flows bind begin to source pid and
+     end to home pid with matching global ids *)
+  let doc = Json.parse (Obs.to_chrome m) in
+  let events =
+    match Json.mem "traceEvents" doc with
+    | Some (Json.Arr l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let pids =
+    List.sort_uniq compare (List.filter_map (Json.num "pid") events)
+  in
+  Alcotest.(check (list (float 0.))) "one pid per shard" [ 0.; 1. ] pids;
+  let flow ph =
+    List.filter
+      (fun e -> Json.str "ph" e = Some ph && Json.str "cat" e = Some "msg")
+      events
+  in
+  let begins = flow "s" and ends = flow "f" in
+  Alcotest.(check int) "flow begins" 2 (List.length begins);
+  Alcotest.(check int) "flow ends" 2 (List.length ends);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string)) "flow end binds enclosing slice"
+        (Some "e") (Json.str "bp" e))
+    ends;
+  (* every begin is on the track whose id it encodes (id = 7 + track) *)
+  List.iter
+    (fun e ->
+      match (Json.num "id" e, Json.num "pid" e) with
+      | Some id, Some pid ->
+          Alcotest.(check (float 0.)) "begin on source track" (id -. 7.) pid
+      | _ -> Alcotest.fail "flow begin missing id/pid")
+    begins;
+  (* per-shard gauges exported as a counter series *)
+  let gauge_counters =
+    List.filter
+      (fun e ->
+        Json.str "ph" e = Some "C" && Json.str "name" e = Some "gauges")
+      events
+  in
+  Alcotest.(check bool) "gauges counter present" true (gauge_counters <> [])
+
 (* -- injectable wall clock ---------------------------------------------- *)
 
 let test_injectable_clock () =
@@ -408,5 +608,11 @@ let suite =
     Alcotest.test_case "merge doubles" `Quick test_merge_doubles;
     Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
     Alcotest.test_case "chrome parse-back" `Quick test_chrome_parse_back;
+    Alcotest.test_case "flows and gauges" `Quick test_flows_and_gauges;
+    Alcotest.test_case "flow budget and disabled nops" `Quick test_flow_budget;
+    Alcotest.test_case "peek_samples mid-run" `Quick test_peek_samples_mid_run;
+    Alcotest.test_case "merge_tracks" `Quick test_merge_tracks;
+    Alcotest.test_case "tracked chrome and json" `Quick
+      test_tracked_chrome_and_json;
     Alcotest.test_case "injectable clock" `Quick test_injectable_clock;
   ]

@@ -79,6 +79,115 @@ let test_validation () =
   reject "non-power-of-two tlb" { small with Shard.tlb_entries = 48 };
   reject "frames = 0" { small with Shard.frames = 0 }
 
+(* -- shard-aware tracing ------------------------------------------------ *)
+
+let profiled_report ~jobs =
+  let r = Shard.run ~jobs ~profile:true ~sample_every:64 small in
+  match r.Shard.profile with
+  | Some s -> s
+  | None -> Alcotest.fail "profiled run produced no summary"
+
+let test_profiled_jobs_byte_identical () =
+  let s1 = profiled_report ~jobs:1 in
+  let s4 = profiled_report ~jobs:4 in
+  Alcotest.(check string) "obs json identical across jobs"
+    (Obs.to_json ~indent:true s1)
+    (Obs.to_json ~indent:true s4);
+  Alcotest.(check string) "chrome trace identical across jobs"
+    (Obs.to_chrome s1) (Obs.to_chrome s4)
+
+let test_profile_shape () =
+  let s = profiled_report ~jobs:2 in
+  Alcotest.(check int) "one track per shard" small.Shard.shards
+    (List.length s.Obs.tracks);
+  Alcotest.(check (list int)) "tracks are shard ids in order"
+    (List.init small.Shard.shards Fun.id)
+    (List.map (fun t -> t.Obs.track) s.Obs.tracks);
+  List.iter
+    (fun t ->
+      Alcotest.(check string) "track label"
+        (Printf.sprintf "shard %d" t.Obs.track)
+        t.Obs.label;
+      (* each shard's timeline has both round phases *)
+      let phases =
+        List.sort_uniq compare
+          (List.map (fun (e : Obs.phase_event) -> e.Obs.pname) t.Obs.phase_events)
+      in
+      Alcotest.(check (list string)) "round phases per shard"
+        [ "local-execute"; "mailbox-exchange" ]
+        phases)
+    s.Obs.tracks;
+  (* the aggregate over tracks conserves machine cycles *)
+  let r = Shard.run ~jobs:1 ~profile:true small in
+  let s = Option.get r.Shard.profile in
+  Alcotest.(check int) "tracked spans sum to aggregate cycles"
+    r.Shard.aggregate.Metrics.cycles
+    (List.fold_left (fun acc o -> acc + o.Obs.delta.Metrics.cycles) 0 s.Obs.ops)
+
+(* every cross-shard message must appear as exactly one flow begin on its
+   source shard's track and one flow end on the home shard's track, with
+   globally unique ids — the invariant that makes the Perfetto arrows
+   trustworthy *)
+let test_flow_well_formedness () =
+  let s = profiled_report ~jobs:2 in
+  let outs =
+    List.concat_map
+      (fun t -> List.map (fun f -> (f.Obs.fl_id, t.Obs.track)) t.Obs.flows_out)
+      s.Obs.tracks
+  and ins =
+    List.concat_map
+      (fun t -> List.map (fun f -> (f.Obs.fl_id, t.Obs.track)) t.Obs.flows_in)
+      s.Obs.tracks
+  in
+  Alcotest.(check bool) "churn produced flows" true (outs <> []);
+  let ids l = List.sort compare (List.map fst l) in
+  Alcotest.(check bool) "begin ids unique" true
+    (List.length (List.sort_uniq compare (ids outs)) = List.length outs);
+  Alcotest.(check (list int)) "every begin has exactly one end" (ids outs)
+    (ids ins);
+  (* flow ids encode (round, source shard, emission index): the decoded
+     source must be the track the begin sits on. Self-routed messages
+     (segment homed on the emitting shard) still transit the mailbox. *)
+  let per_round = small.Shard.shards * (small.Shard.active + 1) in
+  List.iter
+    (fun (id, src) ->
+      Alcotest.(check int) "id encodes source shard"
+        (id / (small.Shard.active + 1) mod small.Shard.shards)
+        src;
+      Alcotest.(check bool) "id within the run's rounds" true
+        (id / per_round < small.Shard.rounds);
+      Alcotest.(check bool) "every begin reaches a mailbox" true
+        (List.mem_assoc id ins))
+    outs;
+  Alcotest.(check int) "no flows dropped" 0
+    (List.fold_left
+       (fun acc t -> acc + t.Obs.flows_dropped)
+       s.Obs.flows_dropped s.Obs.tracks)
+
+let test_live_rows () =
+  let t = Shard.prepare ~profile:true ~sample_every:16 ~ring_capacity:8 small in
+  Shard.rounds t 6;
+  let rows = Shard.live_rows t in
+  Alcotest.(check int) "one row per shard" small.Shard.shards
+    (Array.length rows);
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check int) "row sid" i row.Dash.sid;
+      Alcotest.(check bool) "accesses counted" true (row.Dash.accesses > 0);
+      Alcotest.(check bool) "skew positive" true (row.Dash.skew > 0.0))
+    rows;
+  (* the rendered dashboard is pure: same state, same frame *)
+  let frame () =
+    Dash.render ~round:(Shard.rounds_run t) ~rounds:small.Shard.rounds
+      (Shard.live_rows t)
+  in
+  Alcotest.(check string) "dashboard render is pure" (frame ()) (frame ());
+  (* unprofiled runs expose no samples but still render *)
+  let t0 = Shard.prepare small in
+  Shard.rounds t0 2;
+  Alcotest.(check int) "unprofiled rows" small.Shard.shards
+    (Array.length (Shard.live_rows t0))
+
 (* Determinism across jobs for arbitrary feasible configurations and all
    five machine variants — the property the mailbox protocol exists for. *)
 let prop_determinism =
@@ -114,5 +223,11 @@ let suite =
     Alcotest.test_case "rounds resumable across calls" `Quick
       test_rounds_resumable;
     Alcotest.test_case "infeasible configs rejected" `Quick test_validation;
+    Alcotest.test_case "profiled outputs byte-identical across jobs" `Quick
+      test_profiled_jobs_byte_identical;
+    Alcotest.test_case "per-shard tracks and spans" `Quick test_profile_shape;
+    Alcotest.test_case "cross-shard flows well-formed" `Quick
+      test_flow_well_formedness;
+    Alcotest.test_case "live dashboard rows" `Quick test_live_rows;
     Qprop.to_alcotest prop_determinism;
   ]

@@ -1,0 +1,131 @@
+(* Perf-trend watchdog (lib/trend): both bench schemas parse into named
+   series, chronology follows BENCH-file name order, the regression gate
+   flags the newest-vs-best drop and reports the first diverging series,
+   and rendering is deterministic. *)
+
+open Sasos
+
+let bench1 ~rate =
+  Printf.sprintf
+    {|{"schema":"sasos-bench/1","bench":"hot_path","backend":"packed","policy":"lru","accesses_per_sec":%f,"alloc_words_per_access":0.0}|}
+    rate
+
+let bench2 ~scale1 ~scale4 =
+  Printf.sprintf
+    {|{"schema":"sasos-bench/2","bench":"scale","rows":[
+       {"bench":"scale","shards":1,"accesses_per_sec":%f},
+       {"bench":"scale","shards":4,"accesses_per_sec":%f,"alloc_words_per_access":0.003}]}|}
+    scale1 scale4
+
+let test_parse_schemas () =
+  let rows = Trend.parse_file ~file:"BENCH_0001.json" (bench1 ~rate:100.0) in
+  (match rows with
+  | [ (name, p) ] ->
+      Alcotest.(check string) "v1 series name"
+        "hot_path backend=packed policy=lru" name;
+      Alcotest.(check (float 1e-6)) "v1 rate" 100.0 p.Trend.rate;
+      Alcotest.(check string) "v1 point file" "BENCH_0001.json" p.Trend.file
+  | l -> Alcotest.failf "v1: expected 1 row, got %d" (List.length l));
+  let rows =
+    Trend.parse_file ~file:"BENCH_0002.json"
+      (bench2 ~scale1:50.0 ~scale4:200.0)
+  in
+  Alcotest.(check (list string)) "v2 series names"
+    [ "scale shards=1"; "scale shards=4" ]
+    (List.map fst rows);
+  Alcotest.(check (float 1e-6)) "v2 alloc carried" 0.003
+    (snd (List.nth rows 1)).Trend.alloc;
+  (* unknown schema: skipped, not an error *)
+  Alcotest.(check int) "unknown schema ignored" 0
+    (List.length
+       (Trend.parse_file ~file:"BENCH_0003.json" {|{"schema":"other/9"}|}));
+  (* malformed JSON raises the parser's own exception *)
+  Alcotest.(check bool) "malformed raises" true
+    (match Trend.parse_file ~file:"x" "{nope" with
+    | _ -> false
+    | exception Trend.Json.Parse_error _ -> true)
+
+let trajectory rates =
+  Trend.of_files
+    (List.mapi
+       (fun i r -> (Printf.sprintf "BENCH_%04d.json" i, bench1 ~rate:r))
+       rates)
+
+let test_chronology_and_check () =
+  let series = trajectory [ 100.0; 120.0; 110.0 ] in
+  (match series with
+  | [ s ] ->
+      Alcotest.(check (list string)) "points in BENCH order"
+        [ "BENCH_0000.json"; "BENCH_0001.json"; "BENCH_0002.json" ]
+        (List.map (fun p -> p.Trend.file) s.Trend.points)
+  | _ -> Alcotest.fail "expected one series");
+  (* 110 vs best 120 = 0.917x: passes at 0.9, fails at 0.95 *)
+  Alcotest.(check int) "within 0.9" 0
+    (List.length (Trend.check ~min_ratio:0.9 series));
+  (match Trend.check ~min_ratio:0.95 series with
+  | [ f ] ->
+      Alcotest.(check string) "failure names series"
+        "hot_path backend=packed policy=lru" f.Trend.f_series;
+      Alcotest.(check (float 1e-6)) "last" 110.0 f.Trend.last;
+      Alcotest.(check (float 1e-6)) "best" 120.0 f.Trend.best;
+      Alcotest.(check string) "best file" "BENCH_0001.json" f.Trend.best_file;
+      Alcotest.(check (float 1e-6)) "ratio" (110.0 /. 120.0) f.Trend.ratio;
+      let msg = Trend.render_failure f in
+      Alcotest.(check bool) "diagnostic names the series" true
+        (String.length msg > 0)
+  | l -> Alcotest.failf "expected 1 failure, got %d" (List.length l));
+  (* single-point series always pass; min_ratio must be positive *)
+  Alcotest.(check int) "single point passes" 0
+    (List.length (Trend.check ~min_ratio:0.99 (trajectory [ 42.0 ])));
+  Alcotest.(check bool) "min_ratio <= 0 rejected" true
+    (match Trend.check ~min_ratio:0.0 series with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_first_diverging_order () =
+  (* two series regress; failures come back in series-name order so the
+     head is the first diverging metric *)
+  let files =
+    [
+      ("BENCH_0000.json", bench2 ~scale1:100.0 ~scale4:400.0);
+      ("BENCH_0001.json", bench2 ~scale1:10.0 ~scale4:40.0);
+    ]
+  in
+  let failures = Trend.check ~min_ratio:0.9 (Trend.of_files files) in
+  Alcotest.(check (list string)) "name-ordered failures"
+    [ "scale shards=1"; "scale shards=4" ]
+    (List.map (fun f -> f.Trend.f_series) failures)
+
+let test_render () =
+  let series = trajectory [ 100.0; 120.0; 110.0 ] in
+  let a = Trend.render series and b = Trend.render series in
+  Alcotest.(check string) "render deterministic" a b;
+  Alcotest.(check bool) "mentions the series" true
+    (let name = "hot_path backend=packed policy=lru" in
+     let rec find i =
+       i + String.length name <= String.length a
+       && (String.sub a i (String.length name) = name || find (i + 1))
+     in
+     find 0);
+  (* the committed trajectory at the repo root parses end to end; the
+     cwd is _build/default/test under `dune runtest` (BENCH files are
+     declared deps one level up) but the repo root under `dune exec` *)
+  let dir =
+    match List.find_opt (fun d -> Trend.scan_dir d <> []) [ ".."; "." ] with
+    | Some d -> d
+    | None -> Alcotest.fail "no BENCH_*.json found in .. or ."
+  in
+  let series = Trend.load_dir dir in
+  Alcotest.(check bool) "repo BENCH files load" true (series <> []);
+  Alcotest.(check int) "repo trajectory within 0.5x" 0
+    (List.length (Trend.check ~min_ratio:0.5 series))
+
+let suite =
+  [
+    Alcotest.test_case "both schemas parse" `Quick test_parse_schemas;
+    Alcotest.test_case "chronology and regression gate" `Quick
+      test_chronology_and_check;
+    Alcotest.test_case "first diverging series heads failures" `Quick
+      test_first_diverging_order;
+    Alcotest.test_case "render and committed trajectory" `Quick test_render;
+  ]
