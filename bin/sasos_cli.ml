@@ -128,6 +128,82 @@ let engine_term =
 
 let set_engine engine = Option.iter Sasos.Engine.set_default_engine engine
 
+let purge_conv =
+  let parse s =
+    match Sasos.Smp.purge_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt (Sasos.Smp.purge_to_string p))
+
+(* shared by report/check/profile/scale: the multicore layer. Like
+   --backend, applied before any machine or worker domain exists. *)
+let smp_term =
+  let cores =
+    Arg.(
+      value & opt int 1
+      & info [ "cores" ] ~docv:"N"
+          ~doc:
+            "Simulated cores (1..64). Above 1 every machine is lifted to \
+             the multicore shootdown layer: per-core private protection \
+             structures over the shared OS tables, a deterministic \
+             seeded-interleaving scheduler, and an inter-processor purge \
+             protocol selected by $(b,--purge). At 1 (the default) the \
+             single-core machine runs unchanged.")
+  in
+  let purge =
+    Arg.(
+      value
+      & opt (some purge_conv) None
+      & info [ "purge" ] ~docv:"POLICY"
+          ~doc:
+            (Printf.sprintf
+               "Shootdown purge policy at --cores > 1: %s. $(b,eager) \
+                broadcasts a synchronous IPI round per revocation; \
+                $(b,lazy) lets remote cores serve version-stamped stale \
+                entries until a use validates them (a stale trap, never \
+                granting above the pre-revocation rights); $(b,batched) \
+                queues revocations and flushes one round per --ipi-budget."
+               Sasos.Smp.purge_names_doc))
+  in
+  let ipi_cost =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ipi-cost" ] ~docv:"K"
+          ~doc:
+            "Override the per-target IPI delivery cost in cycles (the \
+             cost model's ipi_deliver; initiation and ack-barrier costs \
+             are unchanged).")
+  in
+  let ipi_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ipi-budget" ] ~docv:"B"
+          ~doc:
+            "Batched purge flush threshold: one shootdown round per \
+             $(docv) queued revocations (default 8).")
+  in
+  Term.(
+    const (fun c p k b -> (c, p, k, b)) $ cores $ purge $ ipi_cost $ ipi_budget)
+
+(* [None] on success, [Some msg] on a bad combination *)
+let apply_smp (cores, purge, ipi_cost, ipi_budget) =
+  if cores < 1 || cores > 64 then Some "--cores must be in 1..64"
+  else if match ipi_cost with Some k -> k < 0 | None -> false then
+    Some "--ipi-cost must be >= 0"
+  else if match ipi_budget with Some b -> b < 1 | None -> false then
+    Some "--ipi-budget must be >= 1"
+  else begin
+    Sasos.Smp.set_cores cores;
+    Option.iter Sasos.Smp.set_purge purge;
+    Option.iter Sasos.Smp.set_ipi_cost ipi_cost;
+    Option.iter Sasos.Smp.set_ipi_budget ipi_budget;
+    None
+  end
+
 (* configuration flags shared by the workload command *)
 let config_term =
   let cpus =
@@ -444,10 +520,13 @@ let profile_cmd =
             "Write a Chrome trace_event JSON file to $(docv) (open in \
              Perfetto or chrome://tracing).")
   in
-  let run backend engine experiments wname shards machine jobs sample ring out
-      json chrome config =
+  let run backend engine smp experiments wname shards machine jobs sample ring
+      out json chrome config =
     set_backend backend;
     set_engine engine;
+    match apply_smp smp with
+    | Some msg -> `Error (false, msg)
+    | None ->
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else if sample < 1 then `Error (false, "--sample must be >= 1")
     else if ring < 1 then `Error (false, "--ring must be >= 1")
@@ -508,7 +587,16 @@ let profile_cmd =
                 Sasos.Obs.with_ambient collector (fun () ->
                     let sys = Sasos.Machines.make machine config in
                     w.Sasos.Workloads.Registry.run sys);
-                Ok (Sasos.Obs.summarize collector))
+                (* at --cores > 1 the smp layer ran one collector per
+                   core: merge them as parallel timelines (one Chrome
+                   process per core, shootdown flow arrows between
+                   them), exactly like per-shard profiles *)
+                (match Sasos.Smp.last () with
+                | Some h when h.Sasos.Smp.h_cores > 1 -> (
+                    match h.Sasos.Smp.h_summaries () with
+                    | [] -> Ok (Sasos.Obs.summarize collector)
+                    | per_core -> Ok (Sasos.Obs.merge_tracks per_core))
+                | _ -> Ok (Sasos.Obs.summarize collector)))
       in
       match summary with
       | Error msg -> `Error (false, msg)
@@ -524,9 +612,9 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       ret
-        (const run $ backend_term $ engine_term $ experiments $ wname
-        $ shards $ machine $ jobs $ sample $ ring $ out $ json $ chrome
-        $ config_term))
+        (const run $ backend_term $ engine_term $ smp_term $ experiments
+        $ wname $ shards $ machine $ jobs $ sample $ ring $ out $ json
+        $ chrome $ config_term))
 
 let report_cmd =
   let doc =
@@ -572,9 +660,12 @@ let report_cmd =
              the merged cycle-attribution table, and embed a per-experiment \
              profile block in the --json metrics.")
   in
-  let run backend engine out jobs only json profile =
+  let run backend engine smp out jobs only json profile =
     set_backend backend;
     set_engine engine;
+    match apply_smp smp with
+    | Some msg -> `Error (false, msg)
+    | None ->
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else
       let selection =
@@ -623,8 +714,8 @@ let report_cmd =
     (Cmd.info "report" ~doc)
     Term.(
       ret
-        (const run $ backend_term $ engine_term $ out $ jobs $ only $ json
-        $ profile))
+        (const run $ backend_term $ engine_term $ smp_term $ out $ jobs
+        $ only $ json $ profile))
 
 let check_cmd =
   let doc =
@@ -700,11 +791,14 @@ let check_cmd =
                 file in $(docv) on all machines and compare against the \
                 recorded outcomes.")
   in
-  let run backend engine ops scripts seed jobs machines domains segments
+  let run backend engine smp ops scripts seed jobs machines domains segments
       pages mutate save corpus obs_flags =
     let profile, obs_json, chrome = obs_flags in
     set_backend backend;
     set_engine engine;
+    match apply_smp smp with
+    | Some msg -> `Error (false, msg)
+    | None ->
     let variants =
       match machines with
       | [] -> None
@@ -808,9 +902,9 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       ret
-        (const run $ backend_term $ engine_term $ ops $ scripts $ seed
-        $ jobs $ machines $ domains $ segments $ pages $ mutate $ save
-        $ corpus $ obs_flags_term))
+        (const run $ backend_term $ engine_term $ smp_term $ ops $ scripts
+        $ seed $ jobs $ machines $ domains $ segments $ pages $ mutate
+        $ save $ corpus $ obs_flags_term))
 
 (* one term builder behind both `sasos scale` and `sasos top` (the
    latter is scale with the live dashboard always on) *)
@@ -917,12 +1011,15 @@ let scale_cmd_make ~name ~doc ~live_default =
              when given without a value) while the simulation runs. \
              Implies profiling.")
   in
-  let run backend domains pages shards rounds active burst rotate churn
+  let run backend smp domains pages shards rounds active burst rotate churn
       pages_per_seg segs_per_dom theta tlb plb pg keys frames machine seed
       jobs out obs_flags sample ring live =
     set_backend backend;
     let profile, obs_json, chrome = obs_flags in
     let live = match live with Some n -> Some n | None -> live_default in
+    match apply_smp smp with
+    | Some msg -> `Error (false, msg)
+    | None ->
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else if sample < 1 then `Error (false, "--sample must be >= 1")
     else if ring < 1 then `Error (false, "--ring must be >= 1")
@@ -1003,10 +1100,10 @@ let scale_cmd_make ~name ~doc ~live_default =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       ret
-        (const run $ backend_term $ domains $ pages $ shards $ rounds $ active
-        $ burst $ rotate $ churn $ pages_per_seg $ segs_per_dom $ theta $ tlb
-        $ plb $ pg $ keys $ frames $ machine $ seed $ jobs $ out
-        $ obs_flags_term $ sample $ ring $ live))
+        (const run $ backend_term $ smp_term $ domains $ pages $ shards
+        $ rounds $ active $ burst $ rotate $ churn $ pages_per_seg
+        $ segs_per_dom $ theta $ tlb $ plb $ pg $ keys $ frames $ machine
+        $ seed $ jobs $ out $ obs_flags_term $ sample $ ring $ live))
 
 let scale_cmd =
   scale_cmd_make ~name:"scale" ~live_default:None

@@ -111,3 +111,62 @@ let to_events ?(page_shift = Geometry.default.Geometry.page_shift) g ops =
 
 let accesses ops =
   List.length (List.filter (function Acc _ -> true | _ -> false) ops)
+
+(* Inverse of [to_events]: recover the geometry from the conformance
+   prologue and the script from the remaining events. Needed to rerun a
+   persisted corpus trace through the multicore oracle mirror, whose
+   permitted outcomes depend on the script, not just the recorded
+   single-core expectations. *)
+let of_events ?(page_shift = Geometry.default.Geometry.page_shift) events =
+  let module E = Sasos_trace.Event in
+  let rec split_domains n = function
+    | E.New_domain :: rest -> split_domains (n + 1) rest
+    | rest -> (n, rest)
+  in
+  let rec split_segments pps n = function
+    | E.New_segment { pages; _ } :: rest ->
+        if pps <> 0 && pages <> pps then
+          Error "of_events: prologue segments differ in page count"
+        else split_segments pages (n + 1) rest
+    | rest -> Ok (pps, n, rest)
+  in
+  let domains, rest = split_domains 0 events in
+  match split_segments 0 0 rest with
+  | Error _ as e -> e
+  | Ok (pages_per_seg, segments, rest) -> (
+      if domains = 0 || segments = 0 || pages_per_seg = 0 then
+        Error "of_events: missing conformance prologue"
+      else
+        match rest with
+        | E.Switch { pd = 0 } :: rest -> (
+            let g = { domains; segments; pages_per_seg } in
+            let page seg off = (seg * pages_per_seg) + (off lsr page_shift) in
+            let op = function
+              | E.Attach { pd; seg; rights } ->
+                  Ok (Attach { d = pd; s = seg; r = rights })
+              | E.Detach { pd; seg } -> Ok (Detach { d = pd; s = seg })
+              | E.Grant { pd; seg; off; rights } ->
+                  Ok (Grant { d = pd; p = page seg off; r = rights })
+              | E.Protect_all { seg; off; rights } ->
+                  Ok (Protect_all { p = page seg off; r = rights })
+              | E.Protect_segment { pd; seg; rights } ->
+                  Ok (Protect_segment { d = pd; s = seg; r = rights })
+              | E.Switch { pd } -> Ok (Switch { d = pd })
+              | E.Destroy_domain { pd } -> Ok (Destroy_domain { d = pd })
+              | E.Destroy_segment { seg } -> Ok (Destroy_segment { s = seg })
+              | E.Unmap { seg; page } ->
+                  Ok (Unmap { p = (seg * pages_per_seg) + page })
+              | E.Access { kind; seg; off } ->
+                  Ok (Acc { kind; p = page seg off })
+              | E.New_domain | E.New_segment _ | E.Charge _ ->
+                  Error "of_events: event has no script form"
+            in
+            let rec go acc = function
+              | [] -> Ok (g, List.rev acc)
+              | e :: rest -> (
+                  match op e with
+                  | Ok o -> go (o :: acc) rest
+                  | Error _ as err -> err)
+            in
+            go [] rest)
+        | _ -> Error "of_events: prologue must end with switch to domain 0")

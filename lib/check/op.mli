@@ -57,3 +57,12 @@ val to_events : ?page_shift:int -> geom -> t list -> Sasos_trace.Event.t list
 
 val accesses : t list -> int
 (** Number of [Acc] operations (= number of outcomes a run produces). *)
+
+val of_events :
+  ?page_shift:int ->
+  Sasos_trace.Event.t list ->
+  (geom * t list, string) result
+(** Inverse of {!to_events}: recover the geometry from the conformance
+    prologue and the script from the remaining events (used to rerun a
+    corpus trace through the multicore oracle mirror). [Error] on events
+    that {!to_events} cannot have produced. *)

@@ -141,3 +141,136 @@ let run geom ops =
       (create geom, []) ops
   in
   List.rev outcomes
+
+(* -- multicore mirror ---------------------------------------------------- *)
+
+module Smp = Sasos_smp.Smp
+
+type multi_outcome = {
+  truth : Access.outcome;
+  stale : Access.outcome option;
+}
+
+(* Mirror of the smp layer's per-core revocation frontier, over the pure
+   truth. The machine draws one scheduler step per SYSTEM operation
+   (prologue included) and classifies a (domain, page) pair as revoked
+   iff its pre-mutation rights are not a subset of its post-mutation
+   rights; we replay the identical draw stream and the identical
+   classification against the oracle tables, so the pending/touched
+   state here is exactly what the machine's private structures would
+   hold under some linearization of the purge protocol. *)
+let run_multi ~seed ~cores ~purge ~ipi_budget geom ops =
+  if cores < 2 then
+    List.map (fun o -> { truth = o; stale = None }) (run geom ops)
+  else begin
+    let st = ref (Smp.schedule_state ~seed) in
+    let draw () =
+      let st', c = Smp.schedule_next !st ~cores in
+      st := st';
+      c
+    in
+    (* the conformance prologue: one draw per new_domain / new_segment /
+       initial switch *)
+    for _ = 1 to geom.Op.domains + geom.Op.segments + 1 do
+      ignore (draw ())
+    done;
+    let pending = Array.init cores (fun _ -> Hashtbl.create 16) in
+    let touched = Array.init cores (fun _ -> Hashtbl.create 16) in
+    let queue = ref 0 in
+    let round () =
+      Array.iter Hashtbl.reset pending;
+      queue := 0
+    in
+    let revoked () =
+      match purge with
+      | Smp.Eager -> round ()
+      | Smp.Lazy -> ()
+      | Smp.Batched ->
+          incr queue;
+          if !queue >= ipi_budget then round ()
+    in
+    (* oldest-wins, never on the initiating core *)
+    let add_pending_except c key old =
+      if purge <> Smp.Eager then
+        for r = 0 to cores - 1 do
+          if r <> c && not (Hashtbl.mem pending.(r) key) then
+            Hashtbl.replace pending.(r) key old
+        done
+    in
+    let seg_pages s =
+      List.init geom.Op.pages_per_seg (fun i ->
+          (s * geom.Op.pages_per_seg) + i)
+    in
+    let step_mirror (t, acc) op =
+      let c = draw () in
+      (* candidate (domain, page) pairs whose rights this op can narrow,
+         snapshotted before the truth mutates *)
+      let candidates =
+        match (op : Op.t) with
+        | Op.Attach { d; s; _ } | Op.Detach { d; s }
+        | Op.Protect_segment { d; s; _ } ->
+            List.map (fun p -> (d, p)) (seg_pages s)
+        | Op.Grant { d; p; _ } -> [ (d, p) ]
+        | Op.Protect_all { p; _ } ->
+            List.map (fun d -> (d, p)) (IS.elements t.doms)
+        | _ -> []
+      in
+      let olds =
+        List.map (fun (d, p) -> ((d, p), rights t ~d ~p)) candidates
+      in
+      let t', out = step t op in
+      match (op : Op.t) with
+      | Op.Destroy_domain _ | Op.Destroy_segment _ | Op.Unmap _ ->
+          (* forced synchronous round under every policy *)
+          round ();
+          (t', acc)
+      | Op.Acc { kind; p } ->
+          let truth = Option.get out in
+          let key = (current t, p) in
+          let outcome =
+            match Hashtbl.find_opt pending.(c) key with
+            | None -> truth
+            | Some old ->
+                if Hashtbl.mem touched.(c) key then begin
+                  (* stale hit: the core's private entry still serves the
+                     pre-revocation snapshot *)
+                  let o =
+                    if Rights.subset (Access.rights_needed kind) old then
+                      Access.Ok
+                    else truth
+                  in
+                  (match purge with
+                  | Smp.Lazy -> Hashtbl.remove pending.(c) key
+                  | Smp.Eager | Smp.Batched -> ());
+                  o
+                end
+                else begin
+                  (* refilled after the revocation: validated against
+                     current truth *)
+                  Hashtbl.remove pending.(c) key;
+                  truth
+                end
+          in
+          if outcome = Access.Ok then Hashtbl.replace touched.(c) key ();
+          let stale =
+            if Access.outcome_equal outcome truth then None else Some outcome
+          in
+          (t', { truth; stale } :: acc)
+      | _ ->
+          let hazard =
+            List.fold_left
+              (fun hz (key, old) ->
+                let d, p = key in
+                if not (Rights.subset old (rights t' ~d ~p)) then begin
+                  add_pending_except c key old;
+                  true
+                end
+                else hz)
+              false olds
+          in
+          if hazard then revoked ();
+          (t', acc)
+    in
+    let _, acc = List.fold_left step_mirror (create geom, []) ops in
+    List.rev acc
+  end

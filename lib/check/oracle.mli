@@ -40,3 +40,38 @@ val step : t -> Op.t -> t * Access.outcome option
 
 val run : Op.geom -> Op.t list -> Access.outcome list
 (** The access outcomes of a whole script, in order. *)
+
+(** {2 Multicore mirror}
+
+    At [cores > 1] under a non-eager purge policy, a machine access may
+    legitimately serve a stale private entry — the revocation's IPI has
+    not reached (lazy) or not yet been flushed to (batched) the
+    accessing core. Such an outcome is correct iff it is permitted by
+    some linearization of the purge protocol: the stale entry grants at
+    most the pair's rights at the moment of the revocation, and only on
+    a core that had actually cached the mapping since. [run_multi]
+    replays the smp layer's deterministic schedule
+    ({!Sasos_smp.Smp.schedule_state}) against the pure tables, tracking
+    each core's revocation frontier, and returns for every access the
+    single-core truth plus the stale outcome when (and only when) the
+    machine's overlay is entitled to differ. *)
+
+type multi_outcome = {
+  truth : Access.outcome;  (** the single-core oracle outcome *)
+  stale : Access.outcome option;
+      (** the outcome a stale private entry serves on the scheduled
+          core, when it differs from [truth]; [None] when the machine
+          must agree with [truth] *)
+}
+
+val run_multi :
+  seed:int ->
+  cores:int ->
+  purge:Sasos_smp.Smp.purge ->
+  ipi_budget:int ->
+  Op.geom ->
+  Op.t list ->
+  multi_outcome list
+(** [seed] must be the [Config.seed] the machine was created with (the
+    schedule derives from it). At [cores < 2] this degenerates to {!run}
+    with [stale = None] throughout. *)

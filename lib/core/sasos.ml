@@ -125,6 +125,7 @@ module Experiments = struct
 end
 
 module Obs = Sasos_obs.Obs
+module Smp = Sasos_smp.Smp
 module Runner = Sasos_runner.Runner
 module Shard = Sasos_shard.Shard
 module Dash = Sasos_shard.Dash

@@ -19,6 +19,7 @@ let all =
     E_crossover.experiment;
     E_okamoto.experiment;
     E_smp.experiment;
+    E_smp_coherence.experiment;
     E_tag_overhead.experiment;
     E_scale.experiment;
   ]

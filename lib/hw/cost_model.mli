@@ -29,6 +29,18 @@ type t = {
           TLB-then-PID comparison (§4.2); 0 assumes the cycle absorbs it *)
   table_op : int;  (** touch one OS table entry inside the kernel *)
   ipi : int;  (** interrupt one remote processor for a shootdown *)
+  ipi_send : int;
+      (** initiate one inter-processor shootdown round on the requesting
+          core (build the request, write the doorbells) *)
+  ipi_deliver : int;
+      (** deliver the interrupt to one target core and run its purge
+          handler; charged once per remote core per round *)
+  ipi_ack : int;
+      (** the initiator's ack barrier: wait until every target has
+          acknowledged; charged once per round *)
+  stale_trap : int;
+      (** under lazy purge, revalidate a version-stamped entry that was
+          observed stale on use *)
 }
 
 val default : t
@@ -52,6 +64,10 @@ val v :
   ?pg_sequential_penalty:int ->
   ?table_op:int ->
   ?ipi:int ->
+  ?ipi_send:int ->
+  ?ipi_deliver:int ->
+  ?ipi_ack:int ->
+  ?stale_trap:int ->
   unit ->
   t
 (** Build a cost model, defaulting each field from {!default}. *)

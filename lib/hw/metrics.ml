@@ -32,6 +32,8 @@ type t = {
   mutable regroups : int;
   mutable cache_synonyms : int;
   mutable shootdowns : int;
+  mutable ipis : int;
+  mutable stale_hits : int;
   mutable key_allocs : int;
   mutable key_recycles : int;
   mutable key_reg_writes : int;
@@ -73,6 +75,8 @@ let create () =
     regroups = 0;
     cache_synonyms = 0;
     shootdowns = 0;
+    ipis = 0;
+    stale_hits = 0;
     key_allocs = 0;
     key_recycles = 0;
     key_reg_writes = 0;
@@ -114,6 +118,8 @@ let fields t =
     ("regroups", t.regroups);
     ("cache_synonyms", t.cache_synonyms);
     ("shootdowns", t.shootdowns);
+    ("ipis", t.ipis);
+    ("stale_hits", t.stale_hits);
     ("key_allocs", t.key_allocs);
     ("key_recycles", t.key_recycles);
     ("key_reg_writes", t.key_reg_writes);
@@ -154,6 +160,8 @@ let reset t =
   t.regroups <- 0;
   t.cache_synonyms <- 0;
   t.shootdowns <- 0;
+  t.ipis <- 0;
+  t.stale_hits <- 0;
   t.key_allocs <- 0;
   t.key_recycles <- 0;
   t.key_reg_writes <- 0;
@@ -194,6 +202,8 @@ let copy t =
     regroups = t.regroups;
     cache_synonyms = t.cache_synonyms;
     shootdowns = t.shootdowns;
+    ipis = t.ipis;
+    stale_hits = t.stale_hits;
     key_allocs = t.key_allocs;
     key_recycles = t.key_recycles;
     key_reg_writes = t.key_reg_writes;
@@ -235,6 +245,8 @@ let diff a b =
     regroups = a.regroups - b.regroups;
     cache_synonyms = a.cache_synonyms - b.cache_synonyms;
     shootdowns = a.shootdowns - b.shootdowns;
+    ipis = a.ipis - b.ipis;
+    stale_hits = a.stale_hits - b.stale_hits;
     key_allocs = a.key_allocs - b.key_allocs;
     key_recycles = a.key_recycles - b.key_recycles;
     key_reg_writes = a.key_reg_writes - b.key_reg_writes;
@@ -275,6 +287,8 @@ let add_into acc x =
   acc.regroups <- acc.regroups + x.regroups;
   acc.cache_synonyms <- acc.cache_synonyms + x.cache_synonyms;
   acc.shootdowns <- acc.shootdowns + x.shootdowns;
+  acc.ipis <- acc.ipis + x.ipis;
+  acc.stale_hits <- acc.stale_hits + x.stale_hits;
   acc.key_allocs <- acc.key_allocs + x.key_allocs;
   acc.key_recycles <- acc.key_recycles + x.key_recycles;
   acc.key_reg_writes <- acc.key_reg_writes + x.key_reg_writes;

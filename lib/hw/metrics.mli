@@ -41,6 +41,13 @@ type t = {
       (** gauge: physical lines resident under two tags (MAS VIVT hazard) *)
   mutable shootdowns : int;
       (** inter-processor broadcasts for shared-structure mutations *)
+  mutable ipis : int;
+      (** individual inter-processor interrupts delivered: one per remote
+          core per shootdown round (the smp layer; the legacy analytic
+          model counts rounds only, in {!shootdowns}) *)
+  mutable stale_hits : int;
+      (** lazy-purge revalidation traps: a private-structure entry
+          observed stale on use (version behind the revocation frontier) *)
   mutable key_allocs : int;
       (** protection keys bound to a fresh rights signature (Pk machine) *)
   mutable key_recycles : int;

@@ -25,7 +25,42 @@ let to_string = function
   | Conv_asid -> "conv-asid"
   | Conv_flush -> "conv-flush"
 
-let make_plain variant config =
+module Smp = Sasos_smp.Smp
+
+(* Functor applications at toplevel: one smp-lifted module per machine
+   model, shared by every construction path. *)
+module Smp_plb = Smp.Make (Plb_machine)
+module Smp_pg = Smp.Make (Pg_machine)
+module Smp_pk = Smp.Make (Pk_machine)
+module Smp_conv_asid = Smp.Make (Conv_machine.Asid)
+module Smp_conv_flush = Smp.Make (Conv_machine.Flush)
+
+let make_smp variant ~cores ~purge ?ipi_budget ?ipi_cost config =
+  match variant with
+  | Plb ->
+      System_intf.Packed
+        ((module Smp_plb : System_intf.SYSTEM with type t = Smp_plb.t),
+         Smp_plb.create_with ~cores ~purge ?ipi_budget ?ipi_cost config)
+  | Page_group ->
+      System_intf.Packed
+        ((module Smp_pg : System_intf.SYSTEM with type t = Smp_pg.t),
+         Smp_pg.create_with ~cores ~purge ?ipi_budget ?ipi_cost config)
+  | Pk ->
+      System_intf.Packed
+        ((module Smp_pk : System_intf.SYSTEM with type t = Smp_pk.t),
+         Smp_pk.create_with ~cores ~purge ?ipi_budget ?ipi_cost config)
+  | Conv_asid ->
+      System_intf.Packed
+        ((module Smp_conv_asid : System_intf.SYSTEM
+            with type t = Smp_conv_asid.t),
+         Smp_conv_asid.create_with ~cores ~purge ?ipi_budget ?ipi_cost config)
+  | Conv_flush ->
+      System_intf.Packed
+        ((module Smp_conv_flush : System_intf.SYSTEM
+            with type t = Smp_conv_flush.t),
+         Smp_conv_flush.create_with ~cores ~purge ?ipi_budget ?ipi_cost config)
+
+let make_single variant config =
   match variant with
   | Plb ->
       System_intf.Packed
@@ -49,6 +84,16 @@ let make_plain variant config =
         ((module Conv_machine.Flush : System_intf.SYSTEM
             with type t = Conv_machine.Flush.t),
          Conv_machine.Flush.create config)
+
+(* When --cores N > 1 every machine built through here (including the
+   batch engine's scratch recorder machine — draw streams must match) is
+   smp-lifted with the process-global policy; at 1 core the plain
+   machine is returned unchanged, bit-identical to a build without the
+   smp layer. *)
+let make_plain variant config =
+  if Smp.cores () > 1 then
+    make_smp variant ~cores:(Smp.cores ()) ~purge:(Smp.purge ()) config
+  else make_single variant config
 
 (* When a collector is ambient, every machine built through here comes back
    span-instrumented; otherwise the plain machine is returned unchanged, so

@@ -23,7 +23,20 @@ val make : variant -> Config.t -> System_intf.packed
 
 val make_plain : variant -> Config.t -> System_intf.packed
 (** Instantiate without consulting the ambient collector (never
-    instrumented). *)
+    instrumented). When the process-global {!Sasos_smp.Smp.cores} is
+    above 1 the machine still comes back smp-lifted — the multicore
+    layer is part of the machine, not of the instrumentation. *)
+
+val make_smp :
+  variant ->
+  cores:int ->
+  purge:Sasos_smp.Smp.purge ->
+  ?ipi_budget:int ->
+  ?ipi_cost:int ->
+  Config.t ->
+  System_intf.packed
+(** Instantiate smp-lifted with explicit parameters, ignoring the
+    process-global defaults (for experiments that vary cores per row). *)
 
 val make_all : Config.t -> System_intf.packed list
 (** One fresh instance of every model, in the order of {!all}. *)

@@ -48,7 +48,7 @@ type t = {
   config : Config.t;
   geom : Geometry.t;
   cost : Cost_model.t;
-  metrics : Metrics.t;
+  mutable metrics : Metrics.t;
   segments : Segment_table.t;
   frames : Frame_allocator.t;
   ipt : Inverted_page_table.t;
@@ -132,6 +132,13 @@ let unit_over_bump s u delta =
   let c = (if c < 0 then 0 else c) + delta in
   if c <= 0 then Flat_tab.remove s.f_unit_over ~k1 ~k2
   else Flat_tab.replace s.f_unit_over ~k1 ~k2 ~v:c
+
+(* Redirect this OS instance's counters onto [m] (the smp layer shares
+   one record across all replica cores so replicated kernel work — the
+   IPI handlers running the same purge on every core — lands in one
+   aggregate). Charging paths read the field on every use, so the switch
+   takes effect immediately. *)
+let share_metrics t m = t.metrics <- m
 
 let new_domain t =
   let pd = Pd.of_int t.next_pd in

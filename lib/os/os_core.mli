@@ -27,7 +27,10 @@ type t = {
   config : Config.t;
   geom : Geometry.t;
   cost : Cost_model.t;
-  metrics : Metrics.t;
+  mutable metrics : Metrics.t;
+      (** mutable so the smp layer can point every replica core's OS at
+          one shared record (see {!share_metrics}); machines always read
+          the field at charge time, never capture it at create *)
   segments : Segment_table.t;
   frames : Frame_allocator.t;
   ipt : Inverted_page_table.t;
@@ -46,6 +49,11 @@ type t = {
 }
 
 val create : Config.t -> t
+
+val share_metrics : t -> Sasos_hw.Metrics.t -> unit
+(** Redirect this instance's counters onto a record owned elsewhere. The
+    smp layer points every replica core's OS at core 0's record so the
+    per-core purge work of a shootdown accumulates into one aggregate. *)
 
 (** {2 Domains} *)
 

@@ -161,7 +161,7 @@ type series = { name : string; points : point list (* chronological *) }
 
 (* Configuration keys that distinguish rows of one benchmark. Fixed
    order so the series name is stable whatever the JSON field order. *)
-let discriminators = [ "backend"; "engine"; "policy"; "shards" ]
+let discriminators = [ "backend"; "engine"; "policy"; "shards"; "cores" ]
 
 let series_name ~bench row =
   let parts =

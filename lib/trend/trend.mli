@@ -6,7 +6,8 @@
     ([sasos-bench/1]: one flat result object; [sasos-bench/2]: a [rows]
     array of per-configuration results), folds them into named
     accesses/sec series — one per benchmark × configuration (backend,
-    engine, policy, shards) — renders the trajectory with sparklines,
+    engine, policy, shards, cores) — renders the trajectory with
+    sparklines,
     and fails when the newest point of any series dropped below
     [min_ratio] of that series' best earlier point. [sasos bench-diff]
     and the CI [bench-trend] job are thin wrappers over {!load_dir},

@@ -175,6 +175,15 @@ let or_in t ~k1 ~k2 ~bits =
   end
   else false
 
+(* Drop every binding without shrinking: only the state lane needs
+   resetting, the others are never read behind a free slot.  Array.fill
+   on int arrays does not allocate, so batched-purge flush paths can
+   clear per-core pending tables without GC traffic. *)
+let clear t =
+  Array.fill t.keys1 0 (Array.length t.keys1) free_key;
+  t.live <- 0;
+  t.used <- 0
+
 let remove t ~k1 ~k2 =
   let s = probe_slot t.keys1 t.keys2 t.mask k1 k2 (hash k1 k2) (-1) in
   if s >= 0 then begin

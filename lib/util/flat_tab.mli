@@ -38,6 +38,9 @@ val or_in : t -> k1:int -> k2:int -> bits:int -> bool
 val remove : t -> k1:int -> k2:int -> unit
 (** Remove the binding, if any. *)
 
+val clear : t -> unit
+(** Drop every binding, keeping the current capacity. Never allocates. *)
+
 val iter : t -> (int -> int -> int -> unit) -> unit
 (** [iter t f] calls [f k1 k2 v] for every binding, in unspecified
     (slot) order. *)

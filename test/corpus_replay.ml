@@ -4,13 +4,19 @@
    Each trace is replayed four times — the cross product of the two
    protection-structure backends (reference Assoc_cache vs packed
    int-lane) and the two execution engines (scalar event interpreter vs
-   trace-compiled batch decode loop) — so the corpus gates every
-   implementation pairing under `dune runtest`: once a divergence has
-   been caught and minimized, it can never silently return on any of
-   them. *)
+   trace-compiled batch decode loop) and again across the multicore
+   matrix (1 core, plus 4 cores under each purge policy — the smp layer
+   widens the expected outcomes to the mirror's permitted set, see
+   Oracle.run_multi) — so the corpus gates every implementation pairing
+   under `dune runtest`: once a divergence has been caught and
+   minimized, it can never silently return on any of them. *)
 
 let backends = [ Sasos.Hw.Packed_cache.Ref; Sasos.Hw.Packed_cache.Packed ]
 let engines = [ Sasos.Engine.Scalar; Sasos.Engine.Batch ]
+
+let smp_configs =
+  (1, Sasos.Smp.Eager)
+  :: List.map (fun p -> (4, p)) Sasos.Smp.all_purges
 
 (* Replays fan out over the same worker pool the sharded simulation uses
    (Runner.map_pool, jobs = 2), so the corpus also gates the pooled
@@ -29,12 +35,17 @@ let () =
     (fun backend ->
       List.iter
         (fun engine ->
+          List.iter
+            (fun (cores, purge) ->
           Sasos.Hw.Packed_cache.set_default_backend backend;
           Sasos.Engine.set_default_engine engine;
+          Sasos.Smp.set_cores cores;
+          Sasos.Smp.set_purge purge;
           let tag =
-            Printf.sprintf "%s/%s"
+            Printf.sprintf "%s/%s/%dc-%s"
               (Sasos.Hw.Packed_cache.backend_to_string backend)
               (Sasos.Engine.to_string engine)
+              cores (Sasos.Smp.purge_to_string purge)
           in
           let results =
             Sasos.Runner.map_pool ~jobs:2
@@ -45,16 +56,18 @@ let () =
             (fun (path, outcome) ->
               match outcome with
               | Ok () ->
-                  Printf.printf "  ok   %-13s %s\n" tag
+                  Printf.printf "  ok   %-18s %s\n" tag
                     (Filename.basename path)
               | Error msg ->
                   incr failures;
-                  Printf.printf "  FAIL %-13s %s: %s\n" tag
+                  Printf.printf "  FAIL %-18s %s: %s\n" tag
                     (Filename.basename path) msg)
             results)
+            smp_configs)
         engines)
     backends;
-  Printf.printf "corpus: %d trace(s) x %d backends x %d engines, %d failing\n"
+  Printf.printf
+    "corpus: %d trace(s) x %d backends x %d engines x %d smp configs, %d failing\n"
     (List.length files) (List.length backends) (List.length engines)
-    !failures;
+    (List.length smp_configs) !failures;
   if !failures > 0 then exit 1

@@ -60,10 +60,35 @@ let test_of_string_round_trip () =
       | None -> Alcotest.failf "of_string %S = None" name)
     Machines.all
 
+let test_readme_lists_smp_flags () =
+  (* the multicore layer's user-facing surface: every flag and every
+     purge-policy name (the CLI doc string is generated from
+     Smp.purge_names_doc; README is prose, so drift-guard it here) *)
+  let text = readme () in
+  List.iter
+    (fun flag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "README.md mentions %s" flag)
+        true (contains text flag))
+    [ "--cores"; "--purge"; "--ipi-cost"; "--ipi-budget" ];
+  List.iter
+    (fun p ->
+      let name = Smp.purge_to_string p in
+      Alcotest.(check bool)
+        (Printf.sprintf "README.md mentions purge policy %s" name)
+        true (contains text name);
+      Alcotest.(check bool)
+        (Printf.sprintf "purge_names_doc mentions %s" name)
+        true
+        (contains Smp.purge_names_doc name))
+    Smp.all_purges
+
 let suite =
   [
     Alcotest.test_case "README lists every machine" `Quick
       test_readme_lists_all_machines;
+    Alcotest.test_case "README lists the multicore flags" `Quick
+      test_readme_lists_smp_flags;
     Alcotest.test_case "CLI doc string lists every machine" `Quick
       test_names_doc_complete;
     Alcotest.test_case "name round-trips" `Quick test_of_string_round_trip;

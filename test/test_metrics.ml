@@ -46,7 +46,7 @@ let test_ratios () =
 let test_fields_complete () =
   (* fields must enumerate every counter: diff of distinct records differs
      somewhere *)
-  Alcotest.(check int) "37 counters" 37 (List.length (Metrics.fields (Metrics.create ())))
+  Alcotest.(check int) "39 counters" 39 (List.length (Metrics.fields (Metrics.create ())))
 
 (* Drift guard: adding a counter to the record without teaching [fields]
    (and transitively diff/add_into/copy, exercised below) must fail here.

@@ -573,6 +573,105 @@ let test_tracked_chrome_and_json () =
   in
   Alcotest.(check bool) "gauges counter present" true (gauge_counters <> [])
 
+(* -- per-core tracks from the multicore layer --------------------------- *)
+
+(* Drive the real smp machine under an ambient collector, exactly as
+   `sasos profile --cores 4 --chrome-out` does: each core records into
+   its own track ("core N"), and every eager shootdown round emits a
+   flow begin at the initiating core plus a flow end per remote core. *)
+let smp_core_summaries () =
+  let o = Obs.create () in
+  Obs.with_ambient o (fun () ->
+      let sys =
+        Machines.make_smp Machines.Plb ~cores:4 ~purge:Smp.Eager
+          Config.default
+      in
+      let d1 = System_ops.new_domain sys in
+      let seg = System_ops.new_segment sys ~pages:4 () in
+      System_ops.switch_domain sys d1;
+      for _round = 1 to 3 do
+        System_ops.attach sys d1 seg Rights.rw;
+        for i = 0 to 15 do
+          ignore
+            (System_ops.access sys Access.Read
+               (Segment.page_va seg (i land 3)))
+        done;
+        (* revoking the attachment forces an eager shootdown round *)
+        System_ops.protect_segment sys d1 seg Rights.none
+      done);
+  match Smp.last () with
+  | Some h -> h.Smp.h_summaries ()
+  | None -> Alcotest.fail "no smp handle"
+
+let test_smp_chrome_per_core () =
+  let per_core = smp_core_summaries () in
+  Alcotest.(check int) "one summary per core" 4 (List.length per_core);
+  (* merge is input-order-invariant: any worker schedule (`--jobs`)
+     hands the same set of tracks and must render the same bytes *)
+  let chrome = Obs.to_chrome (Obs.merge_tracks per_core) in
+  let chrome' = Obs.to_chrome (Obs.merge_tracks (List.rev per_core)) in
+  Alcotest.(check string) "byte-identical across input orders" chrome chrome';
+  let events =
+    match Json.mem "traceEvents" (Json.parse chrome) with
+    | Some (Json.Arr l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let pids =
+    List.sort_uniq compare (List.filter_map (Json.num "pid") events)
+  in
+  Alcotest.(check (list (float 0.))) "one Chrome process per core"
+    [ 0.; 1.; 2.; 3. ] pids;
+  (* process names come from the per-core track labels *)
+  let names =
+    List.filter_map
+      (fun e ->
+        if Json.str "name" e = Some "process_name" then
+          match (Json.num "pid" e, Json.mem "args" e) with
+          | Some pid, Some args -> (
+              match Json.str "name" args with
+              | Some n -> Some (int_of_float pid, n)
+              | None -> None)
+          | _ -> None
+        else None)
+      events
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "process %d named after its core" c)
+        (Some (Printf.sprintf "core %d" c))
+        (List.assoc_opt c names))
+    [ 0; 1; 2; 3 ];
+  (* shootdown arrows: every flow begin has one end per remote core,
+     bound by a shared global id *)
+  let flows ph =
+    List.filter
+      (fun e ->
+        Json.str "ph" e = Some ph
+        && Json.str "cat" e = Some "msg"
+        && Json.str "name" e = Some "shootdown")
+      events
+  in
+  let begins = flows "s" and ends = flows "f" in
+  Alcotest.(check int) "one begin per eager revocation" 3
+    (List.length begins);
+  Alcotest.(check int) "one end per remote core" (3 * List.length begins)
+    (List.length ends);
+  List.iter
+    (fun b ->
+      let id = Json.num "id" b and bpid = Json.num "pid" b in
+      let matching = List.filter (fun e -> Json.num "id" e = id) ends in
+      Alcotest.(check int) "id binds begin to its three ends" 3
+        (List.length matching);
+      List.iter
+        (fun e ->
+          Alcotest.(check (option string)) "flow end binds enclosing slice"
+            (Some "e") (Json.str "bp" e);
+          Alcotest.(check bool) "end lands on a remote core" true
+            (Json.num "pid" e <> bpid))
+        matching)
+    begins
+
 (* -- injectable wall clock ---------------------------------------------- *)
 
 let test_injectable_clock () =
@@ -614,5 +713,7 @@ let suite =
     Alcotest.test_case "merge_tracks" `Quick test_merge_tracks;
     Alcotest.test_case "tracked chrome and json" `Quick
       test_tracked_chrome_and_json;
+    Alcotest.test_case "smp per-core chrome tracks" `Quick
+      test_smp_chrome_per_core;
     Alcotest.test_case "injectable clock" `Quick test_injectable_clock;
   ]
